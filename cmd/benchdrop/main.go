@@ -1,0 +1,81 @@
+// Command benchdrop regenerates the paper's tables and figures.
+//
+//	benchdrop -exp all
+//	benchdrop -exp table1 -seeds 10
+//	benchdrop -exp figure1
+//
+// Experiment ids follow DESIGN.md: table1, table2, table3, figure1,
+// figure2, figure3, figure4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtcadapt/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id: table1 | table2 | table3 | figure1..figure10 | all")
+		seeds  = flag.Int("seeds", 5, "number of seeds to average over")
+		seed   = flag.Int64("seed", 1, "seed for single-run figures")
+		format = flag.String("format", "text", "output format: text | csv")
+	)
+	flag.Parse()
+
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+
+	runners := map[string]func(){
+		"table1":   func() { fmt.Println(experiments.RenderTable1(experiments.Table1(seedList))) },
+		"table2":   func() { fmt.Println(experiments.RenderTable2(experiments.Table2(seedList))) },
+		"table3":   func() { fmt.Println(experiments.RenderTable3(experiments.Table3(seedList))) },
+		"figure1":  func() { fmt.Println(experiments.RenderFigure1(experiments.Figure1(*seed))) },
+		"figure2":  func() { fmt.Println(experiments.RenderFigure2(experiments.Figure2(seedList))) },
+		"figure3":  func() { fmt.Println(experiments.RenderFigure3(experiments.Figure3(seedList))) },
+		"figure4":  func() { fmt.Println(experiments.RenderFigure4(experiments.Figure4(seedList))) },
+		"figure5":  func() { fmt.Println(experiments.RenderFigure5(experiments.Figure5(seedList))) },
+		"figure6":  func() { fmt.Println(experiments.RenderFigure6(experiments.Figure6(seedList))) },
+		"figure7":  func() { fmt.Println(experiments.RenderFigure7(experiments.Figure7(seedList))) },
+		"figure8":  func() { fmt.Println(experiments.RenderFigure8(experiments.Figure8(seedList))) },
+		"figure9":  func() { fmt.Println(experiments.RenderFigure9(experiments.Figure9(seedList))) },
+		"figure10": func() { fmt.Println(experiments.RenderFigure10(experiments.Figure10(seedList))) },
+	}
+	order := []string{"figure1", "table1", "table2", "figure2", "figure3", "table3", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "figure10"}
+
+	if *format == "csv" {
+		ids := order
+		if *exp != "all" {
+			ids = []string{*exp}
+		}
+		for _, id := range ids {
+			out, err := experiments.CSV(id, seedList)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchdrop:", err)
+				os.Exit(1)
+			}
+			if *exp == "all" {
+				fmt.Printf("# %s\n", id)
+			}
+			fmt.Print(out)
+		}
+		return
+	}
+
+	if *exp == "all" {
+		for _, id := range order {
+			runners[id]()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchdrop: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+	run()
+}

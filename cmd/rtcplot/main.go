@@ -1,0 +1,106 @@
+// Command rtcplot runs RTC sessions and renders ASCII charts in the
+// terminal: per-frame latency timelines (optionally comparing two
+// controllers), the control-plane rate timeline, and post-drop latency
+// CDFs.
+//
+//	rtcplot -chart latency -compare
+//	rtcplot -chart rates -controller adaptive
+//	rtcplot -chart cdf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtcadapt/internal/cli"
+	"rtcadapt/internal/metrics"
+	"rtcadapt/internal/plot"
+	"rtcadapt/internal/session"
+	"rtcadapt/internal/trace"
+	"rtcadapt/internal/video"
+)
+
+func main() {
+	var (
+		chart      = flag.String("chart", "latency", "chart: latency | rates | cdf")
+		controller = flag.String("controller", "adaptive", "controller for single-series charts")
+		compare    = flag.Bool("compare", false, "overlay native-rc and adaptive (latency/cdf)")
+		before     = flag.Float64("before", 2.5e6, "capacity before the drop, bits/s")
+		after      = flag.Float64("after", 0.8e6, "capacity after the drop, bits/s")
+		dropAt     = flag.Duration("dropat", 10*time.Second, "drop instant")
+		duration   = flag.Duration("duration", 25*time.Second, "session length")
+		seed       = flag.Int64("seed", 1, "random seed")
+		width      = flag.Int("width", 72, "chart width")
+		height     = flag.Int("height", 14, "chart height")
+	)
+	flag.Parse()
+
+	run := func(name string) session.Result {
+		ctrl, err := cli.BuildController(name, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtcplot:", err)
+			os.Exit(1)
+		}
+		return session.Run(session.Config{
+			Duration:    *duration,
+			Seed:        *seed,
+			Content:     video.TalkingHead,
+			Trace:       trace.StepDrop(*before, *after, *dropAt),
+			InitialRate: 1e6,
+			Controller:  ctrl,
+		})
+	}
+
+	cfg := plot.Config{Width: *width, Height: *height}
+	switch *chart {
+	case "latency":
+		cfg.XLabel, cfg.YLabel = "capture time (s)", "frame latency (ms)"
+		var series []plot.Series
+		names := []string{*controller}
+		if *compare {
+			names = []string{"native-rc", "adaptive"}
+		}
+		for _, n := range names {
+			res := run(n)
+			x, y := metrics.DelaySeries(res.Records)
+			series = append(series, plot.Series{Name: n, X: x, Y: y})
+		}
+		fmt.Printf("frame latency, %.1f -> %.1f Mbps at t=%v\n\n", *before/1e6, *after/1e6, *dropAt)
+		fmt.Print(plot.Line(cfg, series...))
+	case "rates":
+		cfg.XLabel, cfg.YLabel = "time (s)", "rate (Mbps)"
+		res := run(*controller)
+		var capS, estS, encS plot.Series
+		capS.Name, estS.Name, encS.Name = "capacity", "estimate", "encoder"
+		for _, p := range res.Timeline {
+			t := p.At.Seconds()
+			capS.X = append(capS.X, t)
+			capS.Y = append(capS.Y, p.Capacity/1e6)
+			estS.X = append(estS.X, t)
+			estS.Y = append(estS.Y, p.Estimate/1e6)
+			encS.X = append(encS.X, t)
+			encS.Y = append(encS.Y, p.EncoderTarget/1e6)
+		}
+		fmt.Printf("control plane, %s controller\n\n", *controller)
+		fmt.Print(plot.Line(cfg, capS, estS, encS))
+	case "cdf":
+		cfg.XLabel, cfg.YLabel = "frame latency (ms)", "CDF"
+		var series []plot.Series
+		names := []string{*controller}
+		if *compare {
+			names = []string{"native-rc", "adaptive"}
+		}
+		for _, n := range names {
+			res := run(n)
+			ds, fs := metrics.CDF(res.Records, *dropAt, *dropAt+5*time.Second)
+			series = append(series, plot.Series{Name: n, X: ds, Y: fs})
+		}
+		fmt.Printf("post-drop latency CDF (%v .. %v)\n\n", *dropAt, *dropAt+5*time.Second)
+		fmt.Print(plot.CDF(cfg, series...))
+	default:
+		fmt.Fprintf(os.Stderr, "rtcplot: unknown chart %q\n", *chart)
+		os.Exit(1)
+	}
+}

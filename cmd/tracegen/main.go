@@ -1,0 +1,76 @@
+// Command tracegen generates capacity traces as CSV on stdout, or inspects
+// an existing trace file.
+//
+//	tracegen -kind lte -duration 60s -mean 3e6 > lte.csv
+//	tracegen -kind drop -before 2.5e6 -after 0.8e6 -dropat 10s > drop.csv
+//	tracegen -inspect lte.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtcadapt/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "drop", "trace kind: const | drop | staircase | oscillating | lte | wifi | randomwalk")
+		duration = flag.Duration("duration", 60*time.Second, "trace length (synthetic kinds)")
+		mean     = flag.Float64("mean", 3e6, "mean capacity, bits/s (lte/wifi/const)")
+		before   = flag.Float64("before", 2.5e6, "pre-drop capacity, bits/s")
+		after    = flag.Float64("after", 0.8e6, "post-drop capacity, bits/s")
+		dropAt   = flag.Duration("dropat", 10*time.Second, "drop instant")
+		seed     = flag.Int64("seed", 1, "random seed")
+		inspect  = flag.String("inspect", "", "print statistics of an existing CSV trace instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadCSV(*inspect, f)
+		if err != nil {
+			fatal(err)
+		}
+		points := tr.Points()
+		end := points[len(points)-1].At + time.Second
+		fmt.Printf("trace %s: %d breakpoints, span %v\n", tr.Name(), len(points), points[len(points)-1].At)
+		fmt.Printf("mean %.2f Mbps, min %.2f Mbps\n",
+			tr.MeanRate(0, end)/1e6, tr.MinRate(0, end)/1e6)
+		return
+	}
+
+	var tr *trace.Trace
+	switch *kind {
+	case "const":
+		tr = trace.Constant(*mean)
+	case "drop":
+		tr = trace.StepDrop(*before, *after, *dropAt)
+	case "staircase":
+		tr = trace.Staircase(10*time.Second, *before, (*before+*after)/2, *after)
+	case "oscillating":
+		tr = trace.Oscillating(*before, *after, 5*time.Second, *duration)
+	case "lte":
+		tr = trace.LTE(*seed, *duration, trace.LTEConfig{Mean: *mean})
+	case "wifi":
+		tr = trace.WiFi(*seed, *duration, trace.WiFiConfig{Mean: *mean})
+	case "randomwalk":
+		tr = trace.RandomWalk(*seed, *duration, 200*time.Millisecond, *mean, *mean/5, *mean*2)
+	default:
+		fatal(fmt.Errorf("unknown trace kind %q", *kind))
+	}
+	if err := tr.WriteCSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Quickstart: simulate one RTC session over a sudden bandwidth drop with
+// the paper's adaptive encoder controller and print what the viewer
+// experienced.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rtcadapt"
+)
+
+func main() {
+	res := rtcadapt.Run(rtcadapt.SessionConfig{
+		Duration:   30 * time.Second,
+		Seed:       1,
+		Content:    rtcadapt.TalkingHead,
+		Trace:      rtcadapt.StepDrop(2.5e6, 0.8e6, 10*time.Second),
+		Controller: rtcadapt.NewAdaptive(rtcadapt.AdaptiveConfig{}),
+	})
+
+	r := res.Report
+	fmt.Println("rtcadapt quickstart — 2.5 Mbps link dropping to 0.8 Mbps at t=10s")
+	fmt.Printf("frames:   %d captured, %d delivered, %d skipped, %d dropped\n",
+		r.Frames, r.DeliveredFrames, r.SkippedFrames, r.DroppedFrames)
+	fmt.Printf("latency:  mean %.1f ms, P95 %.1f ms, worst %.1f ms\n",
+		r.MeanNetDelay.Seconds()*1000, r.P95NetDelay.Seconds()*1000, r.MaxNetDelay.Seconds()*1000)
+	fmt.Printf("quality:  displayed SSIM %.4f (encoded %.4f)\n", r.MeanSSIM, r.EncodedSSIM)
+	fmt.Printf("freezes:  %d, longest %.0f ms\n", r.FreezeCount, r.LongestFreeze.Seconds()*1000)
+
+	// Zoom into the 5 seconds right after the drop — the window the
+	// paper's evaluation measures.
+	post := rtcadapt.Summarize(res.Records, 10*time.Second, 15*time.Second, res.FrameInterval)
+	fmt.Printf("\npost-drop window (t=10s..15s): P95 latency %.1f ms, SSIM %.4f\n",
+		post.P95NetDelay.Seconds()*1000, post.MeanSSIM)
+}

@@ -1,0 +1,53 @@
+// Tracedriven compares all three controllers on realistic time-varying
+// capacity: a synthetic LTE trace (deep fades, the paper's "sudden
+// bandwidth drops" in the wild) and a synthetic WiFi trace (short
+// contention dips), across two content classes.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rtcadapt"
+)
+
+func main() {
+	const dur = 60 * time.Second
+	traces := []struct {
+		name string
+		mk   func(seed int64) *rtcadapt.Trace
+	}{
+		{"lte", func(seed int64) *rtcadapt.Trace { return rtcadapt.LTE(seed, dur) }},
+		{"wifi", func(seed int64) *rtcadapt.Trace { return rtcadapt.WiFi(seed, dur) }},
+	}
+	contents := []rtcadapt.ContentClass{rtcadapt.TalkingHead, rtcadapt.Gaming}
+	controllers := []struct {
+		name string
+		mk   func() rtcadapt.Controller
+	}{
+		{"native-rc", func() rtcadapt.Controller { return rtcadapt.NewNativeRC() }},
+		{"reset-only", func() rtcadapt.Controller { return rtcadapt.NewResetOnly() }},
+		{"adaptive", func() rtcadapt.Controller { return rtcadapt.NewAdaptive(rtcadapt.AdaptiveConfig{}) }},
+	}
+
+	fmt.Printf("%-6s %-13s %-11s %10s %10s %10s %8s\n",
+		"trace", "content", "controller", "P95 (ms)", "P99 (ms)", "SSIM", "freezes")
+	for _, tr := range traces {
+		for _, content := range contents {
+			for _, ctrl := range controllers {
+				res := rtcadapt.Run(rtcadapt.SessionConfig{
+					Duration:   dur,
+					Seed:       7,
+					Content:    content,
+					Trace:      tr.mk(7),
+					Controller: ctrl.mk(),
+				})
+				r := res.Report
+				fmt.Printf("%-6s %-13s %-11s %10.1f %10.1f %10.4f %8d\n",
+					tr.name, content, ctrl.name,
+					r.P95NetDelay.Seconds()*1000, r.P99NetDelay.Seconds()*1000,
+					r.MeanSSIM, r.FreezeCount)
+			}
+		}
+	}
+}

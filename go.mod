@@ -1,0 +1,3 @@
+module rtcadapt
+
+go 1.22

@@ -1,0 +1,167 @@
+// Package audio models the voice stream of an RTC call: an Opus-like
+// constant-rate source (20 ms frames), a receiver with fixed jitter-buffer
+// concealment accounting, and an ITU-T G.107 E-model quality score. Audio
+// shares the bottleneck with video, keeps congestion feedback flowing when
+// video is skipped, and is how a call's interactivity is actually judged.
+package audio
+
+import (
+	"time"
+
+	"rtcadapt/internal/stats"
+)
+
+// Config parameterizes the audio stream.
+type Config struct {
+	// Bitrate is the codec rate in bits/s. Default 32 kbps.
+	Bitrate float64
+	// FrameDur is the packet interval. Default 20 ms.
+	FrameDur time.Duration
+	// JitterBudget is the fixed receive jitter buffer: frames later than
+	// this are concealed. Default 100 ms.
+	JitterBudget time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.Bitrate == 0 {
+		c.Bitrate = 32e3
+	}
+	if c.FrameDur == 0 {
+		c.FrameDur = 20 * time.Millisecond
+	}
+	if c.JitterBudget == 0 {
+		c.JitterBudget = 100 * time.Millisecond
+	}
+}
+
+// Frame is one audio packetization interval.
+type Frame struct {
+	// Index is the frame number.
+	Index int
+	// PTS is the capture time.
+	PTS time.Duration
+	// Bytes is the payload size.
+	Bytes int
+}
+
+// Source emits fixed-size frames at the configured cadence.
+type Source struct {
+	cfg   Config
+	index int
+}
+
+// NewSource returns an audio source.
+func NewSource(cfg Config) *Source {
+	cfg.defaults()
+	return &Source{cfg: cfg}
+}
+
+// FrameDur returns the packet interval.
+func (s *Source) FrameDur() time.Duration { return s.cfg.FrameDur }
+
+// Next produces the next frame.
+func (s *Source) Next() Frame {
+	f := Frame{
+		Index: s.index,
+		PTS:   time.Duration(s.index) * s.cfg.FrameDur,
+		Bytes: int(s.cfg.Bitrate * s.cfg.FrameDur.Seconds() / 8),
+	}
+	s.index++
+	return f
+}
+
+// Receiver tracks audio arrivals and computes the stream's quality.
+type Receiver struct {
+	cfg       Config
+	delays    stats.Summary
+	delivered int
+	concealed int
+	highest   int
+}
+
+// NewReceiver returns an audio receiver.
+func NewReceiver(cfg Config) *Receiver {
+	cfg.defaults()
+	return &Receiver{cfg: cfg, highest: -1}
+}
+
+// OnFrame records one arrived audio frame. Frames later than the jitter
+// budget count as concealed (played as loss by the codec's PLC).
+func (r *Receiver) OnFrame(index int, captureTS, arrival time.Duration) {
+	delay := arrival - captureTS
+	if delay > r.cfg.JitterBudget {
+		r.concealed++
+	} else {
+		r.delivered++
+		r.delays.Add(delay.Seconds())
+	}
+	if index > r.highest {
+		r.highest = index
+	}
+}
+
+// Report summarizes the stream given the number of frames sent.
+func (r *Receiver) Report(sent int) Report {
+	rep := Report{
+		Sent:      sent,
+		Delivered: r.delivered,
+		Concealed: r.concealed + (sent - r.delivered - r.concealed), // late + never-arrived
+	}
+	if rep.Concealed < 0 {
+		rep.Concealed = 0
+	}
+	if r.delays.Count() > 0 {
+		rep.MeanDelay = time.Duration(r.delays.Mean() * float64(time.Second))
+		rep.P95Delay = time.Duration(r.delays.Quantile(0.95) * float64(time.Second))
+	}
+	if sent > 0 {
+		rep.LossFrac = float64(rep.Concealed) / float64(sent)
+	}
+	// Mouth-to-ear delay: network delay plus the jitter buffer and
+	// codec/device overhead (~40 ms).
+	m2e := rep.MeanDelay + r.cfg.JitterBudget/2 + 40*time.Millisecond
+	rep.MOS = EModelMOS(m2e, rep.LossFrac)
+	return rep
+}
+
+// Report is the audio stream's aggregate quality.
+type Report struct {
+	// Sent, Delivered and Concealed partition the frames.
+	Sent, Delivered, Concealed int
+	// MeanDelay and P95Delay summarize one-way network delay of played
+	// frames.
+	MeanDelay, P95Delay time.Duration
+	// LossFrac is the concealed fraction.
+	LossFrac float64
+	// MOS is the E-model conversational quality score (1..4.5).
+	MOS float64
+}
+
+// EModelMOS computes a conversational MOS from mouth-to-ear delay and
+// frame loss using the ITU-T G.107 E-model: R = 93.2 - Id - Ie,eff with
+// the standard delay impairment Id and a packet-loss impairment curve
+// typical of Opus with concealment.
+func EModelMOS(mouthToEar time.Duration, loss float64) float64 {
+	d := mouthToEar.Seconds() * 1000 // ms
+	id := 0.024 * d
+	if d > 177.3 {
+		id += 0.11 * (d - 177.3)
+	}
+	loss = stats.Clamp(loss, 0, 1)
+	// Ie,eff = Ie + (95 - Ie) * Ppl / (Ppl + Bpl); Opus-like Ie=0, Bpl=10.
+	ieEff := 95 * (loss * 100) / (loss*100 + 10)
+	r := 93.2 - id - ieEff
+	return rToMOS(r)
+}
+
+// rToMOS is the standard G.107 R-factor to MOS mapping.
+func rToMOS(r float64) float64 {
+	switch {
+	case r < 0:
+		return 1
+	case r > 100:
+		return 4.5
+	}
+	// The cubic dips marginally below 1 for tiny R; clamp to the scale.
+	return stats.Clamp(1+0.035*r+7e-6*r*(r-60)*(100-r), 1, 4.5)
+}

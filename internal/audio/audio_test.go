@@ -1,0 +1,104 @@
+package audio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSourceCadenceAndSize(t *testing.T) {
+	s := NewSource(Config{})
+	for i := 0; i < 10; i++ {
+		f := s.Next()
+		if f.Index != i {
+			t.Errorf("frame %d index %d", i, f.Index)
+		}
+		if f.PTS != time.Duration(i)*20*time.Millisecond {
+			t.Errorf("frame %d PTS %v", i, f.PTS)
+		}
+		// 32 kbps * 20 ms = 80 bytes.
+		if f.Bytes != 80 {
+			t.Errorf("frame %d bytes %d, want 80", i, f.Bytes)
+		}
+	}
+	if s.FrameDur() != 20*time.Millisecond {
+		t.Errorf("FrameDur = %v", s.FrameDur())
+	}
+}
+
+func TestReceiverCleanStream(t *testing.T) {
+	r := NewReceiver(Config{})
+	const n = 500
+	for i := 0; i < n; i++ {
+		cap := time.Duration(i) * 20 * time.Millisecond
+		r.OnFrame(i, cap, cap+40*time.Millisecond)
+	}
+	rep := r.Report(n)
+	if rep.Delivered != n || rep.Concealed != 0 {
+		t.Errorf("delivered=%d concealed=%d", rep.Delivered, rep.Concealed)
+	}
+	if d := rep.MeanDelay - 40*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("MeanDelay = %v", rep.MeanDelay)
+	}
+	if rep.MOS < 4.0 {
+		t.Errorf("clean-call audio MOS = %.2f, want > 4", rep.MOS)
+	}
+}
+
+func TestReceiverLateFramesConcealed(t *testing.T) {
+	r := NewReceiver(Config{JitterBudget: 100 * time.Millisecond})
+	r.OnFrame(0, 0, 50*time.Millisecond)  // fine
+	r.OnFrame(1, 0, 300*time.Millisecond) // late -> concealed
+	rep := r.Report(2)
+	if rep.Delivered != 1 || rep.Concealed != 1 {
+		t.Errorf("delivered=%d concealed=%d", rep.Delivered, rep.Concealed)
+	}
+}
+
+func TestReceiverMissingFramesConcealed(t *testing.T) {
+	r := NewReceiver(Config{})
+	r.OnFrame(0, 0, 40*time.Millisecond)
+	// Frames 1..4 never arrive.
+	rep := r.Report(5)
+	if rep.Concealed != 4 {
+		t.Errorf("Concealed = %d, want 4", rep.Concealed)
+	}
+	if math.Abs(rep.LossFrac-0.8) > 1e-9 {
+		t.Errorf("LossFrac = %v", rep.LossFrac)
+	}
+}
+
+func TestEModelShape(t *testing.T) {
+	// Short delay, no loss: near-toll quality.
+	if mos := EModelMOS(100*time.Millisecond, 0); mos < 4.2 {
+		t.Errorf("MOS(100ms, 0) = %.2f", mos)
+	}
+	// Delay monotonically hurts.
+	prev := 5.0
+	for _, d := range []time.Duration{50, 150, 250, 400, 600} {
+		mos := EModelMOS(d*time.Millisecond, 0)
+		if mos >= prev {
+			t.Fatalf("MOS not decreasing at %vms", d)
+		}
+		prev = mos
+	}
+	// Loss hurts hard.
+	if EModelMOS(100*time.Millisecond, 0.05) >= EModelMOS(100*time.Millisecond, 0) {
+		t.Error("loss did not reduce MOS")
+	}
+	if mos := EModelMOS(100*time.Millisecond, 0.5); mos > 2 {
+		t.Errorf("MOS at 50%% loss = %.2f, want ~1", mos)
+	}
+}
+
+// Property: MOS stays within [1, 4.5] for any delay and loss.
+func TestEModelBoundsProperty(t *testing.T) {
+	f := func(delayMs uint16, lossRaw uint8) bool {
+		mos := EModelMOS(time.Duration(delayMs)*time.Millisecond, float64(lossRaw)/255)
+		return mos >= 1 && mos <= 4.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

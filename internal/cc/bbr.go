@@ -1,0 +1,134 @@
+package cc
+
+import (
+	"math"
+	"time"
+
+	"rtcadapt/internal/fb"
+	"rtcadapt/internal/stats"
+)
+
+// BBR is a simplified delivery-rate estimator in the spirit of BBR's
+// model: the bottleneck bandwidth is the windowed maximum of the measured
+// delivery rate, the propagation delay is the windowed minimum one-way
+// delay, and the target is the bandwidth estimate scaled by a pacing gain
+// that probes up periodically and backs off when the standing queue
+// grows.
+//
+// It shares the Estimator interface with GCC so experiments can compare
+// delay-gradient and delivery-rate philosophies under encoder control.
+type BBR struct {
+	target    float64
+	minRate   float64
+	maxRate   float64
+	btlbw     *stats.WindowedMax // delivery-rate samples, bits/s
+	baseDelay *stats.WindowedMin // one-way delay, seconds
+	ackMeter  *stats.RateMeter
+	lossEWMA  *stats.EWMA
+	lastOwd   float64
+
+	cycle      int
+	lastUpdate time.Duration
+	samples    int
+}
+
+// NewBBR returns a BBR-style estimator seeded at initialRate.
+func NewBBR(initialRate float64) *BBR {
+	if initialRate <= 0 {
+		initialRate = 1e6
+	}
+	return &BBR{
+		target:    initialRate,
+		minRate:   50e3,
+		maxRate:   20e6,
+		btlbw:     stats.NewWindowedMax(20), // ~1 s (~10 RTTs of feedback), as in BBR's BtlBw filter
+		baseDelay: stats.NewWindowedMin(2000),
+		ackMeter:  stats.NewRateMeter(0.5),
+		lossEWMA:  stats.NewEWMA(0.3),
+	}
+}
+
+// Name implements Estimator.
+func (b *BBR) Name() string { return "bbr" }
+
+// OnPacketResults implements Estimator.
+func (b *BBR) OnPacketResults(now time.Duration, results []fb.PacketResult) {
+	if len(results) == 0 {
+		return
+	}
+	lost, total := 0, 0
+	for i := range results {
+		r := &results[i]
+		total++
+		if r.Lost {
+			lost++
+			continue
+		}
+		b.ackMeter.Add(r.Arrival.Seconds(), float64(r.Size*8))
+		owd := (r.Arrival - r.SendTime).Seconds()
+		b.lastOwd = owd
+		b.baseDelay.Update(owd)
+	}
+	if total > 0 {
+		b.lossEWMA.Update(float64(lost) / float64(total))
+	}
+
+	// Delivery-rate sample: the acked throughput over the recent window.
+	if rate := b.ackMeter.Rate(now.Seconds()); rate > 0 {
+		b.btlbw.Update(rate)
+		b.samples++
+	}
+	if b.samples < 10 {
+		return // warm-up: hold the seed rate
+	}
+
+	bw := b.btlbw.Max()
+	if math.IsInf(bw, -1) || bw <= 0 {
+		return
+	}
+
+	// Queue signal: one-way delay above the base.
+	queue := 0.0
+	if base := b.baseDelay.Min(); !math.IsInf(base, 1) {
+		queue = b.lastOwd - base
+	}
+
+	// Pacing-gain cycle: mostly cruise just below the bandwidth
+	// estimate; probe up one interval in eight when the queue is empty;
+	// drain hard when the queue has built.
+	b.cycle = (b.cycle + 1) % 8
+	gain := 0.95
+	switch {
+	case queue > 0.05: // >50 ms standing queue: drain
+		gain = 0.8
+	case b.cycle == 0 && queue < 0.01:
+		gain = 1.25 // probe for more bandwidth
+	}
+	target := gain * bw
+
+	// Heavy loss caps the estimate as in the other estimators.
+	if loss := b.lossEWMA.Value(); loss > 0.10 {
+		target *= 1 - 0.5*loss
+	}
+	b.target = stats.Clamp(target, b.minRate, b.maxRate)
+	b.lastUpdate = now
+}
+
+// Snapshot implements Estimator.
+func (b *BBR) Snapshot(now time.Duration) Snapshot {
+	qd := time.Duration(0)
+	usage := UsageNormal
+	if base := b.baseDelay.Min(); !math.IsInf(base, 1) && b.lastOwd > base {
+		qd = time.Duration((b.lastOwd - base) * float64(time.Second))
+		if qd > 100*time.Millisecond {
+			usage = UsageOver
+		}
+	}
+	return Snapshot{
+		Target:       b.target,
+		Usage:        usage,
+		QueueDelay:   qd,
+		LossFraction: b.lossEWMA.Value(),
+		AckRate:      b.ackMeter.Rate(now.Seconds()),
+	}
+}

@@ -1,0 +1,28 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"rtcadapt/internal/fb"
+)
+
+func BenchmarkGCCFeedback(b *testing.B) {
+	g := NewGCC(GCCConfig{})
+	batch := make([]fb.PacketResult, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * 50 * time.Millisecond
+		for j := range batch {
+			send := now + time.Duration(j)*2*time.Millisecond
+			batch[j] = fb.PacketResult{
+				TransportSeq: uint32(i*20 + j),
+				Size:         1200,
+				SendTime:     send,
+				Arrival:      send + 30*time.Millisecond,
+			}
+		}
+		g.OnPacketResults(now, batch)
+	}
+}

@@ -1,0 +1,413 @@
+package cc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rtcadapt/internal/fb"
+)
+
+// linkSim is a minimal single-bottleneck model for driving estimators in
+// tests: FIFO queue, capacity function, fixed propagation delay, feedback
+// batched every 50 ms.
+type linkSim struct {
+	est      Estimator
+	capacity func(time.Duration) float64
+	prop     time.Duration
+
+	now        time.Duration
+	linkFreeAt time.Duration
+	seq        uint32
+	inFlight   []fb.PacketResult
+	nextFB     time.Duration
+}
+
+func newLinkSim(est Estimator, capacity func(time.Duration) float64) *linkSim {
+	return &linkSim{
+		est:      est,
+		capacity: capacity,
+		prop:     25 * time.Millisecond,
+		nextFB:   50 * time.Millisecond,
+	}
+}
+
+// sendAtRate sends packets pacing at rate bps for dur, delivering feedback
+// as time passes. rate may be re-read every packet via the callback.
+func (s *linkSim) run(dur time.Duration, rate func(time.Duration) float64) {
+	const pktBytes = 1200
+	end := s.now + dur
+	for s.now < end {
+		bits := float64(pktBytes * 8)
+		r := rate(s.now)
+		if r < 1e3 {
+			r = 1e3
+		}
+		// Serialize through the bottleneck.
+		txStart := s.now
+		if s.linkFreeAt > txStart {
+			txStart = s.linkFreeAt
+		}
+		cap := s.capacity(txStart)
+		txDur := time.Duration(bits / cap * float64(time.Second))
+		s.linkFreeAt = txStart + txDur
+		arrival := s.linkFreeAt + s.prop
+		s.inFlight = append(s.inFlight, fb.PacketResult{
+			TransportSeq: s.seq,
+			Size:         pktBytes,
+			SendTime:     s.now,
+			Arrival:      arrival,
+		})
+		s.seq++
+		// Advance the clock by the pacing interval.
+		s.now += time.Duration(bits / r * float64(time.Second))
+		// Deliver due feedback.
+		for s.now >= s.nextFB {
+			s.flush(s.nextFB)
+			s.nextFB += 50 * time.Millisecond
+		}
+	}
+}
+
+func (s *linkSim) flush(at time.Duration) {
+	var batch []fb.PacketResult
+	var rest []fb.PacketResult
+	for _, p := range s.inFlight {
+		if p.Arrival <= at {
+			batch = append(batch, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	s.inFlight = rest
+	if len(batch) > 0 {
+		s.est.OnPacketResults(at, batch)
+	}
+}
+
+func constCap(bps float64) func(time.Duration) float64 {
+	return func(time.Duration) float64 { return bps }
+}
+
+func TestGCCDetectsOveruse(t *testing.T) {
+	g := NewGCC(GCCConfig{InitialRate: 2e6})
+	sim := newLinkSim(g, constCap(1e6))
+	// Blast at 2 Mbps into a 1 Mbps link: the queue grows monotonically.
+	sim.run(3*time.Second, func(time.Duration) float64 { return 2e6 })
+	snap := g.Snapshot(sim.now)
+	if snap.Usage != UsageOver && snap.Target >= 1.5e6 {
+		t.Errorf("after 3s of 2x overload: usage=%v target=%.2f Mbps; expected overuse detection",
+			snap.Usage, snap.Target/1e6)
+	}
+	if snap.Target > 1.3e6 {
+		t.Errorf("target %.2f Mbps still far above 1 Mbps capacity", snap.Target/1e6)
+	}
+	if snap.QueueDelay < 50*time.Millisecond {
+		t.Errorf("queue delay %v too small for a standing queue", snap.QueueDelay)
+	}
+}
+
+func TestGCCIncreasesWhenUnderutilized(t *testing.T) {
+	g := NewGCC(GCCConfig{InitialRate: 1e6})
+	sim := newLinkSim(g, constCap(5e6))
+	// Closed loop: send at the current estimate.
+	sim.run(20*time.Second, func(now time.Duration) float64 {
+		return g.Snapshot(now).Target
+	})
+	got := g.Snapshot(sim.now).Target
+	if got < 2e6 {
+		t.Errorf("estimate grew only to %.2f Mbps in 20 s under a 5 Mbps link", got/1e6)
+	}
+	if got > 6e6 {
+		t.Errorf("estimate %.2f Mbps exceeds capacity implausibly", got/1e6)
+	}
+}
+
+func TestGCCTracksDrop(t *testing.T) {
+	// The paper's core scenario: capacity 2.5 -> 0.8 Mbps at t=10 s. GCC
+	// must pull its estimate under ~1.2x the new capacity within ~2.5 s.
+	g := NewGCC(GCCConfig{InitialRate: 2e6})
+	capacity := func(at time.Duration) float64 {
+		if at < 10*time.Second {
+			return 2.5e6
+		}
+		return 0.8e6
+	}
+	sim := newLinkSim(g, capacity)
+	sim.run(12500*time.Millisecond, func(now time.Duration) float64 {
+		return g.Snapshot(now).Target
+	})
+	got := g.Snapshot(sim.now).Target
+	if got > 1.2*0.8e6 {
+		t.Errorf("2.5 s after the drop the estimate is %.2f Mbps, want <= %.2f",
+			got/1e6, 1.2*0.8)
+	}
+}
+
+func TestGCCSteadyStateStaysNearCapacity(t *testing.T) {
+	g := NewGCC(GCCConfig{InitialRate: 1e6})
+	sim := newLinkSim(g, constCap(2e6))
+	sim.run(30*time.Second, func(now time.Duration) float64 {
+		return g.Snapshot(now).Target
+	})
+	got := g.Snapshot(sim.now).Target
+	if got < 1e6 || got > 3e6 {
+		t.Errorf("steady-state estimate %.2f Mbps not near 2 Mbps capacity", got/1e6)
+	}
+}
+
+func TestGCCLossCapping(t *testing.T) {
+	g := NewGCC(GCCConfig{InitialRate: 2e6})
+	// Hand-crafted feedback with 30% loss, smooth arrivals.
+	now := time.Duration(0)
+	for round := 0; round < 20; round++ {
+		var results []fb.PacketResult
+		for i := 0; i < 10; i++ {
+			seq := uint32(round*10 + i)
+			send := now + time.Duration(i)*5*time.Millisecond
+			if i < 3 {
+				results = append(results, fb.PacketResult{TransportSeq: seq, Size: 1200, SendTime: send, Lost: true})
+				continue
+			}
+			results = append(results, fb.PacketResult{
+				TransportSeq: seq, Size: 1200,
+				SendTime: send, Arrival: send + 30*time.Millisecond,
+			})
+		}
+		now += 50 * time.Millisecond
+		g.OnPacketResults(now, results)
+	}
+	snap := g.Snapshot(now)
+	if snap.LossFraction < 0.2 {
+		t.Errorf("loss fraction %v, want ~0.3", snap.LossFraction)
+	}
+	if snap.Target >= 2e6 {
+		t.Errorf("target %.2f Mbps did not decrease under 30%% loss", snap.Target/1e6)
+	}
+}
+
+func TestGCCEmptyResultsNoop(t *testing.T) {
+	g := NewGCC(GCCConfig{})
+	before := g.Snapshot(0).Target
+	g.OnPacketResults(time.Second, nil)
+	if after := g.Snapshot(time.Second).Target; math.Abs(after-before) > before*0.2 {
+		t.Errorf("empty feedback moved target %v -> %v", before, after)
+	}
+}
+
+func TestGCCName(t *testing.T) {
+	if NewGCC(GCCConfig{}).Name() != "gcc" {
+		t.Error("name")
+	}
+}
+
+func TestLossBasedIgnoresDelay(t *testing.T) {
+	// Loss-based keeps increasing under a growing queue as long as
+	// nothing is lost — this blindness is why it is the worst baseline.
+	l := NewLossBased(1e6)
+	sim := newLinkSim(l, constCap(0.9e6))
+	sim.run(5*time.Second, func(time.Duration) float64 { return 1e6 })
+	if got := l.Snapshot(sim.now).Target; got < 1e6 {
+		t.Errorf("loss-based decreased to %.2f Mbps without loss", got/1e6)
+	}
+}
+
+func TestLossBasedCutsOnLoss(t *testing.T) {
+	l := NewLossBased(2e6)
+	now := time.Duration(0)
+	for round := 0; round < 20; round++ {
+		var results []fb.PacketResult
+		for i := 0; i < 10; i++ {
+			seq := uint32(round*10 + i)
+			send := now + time.Duration(i)*5*time.Millisecond
+			lost := i < 2 // 20% loss
+			pr := fb.PacketResult{TransportSeq: seq, Size: 1200, SendTime: send, Lost: lost}
+			if !lost {
+				pr.Arrival = send + 30*time.Millisecond
+			}
+			results = append(results, pr)
+		}
+		now += 50 * time.Millisecond
+		l.OnPacketResults(now, results)
+	}
+	if got := l.Snapshot(now).Target; got >= 2e6 {
+		t.Errorf("loss-based target %.2f Mbps did not cut under 20%% loss", got/1e6)
+	}
+	if l.Name() != "loss-based" {
+		t.Error("name")
+	}
+}
+
+func TestOracleTracksCapacityInstantly(t *testing.T) {
+	capacity := func(at time.Duration) float64 {
+		if at < 10*time.Second {
+			return 2.5e6
+		}
+		return 0.8e6
+	}
+	o := NewOracle(capacity, 0.95)
+	if got := o.Snapshot(5 * time.Second).Target; math.Abs(got-0.95*2.5e6) > 1 {
+		t.Errorf("pre-drop oracle = %v", got)
+	}
+	if got := o.Snapshot(10 * time.Second).Target; math.Abs(got-0.95*0.8e6) > 1 {
+		t.Errorf("post-drop oracle = %v", got)
+	}
+	if o.Name() != "oracle" {
+		t.Error("name")
+	}
+}
+
+func TestOracleDefaultMargin(t *testing.T) {
+	o := NewOracle(constCap(1e6), 0)
+	if got := o.Snapshot(0).Target; math.Abs(got-0.95e6) > 1 {
+		t.Errorf("default margin target = %v, want 950000", got)
+	}
+}
+
+func TestOracleQueueDelayFromFeedback(t *testing.T) {
+	o := NewOracle(constCap(1e6), 0.95)
+	// Base delay 30 ms, then standing queue of 200 ms.
+	var results []fb.PacketResult
+	for i := 0; i < 10; i++ {
+		send := time.Duration(i) * 10 * time.Millisecond
+		results = append(results, fb.PacketResult{TransportSeq: uint32(i), Size: 1200, SendTime: send, Arrival: send + 30*time.Millisecond})
+	}
+	o.OnPacketResults(100*time.Millisecond, results)
+	results = nil
+	for i := 10; i < 20; i++ {
+		send := time.Duration(i) * 10 * time.Millisecond
+		results = append(results, fb.PacketResult{TransportSeq: uint32(i), Size: 1200, SendTime: send, Arrival: send + 230*time.Millisecond})
+	}
+	o.OnPacketResults(400*time.Millisecond, results)
+	qd := o.Snapshot(400 * time.Millisecond).QueueDelay
+	if qd < 150*time.Millisecond || qd > 250*time.Millisecond {
+		t.Errorf("queue delay %v, want ~200ms", qd)
+	}
+}
+
+func TestUsageString(t *testing.T) {
+	if UsageNormal.String() != "normal" || UsageOver.String() != "overuse" ||
+		UsageUnder.String() != "underuse" || Usage(9).String() != "unknown" {
+		t.Error("usage strings")
+	}
+}
+
+func TestBBRConvergesToCapacity(t *testing.T) {
+	b := NewBBR(1e6)
+	sim := newLinkSim(b, constCap(3e6))
+	sim.run(20*time.Second, func(now time.Duration) float64 {
+		return b.Snapshot(now).Target
+	})
+	got := b.Snapshot(sim.now).Target
+	if got < 1.5e6 || got > 4e6 {
+		t.Errorf("BBR estimate %.2f Mbps under a 3 Mbps link", got/1e6)
+	}
+}
+
+func TestBBRTracksDrop(t *testing.T) {
+	b := NewBBR(2e6)
+	capacity := func(at time.Duration) float64 {
+		if at < 10*time.Second {
+			return 2.5e6
+		}
+		return 0.8e6
+	}
+	sim := newLinkSim(b, capacity)
+	sim.run(15*time.Second, func(now time.Duration) float64 {
+		return b.Snapshot(now).Target
+	})
+	got := b.Snapshot(sim.now).Target
+	// The 10 s windowed-max filter means BBR forgets the old bandwidth
+	// within its window; 5 s after the drop the queue-drain gain must
+	// already have pulled the target well below the old capacity.
+	if got > 1.5e6 {
+		t.Errorf("BBR estimate %.2f Mbps 5 s after drop to 0.8 Mbps", got/1e6)
+	}
+}
+
+func TestBBRWarmupHoldsSeed(t *testing.T) {
+	b := NewBBR(1.5e6)
+	if got := b.Snapshot(0).Target; got != 1.5e6 {
+		t.Errorf("pre-feedback target %v", got)
+	}
+	if b.Name() != "bbr" {
+		t.Error("name")
+	}
+}
+
+func TestBBREmptyFeedbackNoop(t *testing.T) {
+	b := NewBBR(1e6)
+	before := b.Snapshot(0).Target
+	b.OnPacketResults(time.Second, nil)
+	if after := b.Snapshot(time.Second).Target; after != before {
+		t.Errorf("empty feedback moved target %v -> %v", before, after)
+	}
+}
+
+func TestGCCRecoversAfterDrain(t *testing.T) {
+	// Overload briefly, then run closed-loop: once the standing queue
+	// drains the state machine must exit Decrease and grow the estimate
+	// off its trough.
+	g := NewGCC(GCCConfig{InitialRate: 2e6})
+	sim := newLinkSim(g, constCap(1e6))
+	sim.run(1500*time.Millisecond, func(time.Duration) float64 { return 2e6 })
+	trough := g.Snapshot(sim.now).Target
+	for i := 0; i < 30; i++ { // 15 s closed loop, tracking the trough
+		sim.run(500*time.Millisecond, func(now time.Duration) float64 {
+			return g.Snapshot(now).Target
+		})
+		if cur := g.Snapshot(sim.now).Target; cur < trough {
+			trough = cur
+		}
+	}
+	end := g.Snapshot(sim.now).Target
+	if end < trough*1.2 {
+		t.Errorf("estimate did not grow off its trough: trough %.2f, end %.2f Mbps",
+			trough/1e6, end/1e6)
+	}
+	if end > 1.3e6 {
+		t.Errorf("estimate %.2f Mbps overshot 1 Mbps capacity", end/1e6)
+	}
+}
+
+func TestGCCThresholdBounded(t *testing.T) {
+	g := NewGCC(GCCConfig{InitialRate: 1e6})
+	// Feed pathological jitter for a while; the adaptive threshold must
+	// stay within libwebrtc's [6, 600] ms clamp.
+	now := time.Duration(0)
+	for round := 0; round < 400; round++ {
+		var results []fb.PacketResult
+		for i := 0; i < 5; i++ {
+			seq := uint32(round*5 + i)
+			send := now + time.Duration(i)*8*time.Millisecond
+			jit := time.Duration((round%17)*(i%3)) * 7 * time.Millisecond
+			results = append(results, fb.PacketResult{
+				TransportSeq: seq, Size: 1200,
+				SendTime: send, Arrival: send + 30*time.Millisecond + jit,
+			})
+		}
+		now += 50 * time.Millisecond
+		g.OnPacketResults(now, results)
+		if g.threshold < 6-1e-9 || g.threshold > 600+1e-9 {
+			t.Fatalf("threshold %v escaped [6,600]", g.threshold)
+		}
+	}
+}
+
+func TestSnapshotFieldsPopulated(t *testing.T) {
+	g := NewGCC(GCCConfig{InitialRate: 1e6})
+	sim := newLinkSim(g, constCap(2e6))
+	sim.run(5*time.Second, func(now time.Duration) float64 {
+		return g.Snapshot(now).Target
+	})
+	snap := g.Snapshot(sim.now)
+	if snap.AckRate <= 0 {
+		t.Error("AckRate not populated")
+	}
+	if snap.Target <= 0 {
+		t.Error("Target not populated")
+	}
+	if snap.QueueDelay < 0 {
+		t.Error("negative queue delay")
+	}
+}

@@ -1,0 +1,67 @@
+// Package cc implements sender-side bandwidth estimation. The primary
+// estimator is GCC, a faithful reduction of Google Congestion Control as
+// deployed in libwebrtc: inter-group delay gradients, a trendline slope
+// filter, an adaptive-threshold overuse detector, and an AIMD rate
+// controller combined with loss-based capping. A loss-only estimator and a
+// capacity oracle (for upper-bound ablations) share the same interface.
+package cc
+
+import (
+	"time"
+
+	"rtcadapt/internal/fb"
+)
+
+// Usage is the overuse detector's verdict on the bottleneck queue.
+type Usage int
+
+// Usage values.
+const (
+	// UsageNormal: delay gradient within threshold.
+	UsageNormal Usage = iota
+	// UsageOver: queue is building (sustained positive delay gradient).
+	UsageOver
+	// UsageUnder: queue is draining.
+	UsageUnder
+)
+
+// String returns the usage mnemonic.
+func (u Usage) String() string {
+	switch u {
+	case UsageNormal:
+		return "normal"
+	case UsageOver:
+		return "overuse"
+	case UsageUnder:
+		return "underuse"
+	}
+	return "unknown"
+}
+
+// Snapshot is the estimator's externally visible state at a point in time.
+// The adaptive encoder controller consumes Snapshots.
+type Snapshot struct {
+	// Target is the estimated safe send rate in bits/s.
+	Target float64
+	// Usage is the current overuse verdict.
+	Usage Usage
+	// QueueDelay is the estimated standing queue delay at the
+	// bottleneck (one-way delay above the observed base).
+	QueueDelay time.Duration
+	// LossFraction is the recent loss fraction.
+	LossFraction float64
+	// AckRate is the measured acknowledged throughput in bits/s (zero
+	// until enough feedback has arrived).
+	AckRate float64
+}
+
+// Estimator consumes per-packet feedback and produces rate estimates.
+type Estimator interface {
+	// OnPacketResults folds in a batch of feedback results. now is the
+	// sender-clock time the feedback was processed.
+	OnPacketResults(now time.Duration, results []fb.PacketResult)
+	// Snapshot returns the current estimate.
+	Snapshot(now time.Duration) Snapshot
+	// Name identifies the estimator in experiment output.
+	Name() string
+}

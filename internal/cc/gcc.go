@@ -1,0 +1,326 @@
+package cc
+
+import (
+	"math"
+	"time"
+
+	"rtcadapt/internal/fb"
+	"rtcadapt/internal/stats"
+)
+
+// GCCConfig parameterizes the GCC estimator. Defaults follow the published
+// algorithm and libwebrtc's implementation.
+type GCCConfig struct {
+	// InitialRate seeds the estimate. Default 1 Mbps.
+	InitialRate float64
+	// MinRate and MaxRate bound the estimate. Defaults 50 kbps, 20 Mbps.
+	MinRate, MaxRate float64
+	// Beta is the multiplicative decrease factor applied to the
+	// acknowledged rate on overuse. Default 0.85.
+	Beta float64
+	// TrendlineWindow is the number of delay-gradient samples in the
+	// slope regression. Default 20.
+	TrendlineWindow int
+	// ThresholdGain scales the regression slope before threshold
+	// comparison (libwebrtc threshold_gain). Default 4.
+	ThresholdGain float64
+	// GroupSpan is the burst-grouping window on send timestamps.
+	// Default 5 ms.
+	GroupSpan time.Duration
+	// IncreaseFactor is the multiplicative increase rate per second in
+	// the Increase state. Default 1.08.
+	IncreaseFactor float64
+}
+
+func (c *GCCConfig) defaults() {
+	if c.InitialRate == 0 {
+		c.InitialRate = 1e6
+	}
+	if c.MinRate == 0 {
+		c.MinRate = 50e3
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = 20e6
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.85
+	}
+	if c.TrendlineWindow == 0 {
+		c.TrendlineWindow = 20
+	}
+	if c.ThresholdGain == 0 {
+		c.ThresholdGain = 4
+	}
+	if c.GroupSpan == 0 {
+		c.GroupSpan = 5 * time.Millisecond
+	}
+	if c.IncreaseFactor == 0 {
+		c.IncreaseFactor = 1.08
+	}
+}
+
+// rate-control states of the AIMD controller.
+type rcState int
+
+const (
+	rcHold rcState = iota
+	rcIncrease
+	rcDecrease
+)
+
+// GCC is the delay-gradient bandwidth estimator. Not safe for concurrent
+// use.
+type GCC struct {
+	cfg GCCConfig
+
+	// Inter-group delay measurement.
+	curGroup, prevGroup packetGroup
+	accDelay            float64 // accumulated delay gradient, ms
+	smoothDelay         float64
+	numDeltas           int
+	trend               *stats.LinReg
+	firstArrival        time.Duration
+
+	// Adaptive threshold (libwebrtc: K_u, K_d).
+	threshold    float64 // ms
+	lastUpdateMs float64
+
+	// Overuse detection hysteresis.
+	overuseCount int
+	usage        Usage
+
+	// AIMD.
+	state      rcState
+	target     float64
+	lastChange time.Duration
+
+	// Inputs.
+	ackMeter  *stats.RateMeter
+	lossEWMA  *stats.EWMA
+	baseDelay *stats.WindowedMin
+	lastOwd   float64 // seconds
+
+	resultCount int
+}
+
+type packetGroup struct {
+	valid         bool
+	firstSend     time.Duration
+	lastSend      time.Duration
+	lastArrival   time.Duration
+	completeCount int
+}
+
+// NewGCC returns a GCC estimator.
+func NewGCC(cfg GCCConfig) *GCC {
+	cfg.defaults()
+	return &GCC{
+		cfg:       cfg,
+		trend:     stats.NewLinReg(cfg.TrendlineWindow),
+		threshold: 12.5, // libwebrtc initial threshold, ms
+		target:    cfg.InitialRate,
+		state:     rcIncrease,
+		ackMeter:  stats.NewRateMeter(0.5),
+		lossEWMA:  stats.NewEWMA(0.3),
+		baseDelay: stats.NewWindowedMin(2000),
+	}
+}
+
+// Name implements Estimator.
+func (g *GCC) Name() string { return "gcc" }
+
+// OnPacketResults implements Estimator.
+func (g *GCC) OnPacketResults(now time.Duration, results []fb.PacketResult) {
+	if len(results) == 0 {
+		// No new information: hold the estimate. Acting on empty
+		// feedback would let a stale overuse verdict drag the target
+		// to the floor while nothing is being sent.
+		return
+	}
+	lost, total := 0, 0
+	for i := range results {
+		r := &results[i]
+		total++
+		if r.Lost {
+			lost++
+			continue
+		}
+		g.resultCount++
+		g.ackMeter.Add(r.Arrival.Seconds(), float64(r.Size*8))
+		owd := (r.Arrival - r.SendTime).Seconds()
+		g.lastOwd = owd
+		g.baseDelay.Update(owd)
+		g.onArrival(r.SendTime, r.Arrival)
+	}
+	if total > 0 {
+		g.lossEWMA.Update(float64(lost) / float64(total))
+	}
+	g.updateRate(now)
+}
+
+// onArrival runs inter-group delay-gradient accounting for one delivered
+// packet.
+func (g *GCC) onArrival(sendTime, arrival time.Duration) {
+	if g.firstArrival == 0 {
+		g.firstArrival = arrival
+	}
+	if !g.curGroup.valid {
+		g.curGroup = packetGroup{valid: true, firstSend: sendTime, lastSend: sendTime, lastArrival: arrival}
+		return
+	}
+	// A new group starts when the send time advances past the group span.
+	if sendTime-g.curGroup.firstSend > g.cfg.GroupSpan {
+		if g.prevGroup.valid {
+			sendDelta := (g.curGroup.lastSend - g.prevGroup.lastSend).Seconds() * 1000
+			arrDelta := (g.curGroup.lastArrival - g.prevGroup.lastArrival).Seconds() * 1000
+			delta := arrDelta - sendDelta // ms; positive = queue building
+			g.numDeltas++
+			g.accDelay += delta
+			g.smoothDelay = 0.9*g.smoothDelay + 0.1*g.accDelay
+			x := (g.curGroup.lastArrival - g.firstArrival).Seconds() * 1000
+			g.trend.Add(x, g.smoothDelay)
+			g.detect(delta)
+		}
+		g.prevGroup = g.curGroup
+		g.curGroup = packetGroup{valid: true, firstSend: sendTime, lastSend: sendTime, lastArrival: arrival}
+		return
+	}
+	if sendTime > g.curGroup.lastSend {
+		g.curGroup.lastSend = sendTime
+	}
+	if arrival > g.curGroup.lastArrival {
+		g.curGroup.lastArrival = arrival
+	}
+}
+
+// detect updates the overuse verdict from the trendline slope against the
+// adaptive threshold.
+func (g *GCC) detect(latestDeltaMs float64) {
+	slope, ok := g.trend.Slope()
+	if !ok {
+		return
+	}
+	n := float64(g.numDeltas)
+	if n > 60 {
+		n = 60
+	}
+	modified := slope * n * g.cfg.ThresholdGain
+
+	switch {
+	case modified > g.threshold:
+		g.overuseCount++
+		if g.overuseCount >= 2 { // require persistence, as libwebrtc does
+			g.usage = UsageOver
+		}
+	case modified < -g.threshold:
+		g.usage = UsageUnder
+		g.overuseCount = 0
+	default:
+		g.usage = UsageNormal
+		g.overuseCount = 0
+	}
+
+	// Adaptive threshold update (libwebrtc K_u=0.0087, K_d=0.039),
+	// clamped to [6, 600] ms.
+	k := 0.0087
+	if math.Abs(modified) < g.threshold {
+		k = 0.039
+	}
+	g.threshold += k * (math.Abs(modified) - g.threshold)
+	g.threshold = stats.Clamp(g.threshold, 6, 600)
+	_ = latestDeltaMs
+}
+
+// updateRate runs the AIMD controller.
+func (g *GCC) updateRate(now time.Duration) {
+	ack := g.ackMeter.Rate(now.Seconds())
+	dt := (now - g.lastChange).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	if dt > 1 {
+		dt = 1
+	}
+
+	switch g.usage {
+	case UsageOver:
+		// Decrease to beta * acknowledged rate: the queue is building,
+		// so the ack rate reflects true capacity. While overuse
+		// persists, keep decreasing at most every 200 ms (libwebrtc
+		// decreases about once per RTT during sustained overuse).
+		if g.state != rcDecrease || now-g.lastChange > 200*time.Millisecond {
+			base := ack
+			if base <= 0 || g.resultCount < 10 {
+				base = g.target
+			}
+			next := stats.Clamp(g.cfg.Beta*base, g.cfg.MinRate, g.cfg.MaxRate)
+			if next < g.target {
+				g.target = next
+			} else {
+				g.target = stats.Clamp(g.cfg.Beta*g.target, g.cfg.MinRate, g.cfg.MaxRate)
+			}
+			g.lastChange = now
+		}
+		g.state = rcDecrease
+	case UsageUnder:
+		// Hold while the queue drains.
+		g.state = rcHold
+		g.lastChange = now
+	default: // UsageNormal
+		if g.state == rcDecrease || g.state == rcHold {
+			g.state = rcIncrease
+			g.lastChange = now
+			break
+		}
+		// Increase multiplicatively, capped near the acknowledged rate
+		// so the estimate cannot run away from reality.
+		grow := math.Pow(g.cfg.IncreaseFactor, dt)
+		next := g.target * grow
+		if ack > 0 && g.resultCount >= 10 {
+			if lim := 1.5*ack + 50e3; next > lim {
+				next = lim
+			}
+		}
+		if next > g.target {
+			g.target = stats.Clamp(next, g.cfg.MinRate, g.cfg.MaxRate)
+			g.lastChange = now
+		}
+	}
+
+	// Loss-based capping (GCC's loss controller): heavy loss overrides
+	// the delay-based estimate downward.
+	if loss := g.lossEWMA.Value(); loss > 0.10 {
+		capped := g.target * (1 - 0.5*loss)
+		if capped < g.target {
+			g.target = stats.Clamp(capped, g.cfg.MinRate, g.cfg.MaxRate)
+		}
+	}
+}
+
+// ApplyProbe folds a probe-cluster delivery-rate measurement into the
+// estimate (libwebrtc's ProbeBitrateEstimator path): a cluster that was
+// delivered at rate bps without queue growth proves capacity, so the
+// target jumps there immediately instead of waiting for multiplicative
+// increase. Only upward moves are applied.
+func (g *GCC) ApplyProbe(bps float64) {
+	proven := 0.89 * bps // libwebrtc applies a safety factor to probe results
+	if proven > g.target {
+		g.target = stats.Clamp(proven, g.cfg.MinRate, g.cfg.MaxRate)
+	}
+}
+
+// Snapshot implements Estimator.
+func (g *GCC) Snapshot(now time.Duration) Snapshot {
+	qd := time.Duration(0)
+	base := g.baseDelay.Min()
+	if !math.IsInf(base, 1) && g.lastOwd > base {
+		qd = time.Duration((g.lastOwd - base) * float64(time.Second))
+	}
+	return Snapshot{
+		Target:       g.target,
+		Usage:        g.usage,
+		QueueDelay:   qd,
+		LossFraction: g.lossEWMA.Value(),
+		AckRate:      g.ackMeter.Rate(now.Seconds()),
+	}
+}

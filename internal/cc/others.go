@@ -1,0 +1,161 @@
+package cc
+
+import (
+	"math"
+	"time"
+
+	"rtcadapt/internal/fb"
+	"rtcadapt/internal/stats"
+)
+
+// LossBased is a loss-only AIMD estimator (no delay signal), the classic
+// pre-GCC behaviour: increase slowly while loss is low, cut on loss. It
+// reacts to bandwidth drops only after the queue overflows, which makes it
+// a useful worst-case baseline.
+type LossBased struct {
+	target           float64
+	minRate, maxRate float64
+	lossEWMA         *stats.EWMA
+	ackMeter         *stats.RateMeter
+	lastUpdate       time.Duration
+	lastOwd          float64
+	baseDelay        *stats.WindowedMin
+}
+
+// NewLossBased returns a loss-based estimator seeded at initialRate.
+func NewLossBased(initialRate float64) *LossBased {
+	if initialRate <= 0 {
+		initialRate = 1e6
+	}
+	return &LossBased{
+		target:    initialRate,
+		minRate:   50e3,
+		maxRate:   20e6,
+		lossEWMA:  stats.NewEWMA(0.3),
+		ackMeter:  stats.NewRateMeter(0.5),
+		baseDelay: stats.NewWindowedMin(2000),
+	}
+}
+
+// Name implements Estimator.
+func (l *LossBased) Name() string { return "loss-based" }
+
+// OnPacketResults implements Estimator.
+func (l *LossBased) OnPacketResults(now time.Duration, results []fb.PacketResult) {
+	lost, total := 0, 0
+	for i := range results {
+		r := &results[i]
+		total++
+		if r.Lost {
+			lost++
+			continue
+		}
+		l.ackMeter.Add(r.Arrival.Seconds(), float64(r.Size*8))
+		owd := (r.Arrival - r.SendTime).Seconds()
+		l.lastOwd = owd
+		l.baseDelay.Update(owd)
+	}
+	if total == 0 {
+		return
+	}
+	l.lossEWMA.Update(float64(lost) / float64(total))
+	loss := l.lossEWMA.Value()
+	dt := (now - l.lastUpdate).Seconds()
+	l.lastUpdate = now
+	if dt <= 0 || dt > 1 {
+		dt = 0.05
+	}
+	switch {
+	case loss > 0.10:
+		l.target *= 1 - 0.5*loss
+	case loss < 0.02:
+		l.target *= math.Pow(1.05, dt)
+	}
+	l.target = stats.Clamp(l.target, l.minRate, l.maxRate)
+}
+
+// Snapshot implements Estimator.
+func (l *LossBased) Snapshot(now time.Duration) Snapshot {
+	qd := time.Duration(0)
+	base := l.baseDelay.Min()
+	if !math.IsInf(base, 1) && l.lastOwd > base {
+		qd = time.Duration((l.lastOwd - base) * float64(time.Second))
+	}
+	return Snapshot{
+		Target:       l.target,
+		Usage:        UsageNormal,
+		QueueDelay:   qd,
+		LossFraction: l.lossEWMA.Value(),
+		AckRate:      l.ackMeter.Rate(now.Seconds()),
+	}
+}
+
+// CapacityFunc returns the true bottleneck capacity in bits/s at a given
+// time. The netem link's trace satisfies this.
+type CapacityFunc func(at time.Duration) float64
+
+// Oracle is an estimator that reads the true capacity, scaled by a margin.
+// It bounds what any real estimator could achieve and is used in the
+// figure-3 ablation.
+type Oracle struct {
+	capacity CapacityFunc
+	margin   float64
+	ackMeter *stats.RateMeter
+	lastOwd  float64
+	base     *stats.WindowedMin
+	loss     *stats.EWMA
+}
+
+// NewOracle returns an oracle applying margin (e.g. 0.95) to the true
+// capacity from fn.
+func NewOracle(fn CapacityFunc, margin float64) *Oracle {
+	if margin <= 0 || margin > 1 {
+		margin = 0.95
+	}
+	return &Oracle{
+		capacity: fn,
+		margin:   margin,
+		ackMeter: stats.NewRateMeter(0.5),
+		base:     stats.NewWindowedMin(2000),
+		loss:     stats.NewEWMA(0.3),
+	}
+}
+
+// Name implements Estimator.
+func (o *Oracle) Name() string { return "oracle" }
+
+// OnPacketResults implements Estimator.
+func (o *Oracle) OnPacketResults(now time.Duration, results []fb.PacketResult) {
+	lost, total := 0, 0
+	for i := range results {
+		r := &results[i]
+		total++
+		if r.Lost {
+			lost++
+			continue
+		}
+		o.ackMeter.Add(r.Arrival.Seconds(), float64(r.Size*8))
+		owd := (r.Arrival - r.SendTime).Seconds()
+		o.lastOwd = owd
+		o.base.Update(owd)
+	}
+	if total > 0 {
+		o.loss.Update(float64(lost) / float64(total))
+	}
+}
+
+// Snapshot implements Estimator.
+func (o *Oracle) Snapshot(now time.Duration) Snapshot {
+	qd := time.Duration(0)
+	base := o.base.Min()
+	if !math.IsInf(base, 1) && o.lastOwd > base {
+		qd = time.Duration((o.lastOwd - base) * float64(time.Second))
+	}
+	return Snapshot{
+		Target:       o.margin * o.capacity(now),
+		Usage:        UsageNormal,
+		QueueDelay:   qd,
+		LossFraction: o.loss.Value(),
+		AckRate:      o.ackMeter.Rate(now.Seconds()),
+	}
+}

@@ -1,0 +1,30 @@
+package codec
+
+import (
+	"testing"
+
+	"rtcadapt/internal/video"
+)
+
+func BenchmarkEncode(b *testing.B) {
+	enc := NewEncoder(Config{TargetBitrate: 2e6, Seed: 1})
+	src := video.NewSource(video.SourceConfig{Class: video.Gaming, Seed: 2})
+	frames := src.Take(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(frames[i%len(frames)], Directives{})
+	}
+}
+
+func BenchmarkEncodeWithDirectives(b *testing.B) {
+	enc := NewEncoder(Config{TargetBitrate: 2e6, Seed: 1})
+	src := video.NewSource(video.SourceConfig{Class: video.Gaming, Seed: 2})
+	frames := src.Take(1024)
+	d := Directives{TargetBitrate: 1e6, MinQPFloor: 32, FrameSizeCapBytes: 4000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(frames[i%len(frames)], d)
+	}
+}

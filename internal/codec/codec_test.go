@@ -1,0 +1,583 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rtcadapt/internal/video"
+)
+
+func TestQPQscaleRoundTrip(t *testing.T) {
+	for qp := 0.0; qp <= 51; qp += 0.5 {
+		got := QscaleToQP(QPToQscale(qp))
+		if math.Abs(got-qp) > 1e-9 {
+			t.Fatalf("round trip QP %v -> %v", qp, got)
+		}
+	}
+}
+
+func TestQPToQscaleKnownValues(t *testing.T) {
+	// qp2qscale(12) = 0.85 by construction; +6 QP doubles qscale.
+	if got := QPToQscale(12); math.Abs(got-0.85) > 1e-12 {
+		t.Errorf("QPToQscale(12) = %v, want 0.85", got)
+	}
+	if got := QPToQscale(18) / QPToQscale(12); math.Abs(got-2) > 1e-12 {
+		t.Errorf("+6 QP should double qscale, ratio = %v", got)
+	}
+}
+
+func TestPredictBitsMonotonicity(t *testing.T) {
+	// Higher QP (coarser quantizer) must produce fewer bits.
+	prev := math.Inf(1)
+	for qp := 10.0; qp <= 50; qp++ {
+		bits := PredictBits(5000, QPToQscale(qp))
+		if bits >= prev {
+			t.Fatalf("bits not decreasing at QP %v: %v >= %v", qp, bits, prev)
+		}
+		prev = bits
+	}
+}
+
+func TestQscaleForBitsInverse(t *testing.T) {
+	f := func(cplxRaw, bitsRaw uint16) bool {
+		cplx := 100 + float64(cplxRaw)
+		bits := 1000 + float64(bitsRaw)
+		qs := QscaleForBits(cplx, bits)
+		return math.Abs(PredictBits(cplx, qs)-bits) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateSSIMShape(t *testing.T) {
+	// Monotone decreasing in QP.
+	prev := 2.0
+	for qp := 10.0; qp <= 51; qp++ {
+		s := EstimateSSIM(qp, 0.2)
+		if s > prev {
+			t.Fatalf("SSIM increased with QP at %v", qp)
+		}
+		if s < 0.3 || s > 1 {
+			t.Fatalf("SSIM %v out of [0.3,1] at QP %v", s, qp)
+		}
+		prev = s
+	}
+	// More motion hurts at the same QP.
+	if EstimateSSIM(30, 0.8) >= EstimateSSIM(30, 0.1) {
+		t.Error("higher motion should reduce SSIM at equal QP")
+	}
+	// Calibration sanity: around 0.97 at QP 30 for low motion.
+	if s := EstimateSSIM(30, 0.1); s < 0.95 || s > 0.99 {
+		t.Errorf("SSIM(30, low motion) = %v, want ~0.97", s)
+	}
+}
+
+func TestSkipSSIMPenalty(t *testing.T) {
+	if SkipSSIM(0.97, 0.5) >= SkipSSIM(0.97, 0.05) {
+		t.Error("skipping a high-motion frame should cost more")
+	}
+	if got := SkipSSIM(0.97, 0); got >= 0.97 {
+		t.Errorf("skip should always cost something, got %v", got)
+	}
+	if got := SkipSSIM(0.1, 1); got < 0.45 {
+		t.Errorf("SkipSSIM must clamp at its floor, got %v", got)
+	}
+}
+
+func frames(class video.Class, seed int64, n int) []video.Frame {
+	return video.NewSource(video.SourceConfig{Class: class, Seed: seed}).Take(n)
+}
+
+func TestEncoderHitsTargetBitrate(t *testing.T) {
+	for _, class := range []video.Class{video.TalkingHead, video.Gaming} {
+		for _, target := range []float64{0.5e6, 1e6, 2.5e6} {
+			enc := NewEncoder(Config{TargetBitrate: target, Seed: 1})
+			var bits float64
+			const n = 600 // 20 s at 30 fps
+			for _, f := range frames(class, 2, n) {
+				bits += float64(enc.Encode(f, Directives{}).Bits)
+			}
+			rate := bits / (float64(n) / 30.0)
+			if rate < 0.85*target || rate > 1.15*target {
+				t.Errorf("%v @ %.1f Mbps: achieved %.2f Mbps (want within 15%%)",
+					class, target/1e6, rate/1e6)
+			}
+		}
+	}
+}
+
+func TestEncoderFirstFrameIsKeyframe(t *testing.T) {
+	enc := NewEncoder(Config{Seed: 1})
+	f := enc.Encode(frames(video.TalkingHead, 1, 1)[0], Directives{})
+	if f.Type != TypeI {
+		t.Errorf("first frame type = %v, want I", f.Type)
+	}
+}
+
+func TestEncoderGOP(t *testing.T) {
+	enc := NewEncoder(Config{KeyintMax: 30, DisableSceneCut: true, Seed: 1})
+	var iFrames []int
+	for i, f := range frames(video.TalkingHead, 1, 91) {
+		if enc.Encode(f, Directives{}).Type == TypeI {
+			iFrames = append(iFrames, i)
+		}
+	}
+	want := []int{0, 30, 60, 90}
+	if len(iFrames) != len(want) {
+		t.Fatalf("I-frames at %v, want %v", iFrames, want)
+	}
+	for i := range want {
+		if iFrames[i] != want[i] {
+			t.Fatalf("I-frames at %v, want %v", iFrames, want)
+		}
+	}
+}
+
+func TestEncoderInfiniteGOPByDefault(t *testing.T) {
+	enc := NewEncoder(Config{DisableSceneCut: true, Seed: 1})
+	n := 0
+	for _, f := range frames(video.TalkingHead, 1, 300) {
+		if enc.Encode(f, Directives{}).Type == TypeI {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("infinite GOP encoded %d I-frames, want 1", n)
+	}
+}
+
+func TestSceneCutKeyframeAndSuppression(t *testing.T) {
+	mk := func() video.Frame {
+		return video.Frame{Index: 1, Spatial: 10000, Temporal: 9500, SceneCut: true}
+	}
+	enc := NewEncoder(Config{Seed: 1})
+	enc.Encode(video.Frame{Spatial: 10000, Temporal: 1000}, Directives{}) // frame 0
+	if got := enc.Encode(mk(), Directives{}); got.Type != TypeI {
+		t.Errorf("scene cut coded as %v, want I", got.Type)
+	}
+
+	enc2 := NewEncoder(Config{Seed: 1})
+	enc2.Encode(video.Frame{Spatial: 10000, Temporal: 1000}, Directives{})
+	if got := enc2.Encode(mk(), Directives{ForbidKeyframe: true}); got.Type != TypeP {
+		t.Errorf("suppressed scene cut coded as %v, want P", got.Type)
+	}
+}
+
+func TestForceKeyframe(t *testing.T) {
+	enc := NewEncoder(Config{DisableSceneCut: true, Seed: 1})
+	fs := frames(video.TalkingHead, 1, 3)
+	enc.Encode(fs[0], Directives{})
+	enc.Encode(fs[1], Directives{})
+	if got := enc.Encode(fs[2], Directives{ForceKeyframe: true}); got.Type != TypeI {
+		t.Errorf("forced keyframe type = %v", got.Type)
+	}
+}
+
+func TestIFramesLargerThanP(t *testing.T) {
+	enc := NewEncoder(Config{TargetBitrate: 1e6, NoiseCV: -1, Seed: 1})
+	var iBits, pBits, iN, pN float64
+	for _, f := range frames(video.TalkingHead, 3, 300) {
+		ef := enc.Encode(f, Directives{ForceKeyframe: f.Index%60 == 0})
+		if ef.Type == TypeI {
+			iBits += float64(ef.Bits)
+			iN++
+		} else {
+			pBits += float64(ef.Bits)
+			pN++
+		}
+	}
+	if iN == 0 || pN == 0 {
+		t.Fatal("missing frame types")
+	}
+	if iBits/iN < 2*(pBits/pN) {
+		t.Errorf("I frames (%.0f bits avg) should be much larger than P (%.0f)", iBits/iN, pBits/pN)
+	}
+}
+
+func TestSkipDirective(t *testing.T) {
+	enc := NewEncoder(Config{Seed: 1})
+	fs := frames(video.Gaming, 1, 2)
+	enc.Encode(fs[0], Directives{})
+	before := enc.lastSSIM
+	got := enc.Encode(fs[1], Directives{Skip: true})
+	if got.Type != TypeSkip || got.Bits != 0 {
+		t.Errorf("skip output = %+v", got)
+	}
+	if got.SSIM >= before {
+		t.Error("skip should reduce displayed SSIM")
+	}
+}
+
+func TestMinQPFloorBypassesStepLimit(t *testing.T) {
+	enc := NewEncoder(Config{TargetBitrate: 2e6, MaxQPStep: 4, NoiseCV: -1, Seed: 1})
+	fs := frames(video.TalkingHead, 1, 20)
+	for _, f := range fs[:10] {
+		enc.Encode(f, Directives{})
+	}
+	qpBefore := enc.LastQP()
+	got := enc.Encode(fs[10], Directives{MinQPFloor: qpBefore + 15})
+	if got.QP < qpBefore+15 {
+		t.Errorf("QP floor not honored: %d < %d", got.QP, qpBefore+15)
+	}
+}
+
+func TestStepLimitWithoutDirective(t *testing.T) {
+	enc := NewEncoder(Config{TargetBitrate: 2e6, MaxQPStep: 4, NoiseCV: -1, Seed: 1})
+	fs := frames(video.TalkingHead, 1, 30)
+	for _, f := range fs[:10] {
+		enc.Encode(f, Directives{})
+	}
+	prev := enc.LastQP()
+	// Crash the target: native RC may only move QP by MaxQPStep per frame.
+	enc.SetTargetBitrate(0.2e6)
+	for _, f := range fs[10:] {
+		got := enc.Encode(f, Directives{})
+		if got.QP > prev+4 {
+			t.Fatalf("QP jumped %d -> %d, step limit 4", prev, got.QP)
+		}
+		prev = got.QP
+	}
+}
+
+func TestFrameSizeCap(t *testing.T) {
+	enc := NewEncoder(Config{TargetBitrate: 3e6, Seed: 1})
+	// A huge scene-cut frame with a tight cap.
+	enc.Encode(video.Frame{Spatial: 20000, Temporal: 2000}, Directives{})
+	got := enc.Encode(
+		video.Frame{Index: 1, Spatial: 20000, Temporal: 19000, SceneCut: true},
+		Directives{FrameSizeCapBytes: 2000},
+	)
+	if got.Bytes() > 2000 {
+		t.Errorf("frame size %d bytes exceeds 2000-byte cap", got.Bytes())
+	}
+}
+
+func TestVBVReinit(t *testing.T) {
+	enc := NewEncoder(Config{TargetBitrate: 1e6, Seed: 1})
+	if enc.VBVFill() != enc.VBVSize() {
+		t.Fatal("VBV should start full")
+	}
+	fs := frames(video.TalkingHead, 1, 2)
+	enc.Encode(fs[0], Directives{})
+	enc.Encode(fs[1], Directives{ReinitVBV: true, VBVFillFraction: 0.25})
+	// After the reinit+encode the fill must be well below the pre-reinit
+	// level: at most 0.25*size + one frame budget.
+	limit := 0.25*enc.VBVSize() + enc.FrameBudget()
+	if enc.VBVFill() > limit {
+		t.Errorf("VBV fill %v after reinit, want <= %v", enc.VBVFill(), limit)
+	}
+}
+
+func TestRetargetConvergenceIsSlow(t *testing.T) {
+	// The phenomenon under study: after SetTargetBitrate to 40% of the
+	// original, native rate control keeps overshooting for a while. The
+	// first few frames after the drop must still be sized well above the
+	// new per-frame budget.
+	enc := NewEncoder(Config{TargetBitrate: 2.5e6, NoiseCV: -1, Seed: 1})
+	src := video.NewSource(video.SourceConfig{Class: video.TalkingHead, Seed: 2})
+	for i := 0; i < 150; i++ {
+		enc.Encode(src.Next(), Directives{})
+	}
+	enc.SetTargetBitrate(1e6)
+	newBudget := 1e6 / 30
+	var early float64
+	for i := 0; i < 5; i++ {
+		early += float64(enc.Encode(src.Next(), Directives{}).Bits)
+	}
+	if early/5 < 1.2*newBudget {
+		t.Errorf("native RC adapted immediately (%.0f bits avg vs budget %.0f); lag model broken",
+			early/5, newBudget)
+	}
+	// But it must converge eventually (within ~6 s).
+	var late float64
+	for i := 0; i < 180; i++ {
+		ef := enc.Encode(src.Next(), Directives{})
+		if i >= 120 {
+			late += float64(ef.Bits)
+		}
+	}
+	lateRate := late / 60 * 30
+	if lateRate > 1.3e6 {
+		t.Errorf("native RC failed to converge: late rate %.2f Mbps", lateRate/1e6)
+	}
+}
+
+func TestDirectivesActFast(t *testing.T) {
+	// With the paper's interventions, the very next frame fits the new
+	// budget.
+	enc := NewEncoder(Config{TargetBitrate: 2.5e6, NoiseCV: -1, Seed: 1})
+	src := video.NewSource(video.SourceConfig{Class: video.TalkingHead, Seed: 2})
+	for i := 0; i < 150; i++ {
+		enc.Encode(src.Next(), Directives{})
+	}
+	capBytes := 1_000_000 / 30 / 8 // one frame at the new rate
+	got := enc.Encode(src.Next(), Directives{
+		TargetBitrate:     1e6,
+		FrameSizeCapBytes: capBytes,
+		ReinitVBV:         true,
+		VBVFillFraction:   0.1,
+	})
+	if got.Bytes() > capBytes {
+		t.Errorf("directive-capped frame is %d bytes, cap %d", got.Bytes(), capBytes)
+	}
+}
+
+func TestEncoderDeterminism(t *testing.T) {
+	run := func() []int {
+		enc := NewEncoder(Config{Seed: 9})
+		var sizes []int
+		for _, f := range frames(video.Sports, 4, 200) {
+			sizes = append(sizes, enc.Encode(f, Directives{}).Bits)
+		}
+		return sizes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d: %d != %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEncodeTimePlausible(t *testing.T) {
+	enc := NewEncoder(Config{Seed: 1})
+	for _, f := range frames(video.Sports, 1, 100) {
+		et := enc.Encode(f, Directives{}).EncodeTime
+		if et <= 0 || et > 50*time.Millisecond {
+			t.Fatalf("encode time %v implausible", et)
+		}
+	}
+}
+
+// Property: encoder never violates QP bounds or emits negative sizes, for
+// any content class and target.
+func TestEncoderInvariantProperty(t *testing.T) {
+	f := func(seed int64, classRaw, targetRaw uint8) bool {
+		class := video.Classes()[int(classRaw)%4]
+		target := 0.2e6 + float64(targetRaw)*20e3 // 0.2..5.3 Mbps
+		enc := NewEncoder(Config{TargetBitrate: target, Seed: seed})
+		src := video.NewSource(video.SourceConfig{Class: class, Seed: seed + 1})
+		for i := 0; i < 200; i++ {
+			ef := enc.Encode(src.Next(), Directives{})
+			if ef.Type != TypeSkip && (ef.QP < MinQP || ef.QP > MaxQP) {
+				return false
+			}
+			if ef.Bits < 0 || ef.SSIM < 0 || ef.SSIM > 1 {
+				return false
+			}
+			if enc.VBVFill() < 0 || enc.VBVFill() > enc.VBVSize()+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if TypeI.String() != "I" || TypeP.String() != "P" || TypeSkip.String() != "skip" {
+		t.Error("FrameType strings wrong")
+	}
+	if FrameType(9).String() != "FrameType(9)" {
+		t.Error("unknown FrameType string wrong")
+	}
+}
+
+func TestBytesRoundsUp(t *testing.T) {
+	if (EncodedFrame{Bits: 9}).Bytes() != 2 {
+		t.Error("Bytes should round up")
+	}
+	if (EncodedFrame{Bits: 16}).Bytes() != 2 {
+		t.Error("Bytes(16 bits) should be 2")
+	}
+}
+
+func TestScaleBitsFactorShape(t *testing.T) {
+	if ScaleBitsFactor(1) != 1 {
+		t.Errorf("factor at native = %v", ScaleBitsFactor(1))
+	}
+	prev := 1.1
+	for _, s := range []float64{1, 0.75, 0.5, 0.375, 0.25} {
+		f := ScaleBitsFactor(s)
+		if f >= prev {
+			t.Fatalf("factor not decreasing at scale %v", s)
+		}
+		prev = f
+	}
+	// Half resolution should cost roughly a quarter of the bits.
+	if f := ScaleBitsFactor(0.5); f < 0.2 || f > 0.35 {
+		t.Errorf("ScaleBitsFactor(0.5) = %v, want ~0.29", f)
+	}
+}
+
+func TestUpscalePenaltyShape(t *testing.T) {
+	if UpscalePenalty(1) != 1 {
+		t.Errorf("penalty at native = %v", UpscalePenalty(1))
+	}
+	if p := UpscalePenalty(0.5); p < 0.9 || p >= 1 {
+		t.Errorf("UpscalePenalty(0.5) = %v, want ~0.95", p)
+	}
+	if UpscalePenalty(0.25) >= UpscalePenalty(0.5) {
+		t.Error("penalty should grow as scale shrinks")
+	}
+}
+
+func TestScaleChangeForcesKeyframe(t *testing.T) {
+	enc := NewEncoder(Config{DisableSceneCut: true, Seed: 1})
+	fs := frames(video.TalkingHead, 1, 4)
+	enc.Encode(fs[0], Directives{})
+	enc.Encode(fs[1], Directives{})
+	got := enc.Encode(fs[2], Directives{SetScale: 0.5})
+	if got.Type != TypeI {
+		t.Errorf("scale switch frame type = %v, want I", got.Type)
+	}
+	if got.Scale != 0.5 || enc.Scale() != 0.5 {
+		t.Errorf("scale = %v / %v, want 0.5", got.Scale, enc.Scale())
+	}
+	// Same scale again: no forced keyframe.
+	if got := enc.Encode(fs[3], Directives{SetScale: 0.5}); got.Type != TypeP {
+		t.Errorf("redundant SetScale forced type %v", got.Type)
+	}
+}
+
+func TestLowerScaleShrinksFramesAndQP(t *testing.T) {
+	// At a starvation bitrate, halving resolution must lower QP (better
+	// per-pixel quality) because the bit cost collapses.
+	run := func(scale float64) (avgQP float64) {
+		enc := NewEncoder(Config{TargetBitrate: 0.3e6, NoiseCV: -1, Seed: 1})
+		src := video.NewSource(video.SourceConfig{Class: video.Gaming, Seed: 2})
+		d := Directives{SetScale: scale}
+		var qp float64
+		const n = 300
+		for i := 0; i < n; i++ {
+			ef := enc.Encode(src.Next(), d)
+			qp += float64(ef.QP)
+		}
+		return qp / n
+	}
+	full, half := run(1.0), run(0.5)
+	if half >= full-2 {
+		t.Errorf("QP at half scale (%v) not clearly below native (%v)", half, full)
+	}
+}
+
+func TestTemporalLayerAssignment(t *testing.T) {
+	enc := NewEncoder(Config{TemporalLayers: 2, DisableSceneCut: true, Seed: 1})
+	var layers []int
+	for _, f := range frames(video.TalkingHead, 1, 7) {
+		ef := enc.Encode(f, Directives{})
+		layers = append(layers, ef.TemporalLayer)
+	}
+	// I, TL1, TL0, TL1, TL0, ...
+	want := []int{0, 1, 0, 1, 0, 1, 0}
+	for i := range want {
+		if layers[i] != want[i] {
+			t.Fatalf("layers = %v, want %v", layers, want)
+		}
+	}
+}
+
+func TestTemporalLayersOffByDefault(t *testing.T) {
+	enc := NewEncoder(Config{DisableSceneCut: true, Seed: 1})
+	for _, f := range frames(video.TalkingHead, 1, 10) {
+		if ef := enc.Encode(f, Directives{}); ef.TemporalLayer != 0 {
+			t.Fatal("temporal layer assigned without TemporalLayers=2")
+		}
+	}
+}
+
+func TestTemporalLayerCostStructure(t *testing.T) {
+	// TL0 P-frames (double-interval reference) must cost more bits than
+	// TL1 P-frames at equal QP; total bitrate still hits target.
+	enc := NewEncoder(Config{TemporalLayers: 2, TargetBitrate: 1e6, NoiseCV: -1, DisableSceneCut: true, Seed: 1})
+	var tl0, tl1, n0, n1 float64
+	for _, f := range frames(video.TalkingHead, 3, 600) {
+		ef := enc.Encode(f, Directives{})
+		if ef.Type != TypeP {
+			continue
+		}
+		if ef.TemporalLayer == 0 {
+			tl0 += float64(ef.Bits)
+			n0++
+		} else {
+			tl1 += float64(ef.Bits)
+			n1++
+		}
+	}
+	if n0 == 0 || n1 == 0 {
+		t.Fatal("missing layers")
+	}
+	if tl0/n0 <= tl1/n1 {
+		t.Errorf("TL0 frames (%.0f bits avg) should cost more than TL1 (%.0f)", tl0/n0, tl1/n1)
+	}
+}
+
+func TestPredictBitsPanicsOnBadQscale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("qscale <= 0 did not panic")
+		}
+	}()
+	PredictBits(1000, 0)
+}
+
+func TestEncoderRespectsQPBounds(t *testing.T) {
+	enc := NewEncoder(Config{
+		TargetBitrate: 0.1e6, // starvation pushes QP up
+		MinQP:         20, MaxQP: 40,
+		NoiseCV: -1, Seed: 1,
+	})
+	for _, f := range frames(video.Sports, 1, 200) {
+		ef := enc.Encode(f, Directives{})
+		if ef.Type == TypeSkip {
+			continue
+		}
+		if ef.QP < 20 || ef.QP > 40 {
+			t.Fatalf("QP %d escaped [20,40]", ef.QP)
+		}
+	}
+}
+
+func TestVBVFillNeverExceedsSize(t *testing.T) {
+	enc := NewEncoder(Config{TargetBitrate: 1e6, Seed: 1})
+	for _, f := range frames(video.Gaming, 1, 500) {
+		enc.Encode(f, Directives{})
+		if enc.VBVFill() > enc.VBVSize()+1e-6 {
+			t.Fatalf("VBV fill %v exceeds size %v", enc.VBVFill(), enc.VBVSize())
+		}
+		if enc.VBVFill() < 0 {
+			t.Fatalf("VBV fill negative: %v", enc.VBVFill())
+		}
+	}
+}
+
+func TestVBVConstrainsSceneCutBurst(t *testing.T) {
+	// With a tiny VBV, even a scene-cut keyframe cannot burst far beyond
+	// the buffer.
+	enc := NewEncoder(Config{
+		TargetBitrate:    1e6,
+		VBVBufferSeconds: 0.1, // 100 kbit buffer
+		NoiseCV:          -1,
+		Seed:             1,
+	})
+	// Warm up.
+	for _, f := range frames(video.TalkingHead, 1, 60) {
+		enc.Encode(f, Directives{})
+	}
+	cut := video.Frame{Index: 61, Spatial: 20000, Temporal: 19000, SceneCut: true}
+	ef := enc.Encode(cut, Directives{})
+	if ef.Type != TypeI {
+		t.Fatalf("scene cut type %v", ef.Type)
+	}
+	// Available credit was at most vbvSize + one frame budget; the QP
+	// guard plans ≤90% of that.
+	maxBits := 0.9 * (enc.VBVSize() + enc.FrameBudget()) * 1.05 // small slack
+	if float64(ef.Bits) > maxBits {
+		t.Errorf("scene-cut frame %d bits exceeds VBV plan %f", ef.Bits, maxBits)
+	}
+}

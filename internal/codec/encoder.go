@@ -1,0 +1,438 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rtcadapt/internal/stats"
+	"rtcadapt/internal/video"
+)
+
+// FrameType classifies an encoder output.
+type FrameType int
+
+// Frame types.
+const (
+	// TypeI is an intra (key) frame.
+	TypeI FrameType = iota
+	// TypeP is a predicted frame.
+	TypeP
+	// TypeSkip means the encoder emitted nothing; the receiver repeats
+	// the previous frame.
+	TypeSkip
+)
+
+// String returns the frame-type mnemonic.
+func (t FrameType) String() string {
+	switch t {
+	case TypeI:
+		return "I"
+	case TypeP:
+		return "P"
+	case TypeSkip:
+		return "skip"
+	}
+	return fmt.Sprintf("FrameType(%d)", int(t))
+}
+
+// Config configures an Encoder. The zero value is completed with defaults
+// documented per field.
+type Config struct {
+	// TargetBitrate is the initial ABR target in bits/s. Default 1 Mbps.
+	TargetBitrate float64
+	// FPS is the encode rate. Default 30.
+	FPS int
+	// VBVBufferSeconds sizes the VBV buffer in seconds of target
+	// bitrate. RTC uses small buffers. Default 0.5.
+	VBVBufferSeconds float64
+	// ABRBufferSeconds controls how slowly ABR overflow compensation
+	// reacts to accumulated rate error; larger means slower convergence
+	// (x264's abr-buffer). Default 1.5.
+	ABRBufferSeconds float64
+	// MinQP and MaxQP bound the quantizer. Defaults 10 and 51.
+	MinQP, MaxQP int
+	// MaxQPStep bounds the per-frame QP change during normal rate
+	// control (x264 qpstep). Directives may bypass it upward. Default 4.
+	MaxQPStep int
+	// Qcomp is the complexity-blend exponent (x264 qcomp). Default 0.6.
+	Qcomp float64
+	// KeyintMax forces a keyframe every KeyintMax frames; 0 means
+	// infinite GOP (RTC style: only the first frame and scene cuts).
+	KeyintMax int
+	// DisableSceneCut suppresses automatic keyframes on scene changes.
+	DisableSceneCut bool
+	// TemporalLayers enables SVC-style temporal scalability when set to
+	// 2: odd frames (TL1) reference their immediate predecessor and are
+	// droppable without breaking the decode chain; even frames (TL0)
+	// reference the previous TL0 frame, costing extra residual bits.
+	// Values <= 1 disable layering.
+	TemporalLayers int
+	// NoiseCV is the coefficient of variation of realized frame sizes
+	// around the model prediction. Negative disables noise. Default 0.12.
+	NoiseCV float64
+	// Seed seeds the encoder's private PRNG.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.TargetBitrate == 0 {
+		c.TargetBitrate = 1e6
+	}
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	if c.VBVBufferSeconds == 0 {
+		c.VBVBufferSeconds = 0.5
+	}
+	if c.ABRBufferSeconds == 0 {
+		c.ABRBufferSeconds = 1.5
+	}
+	if c.MinQP == 0 {
+		c.MinQP = 10
+	}
+	if c.MaxQP == 0 {
+		c.MaxQP = MaxQP
+	}
+	if c.MaxQPStep == 0 {
+		c.MaxQPStep = 4
+	}
+	if c.Qcomp == 0 {
+		c.Qcomp = 0.6
+	}
+	if c.NoiseCV == 0 {
+		c.NoiseCV = 0.12
+	}
+	if c.NoiseCV < 0 {
+		c.NoiseCV = 0
+	}
+}
+
+// Directives are the per-frame control knobs the paper's adaptive
+// controller drives. The zero value means "no intervention": pure native
+// rate control.
+type Directives struct {
+	// TargetBitrate, if positive, retargets the encoder before this
+	// frame (equivalent to x264_encoder_reconfig).
+	TargetBitrate float64
+	// MinQPFloor, if positive, forces this frame's QP to at least the
+	// given value, bypassing the per-frame step limit upward.
+	MinQPFloor int
+	// FrameSizeCapBytes, if positive, hard-caps this frame's predicted
+	// size, raising QP as needed (bypasses the step limit upward).
+	FrameSizeCapBytes int
+	// ForbidKeyframe suppresses scene-cut keyframes for this frame; the
+	// frame is coded as P at its (high) residual cost instead.
+	ForbidKeyframe bool
+	// ForceKeyframe forces an intra frame.
+	ForceKeyframe bool
+	// Skip suppresses encoding entirely; the receiver repeats the last
+	// frame.
+	Skip bool
+	// ReinitVBV, when true, sets the VBV fill to VBVFillFraction of the
+	// buffer size before encoding (the paper's "drain" action: account
+	// for bytes already queued in the network).
+	ReinitVBV       bool
+	VBVFillFraction float64
+	// SetScale, if positive, switches the encode resolution to the
+	// given linear scale (1 = native). A scale change forces a keyframe
+	// (new parameter sets), as in real encoders.
+	SetScale float64
+}
+
+// EncodedFrame is the encoder's per-frame output.
+type EncodedFrame struct {
+	// Index is the capture index of the source frame.
+	Index int
+	// PTS is the capture timestamp.
+	PTS time.Duration
+	// Type is I, P, or skip.
+	Type FrameType
+	// QP is the realized quantizer (meaningless for skips).
+	QP int
+	// Bits is the encoded size in bits (zero for skips).
+	Bits int
+	// SSIM is the modeled quality of the displayed frame.
+	SSIM float64
+	// MotionRatio is the source frame's temporal/spatial complexity
+	// ratio, recorded for quality accounting downstream.
+	MotionRatio float64
+	// SceneCut records whether the source frame was a scene change.
+	SceneCut bool
+	// Scale is the linear resolution scale the frame was encoded at.
+	Scale float64
+	// TemporalLayer is 0 for base-layer frames (and keyframes), 1 for
+	// droppable enhancement frames. Always 0 without temporal layering.
+	TemporalLayer int
+	// EncodeTime is the modeled encoding latency.
+	EncodeTime time.Duration
+}
+
+// Bytes returns the encoded size in bytes, rounding up.
+func (f EncodedFrame) Bytes() int { return (f.Bits + 7) / 8 }
+
+// Encoder is the x264-like rate-controlled encoder model. Not safe for
+// concurrent use.
+type Encoder struct {
+	cfg Config
+	rng *stats.Rand
+
+	target     float64 // current ABR target, bits/s
+	vbvSize    float64 // bits
+	vbvFill    float64 // bits currently available to spend
+	cplxAvg    *stats.EWMA
+	lastQP     float64
+	lastSSIM   float64
+	scale      float64
+	frameCount int
+	sinceIDR   int
+
+	// ABR overflow compensation state.
+	wantedBits float64
+	actualBits float64
+}
+
+// NewEncoder returns an encoder with the given configuration.
+func NewEncoder(cfg Config) *Encoder {
+	cfg.defaults()
+	e := &Encoder{
+		cfg:      cfg,
+		rng:      stats.NewRand(cfg.Seed),
+		cplxAvg:  stats.NewEWMA(0.05),
+		lastQP:   30,
+		lastSSIM: 1,
+		scale:    1,
+	}
+	e.setTarget(cfg.TargetBitrate)
+	e.vbvFill = e.vbvSize // start with a full buffer, as x264 does
+	return e
+}
+
+func (e *Encoder) setTarget(bps float64) {
+	if bps <= 0 {
+		return
+	}
+	e.target = bps
+	e.vbvSize = bps * e.cfg.VBVBufferSeconds
+	if e.vbvFill > e.vbvSize {
+		e.vbvFill = e.vbvSize
+	}
+}
+
+// SetTargetBitrate retargets the encoder (x264_encoder_reconfig). The ABR
+// error history is preserved, so convergence to the new rate is gradual —
+// exactly the behaviour the paper's controller works around.
+func (e *Encoder) SetTargetBitrate(bps float64) { e.setTarget(bps) }
+
+// TargetBitrate returns the current ABR target in bits/s.
+func (e *Encoder) TargetBitrate() float64 { return e.target }
+
+// VBVFill returns the current VBV fill in bits.
+func (e *Encoder) VBVFill() float64 { return e.vbvFill }
+
+// VBVSize returns the VBV buffer size in bits.
+func (e *Encoder) VBVSize() float64 { return e.vbvSize }
+
+// LastQP returns the previous frame's quantizer.
+func (e *Encoder) LastQP() int { return int(math.Round(e.lastQP)) }
+
+// FrameBudget returns the nominal per-frame bit budget at the current
+// target.
+func (e *Encoder) FrameBudget() float64 { return e.target / float64(e.cfg.FPS) }
+
+// Config returns the encoder's effective configuration (defaults applied).
+func (e *Encoder) Config() Config { return e.cfg }
+
+// Encode encodes one source frame under the given directives.
+func (e *Encoder) Encode(f video.Frame, d Directives) EncodedFrame {
+	if d.TargetBitrate > 0 {
+		e.setTarget(d.TargetBitrate)
+	}
+	if d.ReinitVBV {
+		e.vbvFill = stats.Clamp(d.VBVFillFraction, 0, 1) * e.vbvSize
+	}
+	scaleChanged := false
+	if d.SetScale > 0 {
+		s := stats.Clamp(d.SetScale, 0.1, 1)
+		if s != e.scale {
+			e.scale = s
+			scaleChanged = true
+		}
+	}
+
+	motion := stats.Clamp(f.Temporal/math.Max(f.Spatial, 1), 0, 1)
+
+	if d.Skip {
+		e.lastSSIM = SkipSSIM(e.lastSSIM, motion)
+		// A skip still consumes a frame interval of VBV input.
+		e.vbvFill = math.Min(e.vbvFill+e.FrameBudget(), e.vbvSize)
+		e.frameCount++
+		e.sinceIDR++
+		// Skips do not accrue wanted bits: the controller chose not to
+		// spend this frame's budget.
+		return EncodedFrame{
+			Index:       f.Index,
+			PTS:         f.PTS,
+			Type:        TypeSkip,
+			SSIM:        e.lastSSIM,
+			MotionRatio: motion,
+			SceneCut:    f.SceneCut,
+			Scale:       e.scale,
+			EncodeTime:  50 * time.Microsecond,
+		}
+	}
+
+	// Frame-type decision. A resolution switch always emits new
+	// parameter sets, i.e. a keyframe.
+	ftype := TypeP
+	switch {
+	case e.frameCount == 0 || d.ForceKeyframe || scaleChanged:
+		ftype = TypeI
+	case e.cfg.KeyintMax > 0 && e.sinceIDR >= e.cfg.KeyintMax-1:
+		ftype = TypeI
+	case f.SceneCut && !e.cfg.DisableSceneCut && !d.ForbidKeyframe:
+		ftype = TypeI
+	}
+
+	// Temporal-layer assignment: position parity within the GOP.
+	tl := 0
+	if e.cfg.TemporalLayers >= 2 && ftype == TypeP && e.sinceIDR%2 == 0 {
+		// sinceIDR counts frames after the IDR; the first P (sinceIDR
+		// still 0 before this encode) is TL1, the next TL0, ...
+		tl = 1
+	}
+
+	cplx := f.Temporal
+	if ftype == TypeI {
+		cplx = f.Spatial * iFrameOverhead
+	} else if e.cfg.TemporalLayers >= 2 && tl == 0 {
+		// Base-layer P frames reference the TL0 frame two intervals
+		// back: the residual grows with the skipped motion.
+		cplx *= 1.5
+	}
+	cplx *= ScaleBitsFactor(e.scale)
+	cplx = math.Max(cplx, 1)
+
+	qp := e.decideQP(cplx, d)
+	qscale := QPToQscale(qp)
+
+	bits := PredictBits(cplx, qscale)
+	if e.cfg.NoiseCV > 0 {
+		bits = e.rng.LogNormal(bits, e.cfg.NoiseCV)
+	}
+	const minFrameBits = 800 // headers + minimal payload
+	if bits < minFrameBits {
+		bits = minFrameBits
+	}
+	// The size cap is a hard promise: re-quantization in a real encoder
+	// (row-level QP adaptation) enforces it even against size noise.
+	if d.FrameSizeCapBytes > 0 && bits > float64(d.FrameSizeCapBytes*8) {
+		bits = float64(d.FrameSizeCapBytes * 8)
+		// Recover the effective QP implied by the cap for bookkeeping.
+		qp = stats.Clamp(QscaleToQP(QscaleForBits(cplx, bits)), qp, float64(e.cfg.MaxQP))
+	}
+
+	// Update VBV: input one frame interval of target rate, drain the frame.
+	e.vbvFill = math.Min(e.vbvFill+e.FrameBudget(), e.vbvSize)
+	e.vbvFill -= bits
+	if e.vbvFill < 0 {
+		e.vbvFill = 0 // underflow: the model's QP guard keeps this rare
+	}
+
+	// ABR accounting.
+	e.wantedBits += e.FrameBudget()
+	e.actualBits += bits
+	e.cplxAvg.Update(cplx)
+	e.lastQP = qp
+	e.frameCount++
+	if ftype == TypeI {
+		e.sinceIDR = 0
+	} else {
+		e.sinceIDR++
+	}
+
+	ssim := EstimateSSIM(qp, motion) * UpscalePenalty(e.scale)
+	e.lastSSIM = ssim
+
+	encTime := time.Duration((200 + cplx*0.25) * float64(time.Microsecond))
+	encTime = time.Duration(e.rng.Jitter(float64(encTime), 0.1))
+
+	return EncodedFrame{
+		Index:         f.Index,
+		PTS:           f.PTS,
+		Type:          ftype,
+		QP:            int(math.Round(qp)),
+		Bits:          int(math.Round(bits)),
+		SSIM:          ssim,
+		MotionRatio:   motion,
+		SceneCut:      f.SceneCut,
+		Scale:         e.scale,
+		TemporalLayer: tl,
+		EncodeTime:    encTime,
+	}
+}
+
+// Scale returns the current encode resolution scale (1 = native).
+func (e *Encoder) Scale() float64 { return e.scale }
+
+// decideQP runs the ABR+VBV quantizer decision for a frame of complexity
+// cplx under directives d, returning a float QP within configured bounds.
+func (e *Encoder) decideQP(cplx float64, d Directives) float64 {
+	avg := e.cplxAvg.Value()
+	if !e.cplxAvg.Seeded() || avg <= 0 {
+		avg = cplx
+	}
+
+	// Complexity blending (x264 qcomp): complex frames get more bits,
+	// sublinearly.
+	idealBits := e.FrameBudget() * math.Pow(cplx/avg, 1-e.cfg.Qcomp)
+
+	// ABR overflow compensation (x264 "overflow" term): scale the frame
+	// budget down when cumulatively over rate, up when under. The
+	// abr-buffer normalization is what makes convergence take O(seconds).
+	abrBuffer := e.target * e.cfg.ABRBufferSeconds
+	overflow := stats.Clamp(1+(e.actualBits-e.wantedBits)/abrBuffer, 0.5, 2)
+	idealBits /= overflow
+
+	// VBV constraint: never plan to spend more than a safety fraction of
+	// the buffer fill available after this frame's input.
+	avail := math.Min(e.vbvFill+e.FrameBudget(), e.vbvSize)
+	if vbvCap := 0.9 * avail; idealBits > vbvCap {
+		idealBits = vbvCap
+	}
+	if idealBits < 1 {
+		idealBits = 1
+	}
+
+	qp := QscaleToQP(QscaleForBits(cplx, idealBits))
+
+	// Per-frame QP step limit (x264 qpstep): normal rate control cannot
+	// slam the quantizer.
+	lo, hi := e.lastQP-float64(e.cfg.MaxQPStep), e.lastQP+float64(e.cfg.MaxQPStep)
+	if e.frameCount > 0 {
+		qp = stats.Clamp(qp, lo, hi)
+	}
+
+	// VBV hard compliance bypasses the step limit upward, exactly as
+	// x264's rate control raises qscale past qpstep to avoid buffer
+	// underflow.
+	if vbvHard := 0.9 * avail; vbvHard > 0 {
+		if minQP := QscaleToQP(QscaleForBits(cplx, vbvHard)); qp < minQP {
+			qp = minQP
+		}
+	}
+
+	// Directive interventions bypass the step limit upward: the adaptive
+	// controller's whole point is to move QP immediately.
+	if d.MinQPFloor > 0 && qp < float64(d.MinQPFloor) {
+		qp = float64(d.MinQPFloor)
+	}
+	if d.FrameSizeCapBytes > 0 {
+		capBits := float64(d.FrameSizeCapBytes * 8)
+		if minQP := QscaleToQP(QscaleForBits(cplx, capBits)); qp < minQP {
+			qp = minQP
+		}
+	}
+
+	return stats.Clamp(qp, float64(e.cfg.MinQP), float64(e.cfg.MaxQP))
+}

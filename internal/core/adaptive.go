@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rtcadapt/internal/cc"
+	"rtcadapt/internal/codec"
+	"rtcadapt/internal/stats"
+)
+
+// AdaptiveConfig parameterizes the adaptive controller. Zero values take
+// the documented defaults; the Disable* switches exist for the Table 3
+// ablation.
+type AdaptiveConfig struct {
+	// Margin scales the estimate when retargeting during a drop, leaving
+	// headroom for the queue to drain. Default 0.9.
+	Margin float64
+	// DropRatio declares a drop when the fast estimate falls below
+	// DropRatio x the slow estimate. Default 0.85.
+	DropRatio float64
+	// QPClampStep is the immediate QP raise applied on drop entry (the
+	// next frame's QP floor is lastQP + QPClampStep). Default 6.
+	QPClampStep int
+	// FrameCapRatio caps per-frame size at estimate x frameInterval x
+	// FrameCapRatio while in the drop state. Default 1.25.
+	FrameCapRatio float64
+	// SkipThreshold is the estimated end-to-end backlog delay above
+	// which frames are skipped; skipping stops below half of it.
+	// Default 250 ms.
+	SkipThreshold time.Duration
+	// DrainedDelay is the backlog delay below which the drop state can
+	// end. Default 50 ms.
+	DrainedDelay time.Duration
+	// RecoveryRatePerSec is the multiplicative target ramp toward the
+	// estimate during recovery (e.g. 0.6 = +60%/s). Default 0.6.
+	RecoveryRatePerSec float64
+	// MaxConsecutiveSkips bounds a skip run; after this many skipped
+	// frames one tightly capped probe frame is encoded so feedback (and
+	// therefore the backlog estimate) keeps flowing. Default 10.
+	MaxConsecutiveSkips int
+
+	// EnableResolution turns on the resolution-ladder extension: the
+	// controller switches the encode resolution down when the target
+	// bitrate cannot sustain the current rung and back up on recovery.
+	// Off by default (the poster's scheme adjusts QP-domain parameters
+	// only; this is the natural next codec parameter).
+	EnableResolution bool
+
+	// Ablation switches (Table 3): each disables one mechanism.
+	DisableQPClamp    bool
+	DisableFrameCap   bool
+	DisableVBVReinit  bool
+	DisableSkip       bool
+	DisableKFSuppress bool
+	DisableDropMargin bool // retarget to the raw estimate instead of margin x estimate
+}
+
+func (c *AdaptiveConfig) defaults() {
+	if c.Margin == 0 {
+		c.Margin = 0.9
+	}
+	if c.DropRatio == 0 {
+		c.DropRatio = 0.85
+	}
+	if c.QPClampStep == 0 {
+		c.QPClampStep = 6
+	}
+	if c.FrameCapRatio == 0 {
+		c.FrameCapRatio = 1.25
+	}
+	if c.SkipThreshold == 0 {
+		c.SkipThreshold = 250 * time.Millisecond
+	}
+	if c.DrainedDelay == 0 {
+		c.DrainedDelay = 50 * time.Millisecond
+	}
+	if c.RecoveryRatePerSec == 0 {
+		c.RecoveryRatePerSec = 0.6
+	}
+	if c.MaxConsecutiveSkips == 0 {
+		c.MaxConsecutiveSkips = 10
+	}
+}
+
+// mode is the adaptive controller's state.
+type mode int
+
+const (
+	modeNormal mode = iota
+	modeDrop
+	modeRecovery
+)
+
+func (m mode) String() string {
+	switch m {
+	case modeNormal:
+		return "normal"
+	case modeDrop:
+		return "drop"
+	case modeRecovery:
+		return "recovery"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Adaptive is the paper's controller. Not safe for concurrent use.
+type Adaptive struct {
+	cfg AdaptiveConfig
+
+	fast, slow *stats.EWMA // estimate trackers for drop detection
+	latest     cc.Snapshot
+	haveSnap   bool
+
+	mode        mode
+	dropEntered time.Duration
+	clampArmed  bool // QP clamp applies to the first frame after entry
+	vbvArmed    bool // VBV reinit applies once per drop
+	skipping    bool
+	skipRun     int // consecutive frames skipped in the current run
+	drainedFor  int // consecutive feedbacks below DrainedDelay
+	target      float64
+
+	// Counters exposed for tests and experiment output.
+	drops, skips, suppressedKF int
+	resolutionSwitches         int
+}
+
+// resolutionLadder maps a target bitrate to the encode scale that keeps
+// per-pixel rate healthy. Thresholds carry 25% upward hysteresis so the
+// scale doesn't flap. Rungs follow common simulcast ladders
+// (1.0 / 0.75 / 0.5 / 0.375 of native linear resolution).
+var resolutionLadder = []struct {
+	minRate float64 // bits/s required to hold this rung
+	scale   float64
+}{
+	{1.2e6, 1.0},
+	{0.7e6, 0.75},
+	{0.35e6, 0.5},
+	{0, 0.375},
+}
+
+// desiredScale returns the ladder rung for a target rate, given the
+// current scale (for hysteresis).
+func desiredScale(target, current float64) float64 {
+	for _, rung := range resolutionLadder {
+		need := rung.minRate
+		if rung.scale > current {
+			need *= 1.25 // switch up only with clear headroom
+		}
+		if target >= need {
+			return rung.scale
+		}
+	}
+	return resolutionLadder[len(resolutionLadder)-1].scale
+}
+
+// NewAdaptive returns an adaptive controller.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
+	cfg.defaults()
+	return &Adaptive{
+		cfg:  cfg,
+		fast: stats.NewEWMA(0.5),
+		slow: stats.NewEWMA(0.05),
+	}
+}
+
+// Name implements Controller.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// Mode returns the controller's current state name (for tracing).
+func (a *Adaptive) Mode() string { return a.mode.String() }
+
+// DropCount returns how many drop episodes were detected.
+func (a *Adaptive) DropCount() int { return a.drops }
+
+// SkipCount returns how many frames were skipped.
+func (a *Adaptive) SkipCount() int { return a.skips }
+
+// SuppressedKeyframes returns how many scene-cut keyframes were refused.
+func (a *Adaptive) SuppressedKeyframes() int { return a.suppressedKF }
+
+// ResolutionSwitches returns how many times the resolution ladder moved.
+func (a *Adaptive) ResolutionSwitches() int { return a.resolutionSwitches }
+
+// OnFeedback implements Controller: drop detection runs at feedback
+// cadence, one interval after the estimator sees the drop — this is the
+// "adapt within one feedback interval" property.
+func (a *Adaptive) OnFeedback(now time.Duration, snap cc.Snapshot) {
+	if snap.Target <= 0 {
+		return
+	}
+	a.latest = snap
+	a.haveSnap = true
+	a.fast.Update(snap.Target)
+	a.slow.Update(snap.Target)
+
+	dropSignal := a.fast.Value() < a.cfg.DropRatio*a.slow.Value()
+	overuseSignal := snap.Usage == cc.UsageOver && snap.QueueDelay > 60*time.Millisecond
+
+	switch a.mode {
+	case modeNormal:
+		a.target = snap.Target
+		if dropSignal || overuseSignal {
+			a.enterDrop(now)
+		}
+	case modeDrop:
+		// Track the (falling) estimate with margin while draining.
+		a.target = a.dropTarget(snap.Target)
+		if snap.QueueDelay <= a.cfg.DrainedDelay {
+			a.drainedFor++
+			if a.drainedFor >= 3 {
+				a.mode = modeRecovery
+				a.skipping = false
+			}
+		} else {
+			a.drainedFor = 0
+		}
+	case modeRecovery:
+		if dropSignal || overuseSignal {
+			a.enterDrop(now)
+			break
+		}
+		// Ramp back toward the estimate without a second overshoot.
+		dt := 0.05 // feedback cadence; exact value only affects ramp speed
+		a.target *= 1 + a.cfg.RecoveryRatePerSec*dt
+		if a.target >= snap.Target {
+			a.target = snap.Target
+			a.mode = modeNormal
+		}
+	}
+}
+
+func (a *Adaptive) dropTarget(estimate float64) float64 {
+	if a.cfg.DisableDropMargin {
+		return estimate
+	}
+	return a.cfg.Margin * estimate
+}
+
+func (a *Adaptive) enterDrop(now time.Duration) {
+	a.mode = modeDrop
+	a.dropEntered = now
+	a.clampArmed = !a.cfg.DisableQPClamp
+	a.vbvArmed = !a.cfg.DisableVBVReinit
+	a.drainedFor = 0
+	a.drops++
+	a.target = a.dropTarget(a.latest.Target)
+	// Reset the slow tracker so a sustained lower rate becomes the new
+	// normal instead of re-triggering forever.
+	a.slow.Set(a.latest.Target)
+}
+
+// backlogDelay estimates end-to-end backlog: sender pacer queue plus the
+// network standing queue reported by the estimator.
+func backlogDelay(ctx FrameContext) time.Duration {
+	return ctx.PacerQueueDelay + ctx.Estimate.QueueDelay
+}
+
+// BeforeEncode implements Controller.
+func (a *Adaptive) BeforeEncode(ctx FrameContext) codec.Directives {
+	var d codec.Directives
+	if ctx.KeyframeRequested {
+		d.ForceKeyframe = true
+	}
+	if !a.haveSnap {
+		return d
+	}
+	d.TargetBitrate = a.target
+
+	if a.mode != modeDrop {
+		a.maybeSwitchResolution(ctx, &d)
+		return d
+	}
+
+	backlog := backlogDelay(ctx)
+
+	// Frame skipping with hysteresis: stop encoding while the backlog
+	// exceeds the threshold; resume below half.
+	if !a.cfg.DisableSkip {
+		if a.skipping {
+			if backlog < a.cfg.SkipThreshold/2 {
+				a.skipping = false
+				a.skipRun = 0
+			}
+		} else if backlog > a.cfg.SkipThreshold {
+			a.skipping = true
+			a.skipRun = 0
+		}
+		if a.skipping && !d.ForceKeyframe {
+			if a.skipRun < a.cfg.MaxConsecutiveSkips {
+				a.skipRun++
+				a.skips++
+				d.Skip = true
+				return d
+			}
+			// Probe frame: keep feedback flowing so the backlog
+			// estimate (and the estimator) can observe the drain.
+			a.skipRun = 0
+		}
+	}
+
+	// Immediate QP clamp on the first post-drop frame.
+	if a.clampArmed {
+		d.MinQPFloor = stats.ClampInt(ctx.LastQP+a.cfg.QPClampStep, 0, codec.MaxQP)
+		a.clampArmed = false
+	}
+
+	// Hard frame-size cap sized to the post-drop capacity.
+	if !a.cfg.DisableFrameCap {
+		capBits := a.target * ctx.FrameInterval.Seconds() * a.cfg.FrameCapRatio
+		d.FrameSizeCapBytes = int(capBits / 8)
+		if d.FrameSizeCapBytes < 250 {
+			d.FrameSizeCapBytes = 250
+		}
+	}
+
+	// VBV re-initialization once per drop: the buffer must not grant
+	// credit the network has already consumed.
+	if a.vbvArmed {
+		d.ReinitVBV = true
+		d.VBVFillFraction = 0.25
+		a.vbvArmed = false
+	}
+
+	// Suppress scene-cut keyframes while the backlog is draining.
+	if !a.cfg.DisableKFSuppress && !d.ForceKeyframe && backlog > 100*time.Millisecond {
+		if ctx.Frame.SceneCut {
+			a.suppressedKF++
+		}
+		d.ForbidKeyframe = true
+	}
+
+	a.maybeSwitchResolution(ctx, &d)
+	return d
+}
+
+// maybeSwitchResolution applies the resolution-ladder extension: move the
+// encode scale down as soon as the target cannot sustain the current rung
+// (even mid-drop: the switch keyframe is small at the lower resolution),
+// and back up only in the stable Normal state.
+func (a *Adaptive) maybeSwitchResolution(ctx FrameContext, d *codec.Directives) {
+	if !a.cfg.EnableResolution || ctx.EncoderScale <= 0 {
+		return
+	}
+	desired := desiredScale(a.target, ctx.EncoderScale)
+	switch {
+	case desired < ctx.EncoderScale:
+		d.SetScale = desired
+		d.ForbidKeyframe = false // the switch itself must emit an I-frame
+		a.resolutionSwitches++
+	case desired > ctx.EncoderScale && a.mode == modeNormal:
+		d.SetScale = desired
+		a.resolutionSwitches++
+	}
+}
+
+// OnEncoded implements Controller.
+func (a *Adaptive) OnEncoded(time.Duration, codec.EncodedFrame) {}

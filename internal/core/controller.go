@@ -1,0 +1,163 @@
+// Package core implements the paper's contribution: an encoder controller
+// that adapts codec parameters immediately when the congestion controller
+// signals a bandwidth drop, instead of waiting for native rate control to
+// converge.
+//
+// Three controllers share one interface so experiments can swap them:
+//
+//   - NativeRC — the baseline the paper measures against: the encoder
+//     target follows the bandwidth estimate only through the slow,
+//     smoothed, rate-limited reconfiguration path of production pipelines,
+//     and no codec parameters are touched.
+//   - ResetOnly — retargets the encoder instantly on every estimate but
+//     takes none of the codec-parameter actions; isolates how much of the
+//     win comes from mere retargeting speed.
+//   - Adaptive — the paper's scheme: drop detection, immediate retarget
+//     with a safety margin, QP clamping, frame-size capping, VBV
+//     re-initialization, keyframe suppression, frame skipping, and a
+//     recovery governor. Every mechanism can be disabled individually for
+//     the ablation experiment.
+package core
+
+import (
+	"time"
+
+	"rtcadapt/internal/cc"
+	"rtcadapt/internal/codec"
+	"rtcadapt/internal/stats"
+	"rtcadapt/internal/video"
+)
+
+// FrameContext is everything a controller may consult before a frame is
+// encoded.
+type FrameContext struct {
+	// Now is the current virtual time.
+	Now time.Duration
+	// Frame is the captured frame about to be encoded.
+	Frame video.Frame
+	// FrameInterval is the capture period (1/fps).
+	FrameInterval time.Duration
+	// EncoderTarget is the encoder's current ABR target in bits/s.
+	EncoderTarget float64
+	// EncoderScale is the encoder's current resolution scale (1 =
+	// native).
+	EncoderScale float64
+	// LastQP is the encoder's previous-frame quantizer.
+	LastQP int
+	// VBVFill and VBVSize describe the encoder's VBV buffer in bits.
+	VBVFill, VBVSize float64
+	// PacerQueueBytes and PacerQueueDelay describe the sender-side
+	// pacer backlog.
+	PacerQueueBytes int
+	PacerQueueDelay time.Duration
+	// InFlightBytes is the unacknowledged bytes on the wire.
+	InFlightBytes int
+	// Estimate is the congestion controller's latest snapshot.
+	Estimate cc.Snapshot
+	// KeyframeRequested is set when the receiver asked for a keyframe
+	// (PLI).
+	KeyframeRequested bool
+}
+
+// Controller decides per-frame encoder directives.
+type Controller interface {
+	// Name identifies the controller in experiment output.
+	Name() string
+	// OnFeedback is invoked after every congestion-controller update.
+	OnFeedback(now time.Duration, snap cc.Snapshot)
+	// BeforeEncode returns the directives for the next frame.
+	BeforeEncode(ctx FrameContext) codec.Directives
+	// OnEncoded observes the encoder's output for the frame.
+	OnEncoded(now time.Duration, f codec.EncodedFrame)
+}
+
+// NativeRC is the baseline: production pipelines update the encoder target
+// at a limited cadence and smooth the estimate before applying it, then
+// rely on the codec's own rate control to converge — the slow path the
+// paper attacks.
+type NativeRC struct {
+	// ReconfigInterval is the minimum time between encoder retargets.
+	// Default 500 ms.
+	ReconfigInterval time.Duration
+	// Alpha is the EWMA smoothing applied to the estimate before
+	// retargeting. Default 0.25.
+	Alpha float64
+
+	smoothed     *stats.EWMA
+	lastReconfig time.Duration
+	hasReconfig  bool
+	pending      float64
+}
+
+// NewNativeRC returns the baseline controller with default parameters.
+func NewNativeRC() *NativeRC {
+	return &NativeRC{
+		ReconfigInterval: 500 * time.Millisecond,
+		Alpha:            0.25,
+		smoothed:         stats.NewEWMA(0.25),
+	}
+}
+
+// Name implements Controller.
+func (n *NativeRC) Name() string { return "native-rc" }
+
+// OnFeedback implements Controller.
+func (n *NativeRC) OnFeedback(now time.Duration, snap cc.Snapshot) {
+	if snap.Target > 0 {
+		n.smoothed.Update(snap.Target)
+	}
+}
+
+// BeforeEncode implements Controller.
+func (n *NativeRC) BeforeEncode(ctx FrameContext) codec.Directives {
+	var d codec.Directives
+	if ctx.KeyframeRequested {
+		d.ForceKeyframe = true
+	}
+	if !n.smoothed.Seeded() {
+		return d
+	}
+	if !n.hasReconfig || ctx.Now-n.lastReconfig >= n.ReconfigInterval {
+		d.TargetBitrate = n.smoothed.Value()
+		n.lastReconfig = ctx.Now
+		n.hasReconfig = true
+	}
+	return d
+}
+
+// OnEncoded implements Controller.
+func (n *NativeRC) OnEncoded(time.Duration, codec.EncodedFrame) {}
+
+// ResetOnly retargets the encoder to the raw estimate before every frame
+// but performs none of the codec-parameter interventions.
+type ResetOnly struct {
+	latest float64
+}
+
+// NewResetOnly returns the reset-only controller.
+func NewResetOnly() *ResetOnly { return &ResetOnly{} }
+
+// Name implements Controller.
+func (r *ResetOnly) Name() string { return "reset-only" }
+
+// OnFeedback implements Controller.
+func (r *ResetOnly) OnFeedback(_ time.Duration, snap cc.Snapshot) {
+	if snap.Target > 0 {
+		r.latest = snap.Target
+	}
+}
+
+// BeforeEncode implements Controller.
+func (r *ResetOnly) BeforeEncode(ctx FrameContext) codec.Directives {
+	var d codec.Directives
+	if ctx.KeyframeRequested {
+		d.ForceKeyframe = true
+	}
+	if r.latest > 0 {
+		d.TargetBitrate = r.latest
+	}
+	return d
+}
+
+// OnEncoded implements Controller.
+func (r *ResetOnly) OnEncoded(time.Duration, codec.EncodedFrame) {}

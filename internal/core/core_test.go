@@ -1,0 +1,493 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rtcadapt/internal/cc"
+	"rtcadapt/internal/codec"
+	"rtcadapt/internal/video"
+)
+
+func snap(target float64) cc.Snapshot {
+	return cc.Snapshot{Target: target, Usage: cc.UsageNormal}
+}
+
+func ctx(now time.Duration, est cc.Snapshot) FrameContext {
+	return FrameContext{
+		Now:           now,
+		Frame:         video.Frame{Spatial: 10000, Temporal: 1500},
+		FrameInterval: 33 * time.Millisecond,
+		EncoderTarget: 2.5e6,
+		LastQP:        28,
+		VBVFill:       5e5,
+		VBVSize:       1e6,
+		Estimate:      est,
+	}
+}
+
+func TestNativeRCReconfigRateLimited(t *testing.T) {
+	n := NewNativeRC()
+	n.OnFeedback(0, snap(2e6))
+	d1 := n.BeforeEncode(ctx(0, snap(2e6)))
+	if d1.TargetBitrate == 0 {
+		t.Fatal("first reconfig missing")
+	}
+	// 100 ms later: inside the reconfig interval, no retarget.
+	n.OnFeedback(100*time.Millisecond, snap(1e6))
+	d2 := n.BeforeEncode(ctx(100*time.Millisecond, snap(1e6)))
+	if d2.TargetBitrate != 0 {
+		t.Errorf("retargeted after 100ms despite 500ms interval: %v", d2.TargetBitrate)
+	}
+	// 600 ms later: allowed, but the value is smoothed, not the raw 1e6.
+	n.OnFeedback(600*time.Millisecond, snap(1e6))
+	d3 := n.BeforeEncode(ctx(600*time.Millisecond, snap(1e6)))
+	if d3.TargetBitrate == 0 {
+		t.Fatal("no reconfig after interval elapsed")
+	}
+	if d3.TargetBitrate <= 1e6 || d3.TargetBitrate >= 2e6 {
+		t.Errorf("smoothed target %v, want strictly between 1e6 and 2e6", d3.TargetBitrate)
+	}
+}
+
+func TestNativeRCNeverUsesCodecKnobs(t *testing.T) {
+	n := NewNativeRC()
+	for i := 0; i < 50; i++ {
+		now := time.Duration(i) * 50 * time.Millisecond
+		n.OnFeedback(now, snap(0.5e6))
+		d := n.BeforeEncode(ctx(now, snap(0.5e6)))
+		if d.MinQPFloor != 0 || d.FrameSizeCapBytes != 0 || d.Skip || d.ForbidKeyframe || d.ReinitVBV {
+			t.Fatalf("baseline emitted codec intervention: %+v", d)
+		}
+	}
+}
+
+func TestNativeRCKeyframeRequest(t *testing.T) {
+	n := NewNativeRC()
+	c := ctx(0, snap(1e6))
+	c.KeyframeRequested = true
+	if !n.BeforeEncode(c).ForceKeyframe {
+		t.Error("PLI not honored")
+	}
+}
+
+func TestResetOnlyImmediateRetarget(t *testing.T) {
+	r := NewResetOnly()
+	r.OnFeedback(0, snap(2e6))
+	if d := r.BeforeEncode(ctx(0, snap(2e6))); d.TargetBitrate != 2e6 {
+		t.Errorf("target %v", d.TargetBitrate)
+	}
+	r.OnFeedback(50*time.Millisecond, snap(0.8e6))
+	d := r.BeforeEncode(ctx(50*time.Millisecond, snap(0.8e6)))
+	if d.TargetBitrate != 0.8e6 {
+		t.Errorf("target %v, want immediate 0.8e6", d.TargetBitrate)
+	}
+	if d.MinQPFloor != 0 || d.FrameSizeCapBytes != 0 || d.ReinitVBV {
+		t.Error("reset-only must not use codec knobs")
+	}
+}
+
+// driveSteady feeds n steady feedbacks at the given rate.
+func driveSteady(a *Adaptive, start time.Duration, rate float64, n int) time.Duration {
+	now := start
+	for i := 0; i < n; i++ {
+		a.OnFeedback(now, snap(rate))
+		now += 50 * time.Millisecond
+	}
+	return now
+}
+
+func TestAdaptiveDetectsDrop(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2.5e6, 40)
+	if a.Mode() != "normal" {
+		t.Fatalf("mode %v before drop", a.Mode())
+	}
+	// Estimate collapses.
+	a.OnFeedback(now, snap(1.0e6))
+	a.OnFeedback(now+50*time.Millisecond, snap(0.9e6))
+	if a.Mode() != "drop" {
+		t.Fatalf("mode %v after estimate collapse, want drop", a.Mode())
+	}
+	if a.DropCount() != 1 {
+		t.Errorf("DropCount = %d", a.DropCount())
+	}
+}
+
+func TestAdaptiveDetectsOveruseWithoutRateFall(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2e6, 40)
+	s := cc.Snapshot{Target: 2e6, Usage: cc.UsageOver, QueueDelay: 120 * time.Millisecond}
+	a.OnFeedback(now, s)
+	if a.Mode() != "drop" {
+		t.Errorf("overuse signal did not trigger drop mode: %v", a.Mode())
+	}
+}
+
+func TestAdaptiveDropDirectives(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2.5e6, 40)
+	a.OnFeedback(now, snap(0.8e6))
+	a.OnFeedback(now+50*time.Millisecond, snap(0.8e6))
+
+	c := ctx(now+60*time.Millisecond, snap(0.8e6))
+	c.Estimate.QueueDelay = 150 * time.Millisecond
+	d := a.BeforeEncode(c)
+
+	if d.TargetBitrate >= 0.8e6 {
+		t.Errorf("drop target %v, want margin below 0.8e6", d.TargetBitrate)
+	}
+	if d.MinQPFloor != c.LastQP+6 {
+		t.Errorf("QP floor %d, want lastQP+6 = %d", d.MinQPFloor, c.LastQP+6)
+	}
+	if d.FrameSizeCapBytes <= 0 {
+		t.Error("no frame size cap in drop mode")
+	}
+	wantCapBits := 0.9 * 0.8e6 * 0.033 * 1.25
+	wantCap := int(wantCapBits / 8)
+	if d.FrameSizeCapBytes < wantCap/2 || d.FrameSizeCapBytes > wantCap*2 {
+		t.Errorf("frame cap %d far from expected ~%d", d.FrameSizeCapBytes, wantCap)
+	}
+	if !d.ReinitVBV {
+		t.Error("no VBV reinit on drop entry")
+	}
+	if !d.ForbidKeyframe {
+		t.Error("keyframes not suppressed during drain")
+	}
+
+	// Second frame: clamp and VBV reinit are one-shot; cap persists.
+	d2 := a.BeforeEncode(c)
+	if d2.MinQPFloor != 0 {
+		t.Error("QP clamp should be one-shot")
+	}
+	if d2.ReinitVBV {
+		t.Error("VBV reinit should be one-shot")
+	}
+	if d2.FrameSizeCapBytes <= 0 {
+		t.Error("frame cap should persist during drop")
+	}
+}
+
+func TestAdaptiveSkipHysteresis(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2.5e6, 40)
+	a.OnFeedback(now, snap(0.5e6))
+	a.OnFeedback(now+50*time.Millisecond, snap(0.5e6))
+
+	high := ctx(now+60*time.Millisecond, snap(0.5e6))
+	high.Estimate.QueueDelay = 400 * time.Millisecond
+	if d := a.BeforeEncode(high); !d.Skip {
+		t.Fatal("backlog above threshold did not skip")
+	}
+	// Still above half threshold: keep skipping.
+	mid := high
+	mid.Estimate.QueueDelay = 200 * time.Millisecond
+	if d := a.BeforeEncode(mid); !d.Skip {
+		t.Error("skip should persist above half threshold")
+	}
+	// Below half threshold: resume encoding.
+	low := high
+	low.Estimate.QueueDelay = 100 * time.Millisecond
+	if d := a.BeforeEncode(low); d.Skip {
+		t.Error("skip did not stop below half threshold")
+	}
+	if a.SkipCount() < 2 {
+		t.Errorf("SkipCount = %d", a.SkipCount())
+	}
+}
+
+func TestAdaptiveRecoveryRampsWithoutOvershoot(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2.5e6, 40)
+	a.OnFeedback(now, snap(0.8e6))
+	now += 50 * time.Millisecond
+	a.OnFeedback(now, snap(0.8e6))
+	if a.Mode() != "drop" {
+		t.Fatal("not in drop")
+	}
+	// Queue drains: three consecutive low-delay feedbacks move to recovery.
+	for i := 0; i < 3; i++ {
+		now += 50 * time.Millisecond
+		a.OnFeedback(now, cc.Snapshot{Target: 0.8e6, QueueDelay: 10 * time.Millisecond})
+	}
+	if a.Mode() != "recovery" {
+		t.Fatalf("mode %v after drain, want recovery", a.Mode())
+	}
+	// During recovery the target never exceeds the estimate and
+	// eventually reaches it, returning to normal.
+	prev := 0.0
+	for i := 0; i < 100 && a.Mode() == "recovery"; i++ {
+		now += 50 * time.Millisecond
+		a.OnFeedback(now, cc.Snapshot{Target: 0.8e6, QueueDelay: 5 * time.Millisecond})
+		d := a.BeforeEncode(ctx(now, snap(0.8e6)))
+		if d.TargetBitrate > 0.8e6+1 {
+			t.Fatalf("recovery overshoot: %v", d.TargetBitrate)
+		}
+		if d.TargetBitrate+1 < prev {
+			t.Fatalf("recovery target regressed: %v < %v", d.TargetBitrate, prev)
+		}
+		prev = d.TargetBitrate
+	}
+	if a.Mode() != "normal" {
+		t.Errorf("mode %v after recovery, want normal", a.Mode())
+	}
+}
+
+func TestAdaptiveNormalFollowsEstimate(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2e6, 40)
+	d := a.BeforeEncode(ctx(now, snap(2e6)))
+	if d.TargetBitrate != 2e6 {
+		t.Errorf("normal-mode target %v, want raw estimate", d.TargetBitrate)
+	}
+	if d.MinQPFloor != 0 || d.FrameSizeCapBytes != 0 || d.Skip {
+		t.Error("interventions active in normal mode")
+	}
+}
+
+func TestAdaptiveAblationToggles(t *testing.T) {
+	mkDropped := func(cfg AdaptiveConfig) (*Adaptive, FrameContext) {
+		a := NewAdaptive(cfg)
+		now := driveSteady(a, 0, 2.5e6, 40)
+		a.OnFeedback(now, snap(0.8e6))
+		a.OnFeedback(now+50*time.Millisecond, snap(0.8e6))
+		c := ctx(now+60*time.Millisecond, snap(0.8e6))
+		c.Estimate.QueueDelay = 150 * time.Millisecond
+		return a, c
+	}
+
+	a, c := mkDropped(AdaptiveConfig{DisableQPClamp: true})
+	if d := a.BeforeEncode(c); d.MinQPFloor != 0 {
+		t.Error("DisableQPClamp ignored")
+	}
+	a, c = mkDropped(AdaptiveConfig{DisableFrameCap: true})
+	if d := a.BeforeEncode(c); d.FrameSizeCapBytes != 0 {
+		t.Error("DisableFrameCap ignored")
+	}
+	a, c = mkDropped(AdaptiveConfig{DisableVBVReinit: true})
+	if d := a.BeforeEncode(c); d.ReinitVBV {
+		t.Error("DisableVBVReinit ignored")
+	}
+	a, c = mkDropped(AdaptiveConfig{DisableKFSuppress: true})
+	if d := a.BeforeEncode(c); d.ForbidKeyframe {
+		t.Error("DisableKFSuppress ignored")
+	}
+	a, c = mkDropped(AdaptiveConfig{DisableSkip: true})
+	c.Estimate.QueueDelay = 500 * time.Millisecond
+	if d := a.BeforeEncode(c); d.Skip {
+		t.Error("DisableSkip ignored")
+	}
+	a, c = mkDropped(AdaptiveConfig{DisableDropMargin: true})
+	if d := a.BeforeEncode(c); d.TargetBitrate != 0.8e6 {
+		t.Errorf("DisableDropMargin: target %v, want raw 0.8e6", d.TargetBitrate)
+	}
+}
+
+func TestAdaptiveSuppressedKeyframeCounter(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2.5e6, 40)
+	a.OnFeedback(now, snap(0.8e6))
+	a.OnFeedback(now+50*time.Millisecond, snap(0.8e6))
+	c := ctx(now+60*time.Millisecond, snap(0.8e6))
+	c.Estimate.QueueDelay = 150 * time.Millisecond
+	c.Frame.SceneCut = true
+	a.BeforeEncode(c)
+	if a.SuppressedKeyframes() != 1 {
+		t.Errorf("SuppressedKeyframes = %d", a.SuppressedKeyframes())
+	}
+}
+
+func TestAdaptivePLIOverridesSkipAndSuppression(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2.5e6, 40)
+	a.OnFeedback(now, snap(0.5e6))
+	a.OnFeedback(now+50*time.Millisecond, snap(0.5e6))
+	c := ctx(now+60*time.Millisecond, snap(0.5e6))
+	c.Estimate.QueueDelay = 400 * time.Millisecond
+	c.KeyframeRequested = true
+	d := a.BeforeEncode(c)
+	if !d.ForceKeyframe {
+		t.Error("PLI ignored")
+	}
+	if d.Skip {
+		t.Error("PLI frame skipped")
+	}
+	if d.ForbidKeyframe {
+		t.Error("PLI frame has ForbidKeyframe set")
+	}
+}
+
+func TestControllerNames(t *testing.T) {
+	if NewNativeRC().Name() != "native-rc" ||
+		NewResetOnly().Name() != "reset-only" ||
+		NewAdaptive(AdaptiveConfig{}).Name() != "adaptive" {
+		t.Error("controller names")
+	}
+}
+
+func TestAdaptiveNoSnapshotNoDirectives(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	d := a.BeforeEncode(ctx(0, snap(0)))
+	if d.TargetBitrate != 0 {
+		t.Error("directives emitted before any feedback")
+	}
+}
+
+func TestAdaptiveRedropDuringRecovery(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2.5e6, 40)
+	a.OnFeedback(now, snap(0.8e6))
+	now += 50 * time.Millisecond
+	a.OnFeedback(now, snap(0.8e6))
+	for i := 0; i < 3; i++ {
+		now += 50 * time.Millisecond
+		a.OnFeedback(now, cc.Snapshot{Target: 0.8e6, QueueDelay: 5 * time.Millisecond})
+	}
+	if a.Mode() != "recovery" {
+		t.Fatal("not in recovery")
+	}
+	// A second collapse during recovery re-enters drop.
+	now += 50 * time.Millisecond
+	a.OnFeedback(now, cc.Snapshot{Target: 0.3e6, Usage: cc.UsageOver, QueueDelay: 200 * time.Millisecond})
+	if a.Mode() != "drop" {
+		t.Errorf("mode %v, want drop on re-collapse", a.Mode())
+	}
+	if a.DropCount() != 2 {
+		t.Errorf("DropCount = %d, want 2", a.DropCount())
+	}
+}
+
+var _ = codec.Directives{} // keep codec import obvious for readers
+
+func TestDesiredScaleLadder(t *testing.T) {
+	cases := []struct {
+		target, current, want float64
+	}{
+		{2e6, 1.0, 1.0},
+		{1e6, 1.0, 0.75},  // below the 1.2 Mbps rung
+		{0.5e6, 1.0, 0.5}, // down two rungs
+		{0.2e6, 1.0, 0.375},
+		{1.3e6, 0.75, 0.75}, // 1.3 < 1.2*1.25: hysteresis holds the rung
+		{1.6e6, 0.75, 1.0},  // clear headroom: switch up
+		{0.8e6, 0.5, 0.5},   // 0.8 < 0.7*1.25 = 0.875: hysteresis holds
+		{0.9e6, 0.5, 0.75},  // above the hysteresis bar: switch up one rung
+	}
+	for _, c := range cases {
+		if got := desiredScale(c.target, c.current); got != c.want {
+			t.Errorf("desiredScale(%.1e, %v) = %v, want %v", c.target, c.current, got, c.want)
+		}
+	}
+}
+
+func TestAdaptiveResolutionDisabledByDefault(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 0.4e6, 40) // target far below the top rung
+	c := ctx(now, snap(0.4e6))
+	c.EncoderScale = 1.0
+	if d := a.BeforeEncode(c); d.SetScale != 0 {
+		t.Error("resolution switched despite EnableResolution=false")
+	}
+}
+
+func TestAdaptiveResolutionSwitchesDown(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{EnableResolution: true})
+	now := driveSteady(a, 0, 0.4e6, 40)
+	c := ctx(now, snap(0.4e6))
+	c.EncoderScale = 1.0
+	d := a.BeforeEncode(c)
+	if d.SetScale != 0.5 {
+		t.Errorf("SetScale = %v, want 0.5 at 0.4 Mbps", d.SetScale)
+	}
+	if a.ResolutionSwitches() != 1 {
+		t.Errorf("switch counter = %d", a.ResolutionSwitches())
+	}
+}
+
+func TestAdaptiveResolutionSwitchesUpOnlyWhenStable(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{EnableResolution: true})
+	// Enter drop mode with a low target.
+	now := driveSteady(a, 0, 2.5e6, 40)
+	a.OnFeedback(now, snap(0.4e6))
+	now += 50 * time.Millisecond
+	a.OnFeedback(now, snap(0.4e6))
+	if a.Mode() != "drop" {
+		t.Fatal("not in drop")
+	}
+	// Pretend the encoder already sits at 0.5; a target recovery to
+	// 2 Mbps while still in drop must NOT switch up.
+	a.target = 2e6
+	c := ctx(now, snap(2e6))
+	c.EncoderScale = 0.5
+	c.Estimate.QueueDelay = 10 * time.Millisecond
+	if d := a.BeforeEncode(c); d.SetScale != 0 {
+		t.Errorf("switched up during drop: %v", d.SetScale)
+	}
+}
+
+func TestNativeRCFirstReconfigImmediate(t *testing.T) {
+	n := NewNativeRC()
+	n.OnFeedback(0, snap(1.5e6))
+	if d := n.BeforeEncode(ctx(0, snap(1.5e6))); d.TargetBitrate == 0 {
+		t.Error("first reconfig should not wait for the interval")
+	}
+}
+
+func TestNativeRCSmoothingConverges(t *testing.T) {
+	n := NewNativeRC()
+	var last float64
+	for i := 0; i < 100; i++ {
+		now := time.Duration(i) * 600 * time.Millisecond
+		n.OnFeedback(now, snap(2e6))
+		if d := n.BeforeEncode(ctx(now, snap(2e6))); d.TargetBitrate > 0 {
+			last = d.TargetBitrate
+		}
+	}
+	if last < 1.95e6 || last > 2.05e6 {
+		t.Errorf("smoothed target %v did not converge to 2e6", last)
+	}
+}
+
+func TestAdaptiveModeStringAndZeroSnapshotIgnored(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	if a.Mode() != "normal" {
+		t.Errorf("initial mode %q", a.Mode())
+	}
+	a.OnFeedback(0, snap(0)) // zero target must be ignored
+	if d := a.BeforeEncode(ctx(0, snap(0))); d.TargetBitrate != 0 {
+		t.Error("zero-target feedback produced directives")
+	}
+}
+
+func TestAdaptiveDropCapFloor(t *testing.T) {
+	// Even at absurdly low estimates the frame cap keeps a minimum floor
+	// so frames remain encodable.
+	a := NewAdaptive(AdaptiveConfig{})
+	now := driveSteady(a, 0, 2.5e6, 40)
+	a.OnFeedback(now, snap(60e3))
+	a.OnFeedback(now+50*time.Millisecond, snap(60e3))
+	c := ctx(now+60*time.Millisecond, snap(60e3))
+	c.Estimate.QueueDelay = 100 * time.Millisecond
+	d := a.BeforeEncode(c)
+	if d.FrameSizeCapBytes < 250 {
+		t.Errorf("frame cap %d below floor", d.FrameSizeCapBytes)
+	}
+}
+
+func TestAdaptiveResolutionSwitchClearsKeyframeSuppression(t *testing.T) {
+	// A downward resolution switch must emit its keyframe even while
+	// keyframe suppression is active.
+	a := NewAdaptive(AdaptiveConfig{EnableResolution: true})
+	now := driveSteady(a, 0, 2.5e6, 40)
+	a.OnFeedback(now, snap(0.4e6))
+	a.OnFeedback(now+50*time.Millisecond, snap(0.4e6))
+	c := ctx(now+60*time.Millisecond, snap(0.4e6))
+	c.EncoderScale = 1.0
+	c.Estimate.QueueDelay = 150 * time.Millisecond // suppression zone
+	d := a.BeforeEncode(c)
+	if d.SetScale == 0 {
+		t.Fatal("no switch at starvation rate")
+	}
+	if d.ForbidKeyframe {
+		t.Error("switch blocked by keyframe suppression")
+	}
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rtcadapt/internal/core"
+	"rtcadapt/internal/metrics"
+	"rtcadapt/internal/session"
+	"rtcadapt/internal/trace"
+	"rtcadapt/internal/video"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 2 — latency reduction vs drop severity.
+
+// Figure2Point is one severity sample.
+type Figure2Point struct {
+	// Severity is the fraction of capacity lost (0.2 = drop to 80%).
+	Severity     float64
+	BaselineP95  time.Duration
+	AdaptiveP95  time.Duration
+	ReductionPct float64
+}
+
+// Figure2 sweeps drop severity at a fixed 2.5 Mbps starting capacity.
+func Figure2(seeds []int64) []Figure2Point {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	var out []Figure2Point
+	for _, sev := range []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		sc := DropScenario{
+			Name:    fmt.Sprintf("sev-%.1f", sev),
+			Before:  2.5e6,
+			After:   2.5e6 * (1 - sev),
+			DropAt:  10 * time.Second,
+			Content: video.TalkingHead,
+		}
+		base := meanOverSeeds(seeds, func(seed int64) float64 {
+			return postDrop(sc, runDrop(sc, KindNative, seed)).P95NetDelay.Seconds()
+		})
+		adpt := meanOverSeeds(seeds, func(seed int64) float64 {
+			return postDrop(sc, runDrop(sc, KindAdaptive, seed)).P95NetDelay.Seconds()
+		})
+		out = append(out, Figure2Point{
+			Severity:     sev,
+			BaselineP95:  time.Duration(base * float64(time.Second)),
+			AdaptiveP95:  time.Duration(adpt * float64(time.Second)),
+			ReductionPct: (1 - adpt/base) * 100,
+		})
+	}
+	return out
+}
+
+// RenderFigure2 renders the severity sweep.
+func RenderFigure2(points []Figure2Point) string {
+	tb := metrics.NewTable("severity", "baseline P95 (ms)", "adaptive P95 (ms)", "latency reduction")
+	for _, p := range points {
+		tb.AddRow(fmt.Sprintf("%.0f%%", p.Severity*100),
+			metrics.Ms(p.BaselineP95), metrics.Ms(p.AdaptiveP95),
+			fmt.Sprintf("%.2f%%", p.ReductionPct))
+	}
+	return "Figure 2: latency reduction vs drop severity (2.5 Mbps start)\n" + tb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — post-drop latency CDF, all controllers.
+
+// Figure3Series is one controller's latency CDF.
+type Figure3Series struct {
+	Kind ControllerKind
+	// DelaysMs is sorted; Fractions[i] is the CDF at DelaysMs[i].
+	DelaysMs, Fractions []float64
+	// P50 and P95 are convenience quantiles in ms.
+	P50, P95 float64
+}
+
+// Figure3 runs the canonical drop under every controller kind, pooling
+// post-drop frame latencies across seeds.
+func Figure3(seeds []int64) []Figure3Series {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	sc := DropScenario{
+		Name: "2.5->0.8", Before: 2.5e6, After: 0.8e6,
+		DropAt: 10 * time.Second, Content: video.TalkingHead,
+	}
+	var out []Figure3Series
+	for _, kind := range Kinds() {
+		var pooled []metrics.FrameRecord
+		for _, seed := range seeds {
+			res := runDrop(sc, kind, seed)
+			pooled = append(pooled, res.Records...)
+		}
+		ds, fs := metrics.CDF(pooled, sc.DropAt, sc.DropAt+PostDropWindow)
+		s := Figure3Series{Kind: kind, DelaysMs: ds, Fractions: fs}
+		s.P50 = quantileOf(ds, 0.50)
+		s.P95 = quantileOf(ds, 0.95)
+		out = append(out, s)
+	}
+	return out
+}
+
+func quantileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// RenderFigure3 renders the CDF summary.
+func RenderFigure3(series []Figure3Series) string {
+	tb := metrics.NewTable("controller", "frames", "P50 (ms)", "P95 (ms)")
+	for _, s := range series {
+		tb.AddRow(string(s.Kind), fmt.Sprintf("%d", len(s.DelaysMs)),
+			fmt.Sprintf("%.1f", s.P50), fmt.Sprintf("%.1f", s.P95))
+	}
+	return "Figure 3: post-drop frame latency CDF (2.5->0.8 Mbps)\n" + tb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — mechanism ablation.
+
+// Table3Row is one ablation variant.
+type Table3Row struct {
+	Variant     string
+	P95         time.Duration
+	MeanSSIM    float64
+	DeltaVsFull float64 // P95 change vs the full scheme, percent
+}
+
+// allDisabled is the adaptive controller reduced to fast retargeting only
+// (equivalent in spirit to reset-only, but with the same drop-state
+// machinery), the base for the "+mechanism" direction.
+func allDisabled() core.AdaptiveConfig {
+	return core.AdaptiveConfig{
+		DisableQPClamp:    true,
+		DisableFrameCap:   true,
+		DisableVBVReinit:  true,
+		DisableSkip:       true,
+		DisableKFSuppress: true,
+		DisableDropMargin: true,
+	}
+}
+
+// Table3 measures each adaptive mechanism in both directions on a severe
+// gaming-content drop: "full -X" removes one mechanism from the full
+// scheme (marginal contribution), "base +X" adds one mechanism to the
+// retarget-only base (standalone contribution). Mechanisms overlap, so the
+// two directions differ.
+func Table3(seeds []int64) []Table3Row {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	sc := DropScenario{
+		Name: "2.5->0.6", Before: 2.5e6, After: 0.6e6,
+		DropAt: 10 * time.Second, Content: video.Gaming,
+	}
+	enable := func(mut func(*core.AdaptiveConfig)) core.AdaptiveConfig {
+		cfg := allDisabled()
+		mut(&cfg)
+		return cfg
+	}
+	variants := []struct {
+		name string
+		cfg  core.AdaptiveConfig
+	}{
+		{"full", core.AdaptiveConfig{}},
+		{"full -qp-clamp", core.AdaptiveConfig{DisableQPClamp: true}},
+		{"full -frame-cap", core.AdaptiveConfig{DisableFrameCap: true}},
+		{"full -vbv-reinit", core.AdaptiveConfig{DisableVBVReinit: true}},
+		{"full -skip", core.AdaptiveConfig{DisableSkip: true}},
+		{"full -kf-suppress", core.AdaptiveConfig{DisableKFSuppress: true}},
+		{"full -margin", core.AdaptiveConfig{DisableDropMargin: true}},
+		{"base (retarget only)", allDisabled()},
+		{"base +qp-clamp", enable(func(c *core.AdaptiveConfig) { c.DisableQPClamp = false })},
+		{"base +frame-cap", enable(func(c *core.AdaptiveConfig) { c.DisableFrameCap = false })},
+		{"base +vbv-reinit", enable(func(c *core.AdaptiveConfig) { c.DisableVBVReinit = false })},
+		{"base +skip", enable(func(c *core.AdaptiveConfig) { c.DisableSkip = false })},
+		{"base +kf-suppress", enable(func(c *core.AdaptiveConfig) { c.DisableKFSuppress = false })},
+		{"base +margin", enable(func(c *core.AdaptiveConfig) { c.DisableDropMargin = false })},
+	}
+	run := func(cfg core.AdaptiveConfig, seed int64) session.Result {
+		tr := trace.StepDrop(sc.Before, sc.After, sc.DropAt)
+		c := buildConfig(tr, sc.Content, KindAdaptive, seed, sc.DropAt+20*time.Second, cfg)
+		return session.Run(c)
+	}
+	var rows []Table3Row
+	var fullP95 float64
+	for _, v := range variants {
+		var p95, ssim float64
+		for _, seed := range seeds {
+			res := run(v.cfg, seed)
+			p95 += postDrop(sc, res).P95NetDelay.Seconds()
+			ssim += res.Report.MeanSSIM
+		}
+		p95 /= float64(len(seeds))
+		ssim /= float64(len(seeds))
+		if v.name == "full" {
+			fullP95 = p95
+		}
+		delta := 0.0
+		if fullP95 > 0 {
+			delta = (p95/fullP95 - 1) * 100
+		}
+		rows = append(rows, Table3Row{
+			Variant:     v.name,
+			P95:         time.Duration(p95 * float64(time.Second)),
+			MeanSSIM:    ssim,
+			DeltaVsFull: delta,
+		})
+	}
+	return rows
+}
+
+// RenderTable3 renders the ablation table.
+func RenderTable3(rows []Table3Row) string {
+	tb := metrics.NewTable("variant", "post-drop P95 (ms)", "mean SSIM", "P95 vs full")
+	for _, r := range rows {
+		tb.AddRow(r.Variant, metrics.Ms(r.P95),
+			fmt.Sprintf("%.4f", r.MeanSSIM), fmt.Sprintf("%+.1f%%", r.DeltaVsFull))
+	}
+	return "Table 3: adaptive-mechanism ablation (2.5->0.6 Mbps, gaming)\n" + tb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — trace-driven evaluation on LTE/WiFi-like capacity.
+
+// Figure4Row is one (trace, content, controller) cell.
+type Figure4Row struct {
+	TraceName  string
+	Content    video.Class
+	Kind       ControllerKind
+	P95        time.Duration
+	MeanSSIM   float64
+	FreezeTime time.Duration
+	// MOS is the mean-opinion-score QoE estimate (1..5).
+	MOS float64
+}
+
+// Figure4 runs 60 s sessions on synthetic LTE and WiFi traces across all
+// content classes and controllers.
+func Figure4(seeds []int64) []Figure4Row {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	type traceGen struct {
+		name string
+		gen  func(seed int64) *trace.Trace
+	}
+	gens := []traceGen{
+		{"lte", func(seed int64) *trace.Trace {
+			return trace.LTE(seed+1000, 60*time.Second, trace.LTEConfig{Mean: 2.5e6, FadeProb: 0.02})
+		}},
+		{"wifi", func(seed int64) *trace.Trace {
+			return trace.WiFi(seed+2000, 60*time.Second, trace.WiFiConfig{Mean: 4e6})
+		}},
+	}
+	contents := []video.Class{video.TalkingHead, video.ScreenShare, video.Gaming, video.Sports}
+	var rows []Figure4Row
+	for _, g := range gens {
+		for _, content := range contents {
+			for _, kind := range []ControllerKind{KindNative, KindResetOnly, KindAdaptive} {
+				var p95, ssim, freeze, mos float64
+				for _, seed := range seeds {
+					res := session.Run(buildConfig(g.gen(seed), content, kind, seed, 60*time.Second, core.AdaptiveConfig{}))
+					p95 += res.Report.P95NetDelay.Seconds()
+					ssim += res.Report.MeanSSIM
+					freeze += res.Report.LongestFreeze.Seconds()
+					mos += metrics.MOS(res.Report)
+				}
+				n := float64(len(seeds))
+				p95, ssim, freeze, mos = p95/n, ssim/n, freeze/n, mos/n
+				rows = append(rows, Figure4Row{
+					TraceName:  g.name,
+					Content:    content,
+					Kind:       kind,
+					P95:        time.Duration(p95 * float64(time.Second)),
+					MeanSSIM:   ssim,
+					FreezeTime: time.Duration(freeze * float64(time.Second)),
+					MOS:        mos,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// RenderFigure4 renders the trace-driven comparison.
+func RenderFigure4(rows []Figure4Row) string {
+	tb := metrics.NewTable("trace", "content", "controller", "P95 (ms)", "mean SSIM", "longest freeze (ms)", "MOS")
+	for _, r := range rows {
+		tb.AddRow(r.TraceName, r.Content.String(), string(r.Kind),
+			metrics.Ms(r.P95), fmt.Sprintf("%.4f", r.MeanSSIM), metrics.Ms(r.FreezeTime),
+			fmt.Sprintf("%.2f", r.MOS))
+	}
+	return "Figure 4: trace-driven evaluation (60 s synthetic LTE/WiFi)\n" + tb.String()
+}

@@ -1,0 +1,34 @@
+package fb
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkReportMarshal(b *testing.B) {
+	rep := Report{GeneratedAt: time.Second, HighestSeq: 100}
+	for i := 0; i < 25; i++ {
+		rep.Arrivals = append(rep.Arrivals, PacketArrival{
+			TransportSeq: uint32(i), Arrival: time.Duration(i) * time.Millisecond, Size: 1200,
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rep.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistoryMatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := NewHistory()
+		rep := Report{HighestSeq: 99}
+		for seq := uint32(0); seq < 100; seq++ {
+			h.Add(seq, time.Duration(seq)*time.Millisecond, 1200)
+			rep.Arrivals = append(rep.Arrivals, PacketArrival{TransportSeq: seq, Arrival: time.Second, Size: 1200})
+		}
+		h.OnReport(rep)
+	}
+}

@@ -1,0 +1,197 @@
+// Package fb implements the congestion-control feedback channel: the
+// receiver periodically reports per-packet arrival timestamps (in the
+// spirit of transport-wide congestion control feedback, RFC 8888), loss
+// fractions, and keyframe requests (PLI). The sender matches reports
+// against its send history to produce the PacketResults consumed by the
+// bandwidth estimators in package cc.
+package fb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// PacketArrival is one received packet as seen by the receiver.
+type PacketArrival struct {
+	// TransportSeq is the transport-wide sequence number from the RTP
+	// extension.
+	TransportSeq uint32
+	// Arrival is the receiver-clock arrival time.
+	Arrival time.Duration
+	// Size is the on-wire packet size in bytes.
+	Size int
+}
+
+// Report is one feedback packet from receiver to sender.
+type Report struct {
+	// GeneratedAt is the receiver-clock time the report was produced.
+	GeneratedAt time.Duration
+	// Arrivals lists packets received since the previous report, in
+	// arrival order.
+	Arrivals []PacketArrival
+	// HighestSeq is the highest transport sequence number seen so far.
+	HighestSeq uint32
+	// FractionLost is the loss fraction over the reporting interval.
+	FractionLost float64
+	// PLI requests a keyframe (picture loss indication).
+	PLI bool
+	// Nacks lists RTP sequence numbers the receiver believes lost and
+	// wants retransmitted (RFC 4585 generic NACK).
+	Nacks []uint16
+}
+
+// WireSize returns the report's on-wire size in bytes, including IP/UDP
+// overhead, matching MarshalBinary's output length plus 28.
+func (r *Report) WireSize() int {
+	return 28 + reportFixedSize + len(r.Arrivals)*arrivalSize + len(r.Nacks)*2
+}
+
+const (
+	reportMagic     = 0xFB
+	reportFixedSize = 1 + 1 + 8 + 4 + 1 + 2 + 2 // magic, flags, time, highest, lost, counts
+	arrivalSize     = 4 + 8 + 2
+)
+
+// ErrBadReport is returned when unmarshaling malformed feedback.
+var ErrBadReport = errors.New("fb: malformed report")
+
+// MarshalBinary encodes the report.
+func (r *Report) MarshalBinary() ([]byte, error) {
+	if len(r.Arrivals) > 0xffff {
+		return nil, fmt.Errorf("%w: %d arrivals", ErrBadReport, len(r.Arrivals))
+	}
+	if len(r.Nacks) > 0xffff {
+		return nil, fmt.Errorf("%w: %d nacks", ErrBadReport, len(r.Nacks))
+	}
+	buf := make([]byte, reportFixedSize+len(r.Arrivals)*arrivalSize+len(r.Nacks)*2)
+	buf[0] = reportMagic
+	if r.PLI {
+		buf[1] |= 1
+	}
+	binary.BigEndian.PutUint64(buf[2:], uint64(r.GeneratedAt))
+	binary.BigEndian.PutUint32(buf[10:], r.HighestSeq)
+	lost := r.FractionLost
+	if lost < 0 {
+		lost = 0
+	}
+	if lost > 1 {
+		lost = 1
+	}
+	buf[14] = byte(lost * 255)
+	binary.BigEndian.PutUint16(buf[15:], uint16(len(r.Arrivals)))
+	binary.BigEndian.PutUint16(buf[17:], uint16(len(r.Nacks)))
+	off := reportFixedSize
+	for _, a := range r.Arrivals {
+		if a.Size < 0 || a.Size > 0xffff {
+			return nil, fmt.Errorf("%w: size %d", ErrBadReport, a.Size)
+		}
+		binary.BigEndian.PutUint32(buf[off:], a.TransportSeq)
+		binary.BigEndian.PutUint64(buf[off+4:], uint64(a.Arrival))
+		binary.BigEndian.PutUint16(buf[off+12:], uint16(a.Size))
+		off += arrivalSize
+	}
+	for _, n := range r.Nacks {
+		binary.BigEndian.PutUint16(buf[off:], n)
+		off += 2
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a report produced by MarshalBinary.
+func (r *Report) UnmarshalBinary(buf []byte) error {
+	if len(buf) < reportFixedSize || buf[0] != reportMagic {
+		return ErrBadReport
+	}
+	if buf[1]&^1 != 0 {
+		return fmt.Errorf("%w: unknown flags %#x", ErrBadReport, buf[1])
+	}
+	r.PLI = buf[1]&1 != 0
+	r.GeneratedAt = time.Duration(binary.BigEndian.Uint64(buf[2:]))
+	r.HighestSeq = binary.BigEndian.Uint32(buf[10:])
+	r.FractionLost = float64(buf[14]) / 255
+	n := int(binary.BigEndian.Uint16(buf[15:]))
+	nn := int(binary.BigEndian.Uint16(buf[17:]))
+	if len(buf) != reportFixedSize+n*arrivalSize+nn*2 {
+		return fmt.Errorf("%w: truncated body", ErrBadReport)
+	}
+	r.Arrivals = make([]PacketArrival, n)
+	off := reportFixedSize
+	for i := range r.Arrivals {
+		r.Arrivals[i] = PacketArrival{
+			TransportSeq: binary.BigEndian.Uint32(buf[off:]),
+			Arrival:      time.Duration(binary.BigEndian.Uint64(buf[off+4:])),
+			Size:         int(binary.BigEndian.Uint16(buf[off+12:])),
+		}
+		off += arrivalSize
+	}
+	r.Nacks = nil
+	for i := 0; i < nn; i++ {
+		r.Nacks = append(r.Nacks, binary.BigEndian.Uint16(buf[off:]))
+		off += 2
+	}
+	return nil
+}
+
+// Recorder is the receiver-side feedback state: it accumulates arrivals and
+// produces Reports on demand. Not safe for concurrent use.
+type Recorder struct {
+	pending    []PacketArrival
+	highest    uint32
+	hasHighest bool
+	// Loss accounting over the current interval.
+	received  int
+	expectLo  uint32
+	pliArmed  bool
+	totalRecv uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// OnPacket records one received media packet.
+func (rec *Recorder) OnPacket(transportSeq uint32, arrival time.Duration, size int) {
+	rec.pending = append(rec.pending, PacketArrival{
+		TransportSeq: transportSeq, Arrival: arrival, Size: size,
+	})
+	if !rec.hasHighest {
+		rec.expectLo = transportSeq
+		rec.highest = transportSeq
+		rec.hasHighest = true
+	} else if transportSeq > rec.highest {
+		rec.highest = transportSeq
+	}
+	rec.received++
+	rec.totalRecv++
+}
+
+// RequestPLI arms a keyframe request for the next report.
+func (rec *Recorder) RequestPLI() { rec.pliArmed = true }
+
+// TotalReceived returns the number of media packets recorded.
+func (rec *Recorder) TotalReceived() uint64 { return rec.totalRecv }
+
+// Flush produces a report covering everything since the previous Flush and
+// resets the interval state. now is the receiver-clock time.
+func (rec *Recorder) Flush(now time.Duration) Report {
+	var lost float64
+	if rec.hasHighest {
+		expected := int(rec.highest) - int(rec.expectLo) + 1
+		if expected > 0 && rec.received < expected {
+			lost = float64(expected-rec.received) / float64(expected)
+		}
+	}
+	rep := Report{
+		GeneratedAt:  now,
+		Arrivals:     rec.pending,
+		HighestSeq:   rec.highest,
+		FractionLost: lost,
+		PLI:          rec.pliArmed,
+	}
+	rec.pending = nil
+	rec.received = 0
+	rec.expectLo = rec.highest + 1
+	rec.pliArmed = false
+	return rep
+}

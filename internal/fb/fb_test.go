@@ -1,0 +1,298 @@
+package fb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestReportMarshalRoundTrip(t *testing.T) {
+	orig := Report{
+		GeneratedAt: 123456789 * time.Nanosecond,
+		Arrivals: []PacketArrival{
+			{TransportSeq: 10, Arrival: 1000 * time.Nanosecond, Size: 1240},
+			{TransportSeq: 11, Arrival: 2000 * time.Nanosecond, Size: 64},
+		},
+		HighestSeq:   11,
+		FractionLost: 0.25,
+		PLI:          true,
+	}
+	buf, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Report
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.GeneratedAt != orig.GeneratedAt || got.HighestSeq != orig.HighestSeq || got.PLI != orig.PLI {
+		t.Errorf("fixed fields mismatch: %+v", got)
+	}
+	if math.Abs(got.FractionLost-orig.FractionLost) > 1.0/255 {
+		t.Errorf("FractionLost %v -> %v", orig.FractionLost, got.FractionLost)
+	}
+	if len(got.Arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(got.Arrivals))
+	}
+	for i := range got.Arrivals {
+		if got.Arrivals[i] != orig.Arrivals[i] {
+			t.Errorf("arrival %d: %+v != %+v", i, got.Arrivals[i], orig.Arrivals[i])
+		}
+	}
+	if orig.WireSize() != 28+len(buf) {
+		t.Errorf("WireSize %d != 28+%d", orig.WireSize(), len(buf))
+	}
+}
+
+// Property: marshal/unmarshal round-trips arrivals exactly.
+func TestReportRoundTripProperty(t *testing.T) {
+	f := func(seqs []uint32, pli bool) bool {
+		rep := Report{GeneratedAt: time.Second, PLI: pli}
+		for i, s := range seqs {
+			rep.Arrivals = append(rep.Arrivals, PacketArrival{
+				TransportSeq: s,
+				Arrival:      time.Duration(i) * time.Millisecond,
+				Size:         (i * 37) % 1500,
+			})
+		}
+		buf, err := rep.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Report
+		if err := got.UnmarshalBinary(buf); err != nil {
+			return false
+		}
+		if got.PLI != pli || len(got.Arrivals) != len(rep.Arrivals) {
+			return false
+		}
+		for i := range got.Arrivals {
+			if got.Arrivals[i] != rep.Arrivals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportUnmarshalErrors(t *testing.T) {
+	var r Report
+	if err := r.UnmarshalBinary(nil); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	if err := r.UnmarshalBinary(make([]byte, reportFixedSize)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	good, _ := (&Report{Arrivals: []PacketArrival{{}}}).MarshalBinary()
+	if err := r.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("truncated arrivals accepted")
+	}
+}
+
+func TestRecorderBasicFlow(t *testing.T) {
+	rec := NewRecorder()
+	rec.OnPacket(0, 10*time.Millisecond, 1200)
+	rec.OnPacket(1, 12*time.Millisecond, 1200)
+	rec.OnPacket(2, 14*time.Millisecond, 600)
+	rep := rec.Flush(20 * time.Millisecond)
+	if len(rep.Arrivals) != 3 {
+		t.Fatalf("arrivals = %d, want 3", len(rep.Arrivals))
+	}
+	if rep.HighestSeq != 2 || rep.FractionLost != 0 || rep.PLI {
+		t.Errorf("report %+v", rep)
+	}
+	// Second interval is empty.
+	rep2 := rec.Flush(40 * time.Millisecond)
+	if len(rep2.Arrivals) != 0 {
+		t.Errorf("second flush has %d arrivals", len(rep2.Arrivals))
+	}
+	if rec.TotalReceived() != 3 {
+		t.Errorf("TotalReceived = %d", rec.TotalReceived())
+	}
+}
+
+func TestRecorderLossFraction(t *testing.T) {
+	rec := NewRecorder()
+	// Sequences 0..9 expected, 2 missing.
+	for seq := uint32(0); seq < 10; seq++ {
+		if seq == 3 || seq == 7 {
+			continue
+		}
+		rec.OnPacket(seq, time.Duration(seq)*time.Millisecond, 100)
+	}
+	rep := rec.Flush(time.Second)
+	if math.Abs(rep.FractionLost-0.2) > 1e-9 {
+		t.Errorf("FractionLost = %v, want 0.2", rep.FractionLost)
+	}
+	// Next interval restarts loss accounting after the highest seq.
+	rec.OnPacket(10, 11*time.Millisecond, 100)
+	rep2 := rec.Flush(2 * time.Second)
+	if rep2.FractionLost != 0 {
+		t.Errorf("second interval FractionLost = %v, want 0", rep2.FractionLost)
+	}
+}
+
+func TestRecorderPLI(t *testing.T) {
+	rec := NewRecorder()
+	rec.RequestPLI()
+	if rep := rec.Flush(0); !rep.PLI {
+		t.Error("PLI not set")
+	}
+	if rep := rec.Flush(0); rep.PLI {
+		t.Error("PLI not cleared after flush")
+	}
+}
+
+func TestHistoryAckMatching(t *testing.T) {
+	h := NewHistory()
+	h.Add(0, 10*time.Millisecond, 1200)
+	h.Add(1, 11*time.Millisecond, 1200)
+	h.Add(2, 12*time.Millisecond, 600)
+	if got := h.InFlight(); got != 3000 {
+		t.Errorf("InFlight = %d, want 3000", got)
+	}
+	rep := Report{
+		Arrivals: []PacketArrival{
+			{TransportSeq: 0, Arrival: 40 * time.Millisecond, Size: 1200},
+			{TransportSeq: 2, Arrival: 43 * time.Millisecond, Size: 600},
+		},
+		HighestSeq: 2,
+	}
+	results := h.OnReport(rep)
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	if results[0].SendTime != 10*time.Millisecond || results[0].Arrival != 40*time.Millisecond {
+		t.Errorf("result 0 = %+v", results[0])
+	}
+	if results[0].Lost || results[1].Lost {
+		t.Error("acked packets marked lost")
+	}
+	if got := h.InFlight(); got != 1200 {
+		t.Errorf("InFlight after acks = %d, want 1200", got)
+	}
+	// Duplicate ack is ignored.
+	if dup := h.OnReport(rep); len(dup) != 0 {
+		t.Errorf("duplicate report produced %d results", len(dup))
+	}
+}
+
+func TestHistoryLossDeclaration(t *testing.T) {
+	h := NewHistory()
+	h.ReorderWindow = 5
+	for seq := uint32(0); seq < 20; seq++ {
+		h.Add(seq, time.Duration(seq)*time.Millisecond, 100)
+	}
+	// Ack everything except 2, advance highest to 19: cutoff = 14.
+	rep := Report{HighestSeq: 19}
+	for seq := uint32(0); seq < 20; seq++ {
+		if seq == 2 {
+			continue
+		}
+		rep.Arrivals = append(rep.Arrivals, PacketArrival{TransportSeq: seq, Arrival: time.Second, Size: 100})
+	}
+	results := h.OnReport(rep)
+	var lost []uint32
+	for _, r := range results {
+		if r.Lost {
+			lost = append(lost, r.TransportSeq)
+		}
+	}
+	if len(lost) != 1 || lost[0] != 2 {
+		t.Errorf("lost = %v, want [2]", lost)
+	}
+	// Loss is declared exactly once.
+	for _, r := range h.OnReport(Report{HighestSeq: 19}) {
+		if r.Lost {
+			t.Error("loss declared twice")
+		}
+	}
+}
+
+func TestHistoryReorderWindowHoldsFire(t *testing.T) {
+	h := NewHistory()
+	h.ReorderWindow = 100
+	for seq := uint32(0); seq < 10; seq++ {
+		h.Add(seq, 0, 100)
+	}
+	// Highest acked is 9, window 100: nothing can be declared lost yet.
+	rep := Report{HighestSeq: 9, Arrivals: []PacketArrival{{TransportSeq: 9, Arrival: time.Second, Size: 100}}}
+	for _, r := range h.OnReport(rep) {
+		if r.Lost {
+			t.Error("premature loss declaration inside reorder window")
+		}
+	}
+}
+
+// Property: every added packet is eventually reported exactly once (as ack
+// or loss) when everything is acked or the window passes.
+func TestHistoryConservationProperty(t *testing.T) {
+	f := func(drop []bool) bool {
+		if len(drop) == 0 || len(drop) > 200 {
+			return true
+		}
+		h := NewHistory()
+		h.ReorderWindow = 2
+		rep := Report{}
+		for i, d := range drop {
+			seq := uint32(i)
+			h.Add(seq, time.Duration(i)*time.Millisecond, 100)
+			if !d {
+				rep.Arrivals = append(rep.Arrivals, PacketArrival{TransportSeq: seq, Arrival: time.Second, Size: 100})
+			}
+			rep.HighestSeq = seq
+		}
+		// Push highest far past the end so every drop is past the window.
+		tail := uint32(len(drop)) + 10
+		h.Add(tail, time.Second, 100)
+		rep.Arrivals = append(rep.Arrivals, PacketArrival{TransportSeq: tail, Arrival: 2 * time.Second, Size: 100})
+		rep.HighestSeq = tail
+
+		results := h.OnReport(rep)
+		seen := make(map[uint32]int)
+		for _, r := range results {
+			seen[r.TransportSeq]++
+		}
+		for i := range drop {
+			if seen[uint32(i)] != 1 {
+				return false
+			}
+		}
+		return h.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecorderHighestAcrossIntervals(t *testing.T) {
+	rec := NewRecorder()
+	rec.OnPacket(5, time.Millisecond, 100)
+	rec.Flush(time.Second)
+	// A reordered lower seq in the next interval must not regress the
+	// highest-seq watermark.
+	rec.OnPacket(3, 2*time.Millisecond, 100)
+	rep := rec.Flush(2 * time.Second)
+	if rep.HighestSeq != 5 {
+		t.Errorf("HighestSeq = %d, want 5", rep.HighestSeq)
+	}
+}
+
+func TestReportEmptyRoundTrip(t *testing.T) {
+	r := Report{GeneratedAt: time.Second, HighestSeq: 9}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Arrivals) != 0 || len(got.Nacks) != 0 {
+		t.Error("empty report grew content")
+	}
+}

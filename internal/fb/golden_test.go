@@ -1,0 +1,36 @@
+package fb
+
+import (
+	"encoding/hex"
+	"testing"
+	"time"
+)
+
+// TestReportWireGolden pins the feedback wire layout.
+func TestReportWireGolden(t *testing.T) {
+	r := Report{
+		GeneratedAt:  time.Duration(0x0102030405060708),
+		Arrivals:     []PacketArrival{{TransportSeq: 0x0A0B0C0D, Arrival: time.Duration(0x1112131415161718), Size: 0x1234}},
+		HighestSeq:   0x0A0B0C0D,
+		FractionLost: 1.0,
+		PLI:          true,
+		Nacks:        []uint16{0xBEEF},
+	}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "fb01" + // magic, flags (PLI)
+		"0102030405060708" + // generated at
+		"0a0b0c0d" + // highest seq
+		"ff" + // fraction lost
+		"0001" + "0001" + // arrival count, nack count
+		"0a0b0c0d" + "1112131415161718" + "1234" + // arrival
+		"beef" // nack
+	if got := hex.EncodeToString(buf); got != want {
+		t.Errorf("wire layout changed:\n got  %s\n want %s", got, want)
+	}
+	if r.WireSize() != 28+len(buf) {
+		t.Errorf("WireSize %d inconsistent with marshaled length %d", r.WireSize(), len(buf))
+	}
+}

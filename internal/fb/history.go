@@ -1,0 +1,98 @@
+package fb
+
+import "time"
+
+// PacketResult is the sender-side join of a sent packet with its feedback:
+// the unit consumed by bandwidth estimators.
+type PacketResult struct {
+	// TransportSeq identifies the packet.
+	TransportSeq uint32
+	// Size is the on-wire size in bytes.
+	Size int
+	// SendTime is the sender-clock departure time.
+	SendTime time.Duration
+	// Arrival is the receiver-clock arrival time (zero when Lost).
+	Arrival time.Duration
+	// Lost marks a packet declared lost.
+	Lost bool
+}
+
+// History records sent packets and matches them against feedback reports.
+// Packets unacknowledged once feedback has advanced past them (beyond a
+// reordering allowance) are declared lost exactly once. Not safe for
+// concurrent use.
+type History struct {
+	sent map[uint32]sentEntry
+	// ReorderWindow is how many sequence numbers behind the highest
+	// acked a packet may lag before being declared lost. Default 100.
+	ReorderWindow uint32
+	lowestUnacked uint32
+	nextSeq       uint32
+}
+
+type sentEntry struct {
+	sendTime time.Duration
+	size     int
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{sent: make(map[uint32]sentEntry), ReorderWindow: 100}
+}
+
+// Add records a packet departure. Sequence numbers must be added in
+// increasing order.
+func (h *History) Add(transportSeq uint32, sendTime time.Duration, size int) {
+	h.sent[transportSeq] = sentEntry{sendTime: sendTime, size: size}
+	h.nextSeq = transportSeq + 1
+}
+
+// InFlight returns the total bytes sent but not yet acknowledged or
+// declared lost.
+func (h *History) InFlight() int {
+	total := 0
+	for _, e := range h.sent {
+		total += e.size
+	}
+	return total
+}
+
+// OnReport matches a feedback report against the history, returning one
+// PacketResult per acknowledged packet (in arrival order) followed by one
+// per newly declared loss.
+func (h *History) OnReport(rep Report) []PacketResult {
+	results := make([]PacketResult, 0, len(rep.Arrivals))
+	for _, a := range rep.Arrivals {
+		e, ok := h.sent[a.TransportSeq]
+		if !ok {
+			continue // duplicate ack or spoofed seq
+		}
+		delete(h.sent, a.TransportSeq)
+		results = append(results, PacketResult{
+			TransportSeq: a.TransportSeq,
+			Size:         e.size,
+			SendTime:     e.sendTime,
+			Arrival:      a.Arrival,
+		})
+	}
+	// Declare losses: anything below the reorder window that is still
+	// unacked is gone.
+	if rep.HighestSeq >= h.ReorderWindow {
+		cutoff := rep.HighestSeq - h.ReorderWindow
+		for seq := h.lowestUnacked; seq <= cutoff && seq < h.nextSeq; seq++ {
+			if e, ok := h.sent[seq]; ok {
+				delete(h.sent, seq)
+				results = append(results, PacketResult{
+					TransportSeq: seq,
+					Size:         e.size,
+					SendTime:     e.sendTime,
+					Lost:         true,
+				})
+			}
+		}
+		if cutoff+1 > h.lowestUnacked {
+			h.lowestUnacked = cutoff + 1
+		}
+	}
+	return results
+}

@@ -1,0 +1,236 @@
+// Package fec implements XOR-based forward error correction for media
+// packets, in the spirit of FlexFEC (RFC 8627): the sender emits one
+// repair packet per group of K media packets; the receiver can reconstruct
+// any single missing packet of a group from the repair plus the K-1
+// received packets — no retransmission round trip.
+//
+// The simulator transports packet sizes rather than payload bytes, so the
+// repair "carries" copies of the protected packets' headers; on a real
+// wire the same information is recovered by XORing the received packets
+// with the repair payload. The repair's wire size matches reality: the
+// longest protected packet plus a small FEC header.
+package fec
+
+import (
+	"rtcadapt/internal/rtp"
+)
+
+// RepairHeaderBytes is the FEC header overhead on the wire.
+const RepairHeaderBytes = 20
+
+// Repair is one FEC repair packet protecting a group of media packets.
+type Repair struct {
+	// RepairID identifies the repair packet.
+	RepairID uint32
+	// SSRC is the protected flow.
+	SSRC uint32
+	// TransportSeq is assigned by the sender so congestion-control
+	// feedback covers repair packets too.
+	TransportSeq uint32
+	// Protected holds copies of the protected packets (the simulator's
+	// stand-in for the XOR payload).
+	Protected []rtp.Packet
+	// WireBytes is the on-wire size of the repair packet.
+	WireBytes int
+}
+
+// WireSize returns the repair's on-wire size in bytes.
+func (r *Repair) WireSize() int { return r.WireBytes }
+
+// GroupEncoder produces repair packets for outgoing media. Not safe for
+// concurrent use.
+type GroupEncoder struct {
+	// K is the group size: one repair per K media packets. Smaller K
+	// means more overhead and more protection. Default 4.
+	K    int
+	ssrc uint32
+
+	nextID  uint32
+	pending []rtp.Packet
+}
+
+// NewGroupEncoder returns an encoder emitting one repair per k media
+// packets (k <= 0 selects 4) for the given SSRC.
+func NewGroupEncoder(ssrc uint32, k int) *GroupEncoder {
+	if k <= 0 {
+		k = 4
+	}
+	return &GroupEncoder{K: k, ssrc: ssrc}
+}
+
+// Overhead returns the nominal FEC bandwidth overhead fraction (1/K).
+func (e *GroupEncoder) Overhead() float64 { return 1 / float64(e.K) }
+
+// Add offers one outgoing media packet; when a group fills, the repair
+// packet is returned (nil otherwise).
+func (e *GroupEncoder) Add(pkt *rtp.Packet) *Repair {
+	e.pending = append(e.pending, *pkt)
+	if len(e.pending) < e.K {
+		return nil
+	}
+	return e.flush()
+}
+
+// Flush emits a repair for a partial group (e.g. at end of frame), or nil
+// if no packets are pending. Flushing frame-aligned groups keeps repair
+// latency at zero frames.
+func (e *GroupEncoder) Flush() *Repair {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	return e.flush()
+}
+
+func (e *GroupEncoder) flush() *Repair {
+	maxSize := 0
+	for i := range e.pending {
+		if s := e.pending[i].WireSize(); s > maxSize {
+			maxSize = s
+		}
+	}
+	rep := &Repair{
+		RepairID:  e.nextID,
+		SSRC:      e.ssrc,
+		Protected: e.pending,
+		WireBytes: maxSize + RepairHeaderBytes,
+	}
+	e.nextID++
+	e.pending = nil
+	return rep
+}
+
+// Decoder reconstructs missing media packets from repairs. Not safe for
+// concurrent use.
+type Decoder struct {
+	// MaxGroups bounds memory; oldest groups are evicted. Default 64.
+	MaxGroups int
+
+	groups    map[uint32]*group
+	order     []uint32
+	bySeq     map[uint16][]uint32 // media seq -> group ids
+	received  map[uint16]bool     // recently received media seqs
+	seqOrder  []uint16
+	recovered int
+}
+
+type group struct {
+	id        uint32
+	protected []rtp.Packet
+	done      bool
+}
+
+// NewDecoder returns an empty FEC decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{
+		MaxGroups: 64,
+		groups:    make(map[uint32]*group),
+		bySeq:     make(map[uint16][]uint32),
+		received:  make(map[uint16]bool),
+	}
+}
+
+// Recovered returns the number of packets reconstructed so far.
+func (d *Decoder) Recovered() int { return d.recovered }
+
+// OnMedia records an arrived media packet and returns any packets newly
+// recoverable as a result (a group that was missing two packets may
+// become recoverable when one of them arrives).
+func (d *Decoder) OnMedia(seq uint16) []*rtp.Packet {
+	d.markReceived(seq)
+	var out []*rtp.Packet
+	for _, gid := range d.bySeq[seq] {
+		if g, ok := d.groups[gid]; ok {
+			out = append(out, d.tryRecover(g)...)
+		}
+	}
+	return out
+}
+
+// OnRepair records an arrived repair packet and returns any packets it
+// recovers immediately.
+func (d *Decoder) OnRepair(rep *Repair) []*rtp.Packet {
+	if _, exists := d.groups[rep.RepairID]; exists {
+		return nil // duplicate
+	}
+	g := &group{id: rep.RepairID, protected: rep.Protected}
+	d.groups[rep.RepairID] = g
+	d.order = append(d.order, rep.RepairID)
+	for i := range rep.Protected {
+		seq := rep.Protected[i].SequenceNumber
+		d.bySeq[seq] = append(d.bySeq[seq], rep.RepairID)
+	}
+	d.evict()
+	return d.tryRecover(g)
+}
+
+// tryRecover returns the single missing packet of g if exactly one is
+// missing, marking it received.
+func (d *Decoder) tryRecover(g *group) []*rtp.Packet {
+	if g.done {
+		return nil
+	}
+	missing := -1
+	for i := range g.protected {
+		if !d.received[g.protected[i].SequenceNumber] {
+			if missing >= 0 {
+				return nil // two or more missing: unrecoverable yet
+			}
+			missing = i
+		}
+	}
+	g.done = true
+	if missing < 0 {
+		return nil // nothing missing
+	}
+	pkt := g.protected[missing]
+	d.markReceived(pkt.SequenceNumber)
+	d.recovered++
+	out := []*rtp.Packet{&pkt}
+	// Recovering this packet may unblock sibling groups.
+	for _, gid := range d.bySeq[pkt.SequenceNumber] {
+		if sib, ok := d.groups[gid]; ok && sib != g {
+			out = append(out, d.tryRecover(sib)...)
+		}
+	}
+	return out
+}
+
+func (d *Decoder) markReceived(seq uint16) {
+	if d.received[seq] {
+		return
+	}
+	d.received[seq] = true
+	d.seqOrder = append(d.seqOrder, seq)
+	// Bound the received set to a window comfortably larger than any
+	// plausible reordering span.
+	const maxSeqs = 4096
+	for len(d.seqOrder) > maxSeqs {
+		old := d.seqOrder[0]
+		d.seqOrder = d.seqOrder[1:]
+		delete(d.received, old)
+	}
+}
+
+func (d *Decoder) evict() {
+	for len(d.order) > d.MaxGroups {
+		old := d.order[0]
+		d.order = d.order[1:]
+		if g, ok := d.groups[old]; ok {
+			for i := range g.protected {
+				seq := g.protected[i].SequenceNumber
+				ids := d.bySeq[seq][:0]
+				for _, id := range d.bySeq[seq] {
+					if id != old {
+						ids = append(ids, id)
+					}
+				}
+				if len(ids) == 0 {
+					delete(d.bySeq, seq)
+				} else {
+					d.bySeq[seq] = ids
+				}
+			}
+			delete(d.groups, old)
+		}
+	}
+}

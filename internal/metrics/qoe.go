@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"time"
+
+	"rtcadapt/internal/stats"
+)
+
+// MOS maps a Report to a mean-opinion-score-like quality value in [1, 5],
+// in the spirit of ITU-T P.1203's modular design: a picture-quality base
+// term from SSIM, a stalling penalty from freeze time and freeze events,
+// and an interactivity penalty from display latency (RTC-specific: P.1203
+// targets streaming, so the latency term follows ITU-T G.1070's
+// conversational guidance instead).
+//
+// The mapping is monotone in each input and calibrated to land near 4.4
+// for a clean 30 fps call at SSIM 0.98 and near 1 for a session that is
+// mostly frozen.
+func MOS(rep Report) float64 {
+	if rep.Frames == 0 {
+		return 1
+	}
+
+	// Picture quality: SSIM 0.80 -> 0, 0.99 -> 1.
+	pq := stats.Clamp((rep.MeanSSIM-0.80)/0.19, 0, 1)
+	mos := 1 + 3.6*pq
+
+	// Stalling: fraction of session time frozen plus a per-event cost
+	// (frequent short freezes annoy beyond their duration).
+	if rep.Span > 0 {
+		frozenFrac := stats.Clamp(rep.TotalFreeze.Seconds()/rep.Span.Seconds(), 0, 1)
+		eventsPerMin := float64(rep.FreezeCount) / (rep.Span.Minutes() + 1e-9)
+		mos -= 3 * frozenFrac
+		mos -= stats.Clamp(0.05*eventsPerMin, 0, 0.8)
+	}
+
+	// Interactivity: P95 display latency under 200 ms is free
+	// (conversational threshold); the penalty saturates at 1.2 around
+	// one second.
+	if rep.P95DisplayDelay > 200*time.Millisecond {
+		over := (rep.P95DisplayDelay - 200*time.Millisecond).Seconds()
+		mos -= stats.Clamp(1.5*over, 0, 1.2)
+	}
+
+	return stats.Clamp(mos, 1, 5)
+}

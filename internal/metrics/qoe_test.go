@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func cleanReport() Report {
+	return Report{
+		Frames:           900,
+		DeliveredFrames:  900,
+		MeanSSIM:         0.98,
+		Span:             30 * time.Second,
+		P95DisplayDelay:  120 * time.Millisecond,
+		MeanDisplayDelay: 90 * time.Millisecond,
+	}
+}
+
+func TestMOSCleanCall(t *testing.T) {
+	mos := MOS(cleanReport())
+	if mos < 4.0 || mos > 5.0 {
+		t.Errorf("clean call MOS = %.2f, want ~4.4", mos)
+	}
+}
+
+func TestMOSEmptyReport(t *testing.T) {
+	if got := MOS(Report{}); got != 1 {
+		t.Errorf("empty MOS = %v, want 1", got)
+	}
+}
+
+func TestMOSFreezePenalty(t *testing.T) {
+	frozen := cleanReport()
+	frozen.FreezeCount = 5
+	frozen.TotalFreeze = 10 * time.Second // third of the session
+	if MOS(frozen) >= MOS(cleanReport()) {
+		t.Error("freezes did not reduce MOS")
+	}
+	mostlyFrozen := cleanReport()
+	mostlyFrozen.TotalFreeze = 28 * time.Second
+	mostlyFrozen.FreezeCount = 3
+	mostlyFrozen.MeanSSIM = 0.5
+	if mos := MOS(mostlyFrozen); mos > 1.5 {
+		t.Errorf("mostly-frozen MOS = %.2f, want ~1", mos)
+	}
+}
+
+func TestMOSLatencyPenalty(t *testing.T) {
+	slow := cleanReport()
+	slow.P95DisplayDelay = 900 * time.Millisecond
+	if MOS(slow) >= MOS(cleanReport())-0.5 {
+		t.Error("high latency did not clearly reduce MOS")
+	}
+	// Below the conversational threshold the penalty is zero.
+	fast := cleanReport()
+	fast.P95DisplayDelay = 150 * time.Millisecond
+	if MOS(fast) != MOS(cleanReport()) {
+		t.Error("sub-200ms latency should be free")
+	}
+}
+
+func TestMOSMonotoneInSSIM(t *testing.T) {
+	prev := 0.0
+	for ssim := 0.5; ssim <= 1.0; ssim += 0.05 {
+		r := cleanReport()
+		r.MeanSSIM = ssim
+		mos := MOS(r)
+		if mos < prev {
+			t.Fatalf("MOS decreased as SSIM rose: %.3f at ssim %.2f", mos, ssim)
+		}
+		prev = mos
+	}
+}
+
+// Property: MOS stays in [1, 5] for arbitrary report shapes.
+func TestMOSBoundsProperty(t *testing.T) {
+	f := func(ssimRaw uint8, freezeMs uint16, events uint8, p95Ms uint16, frames uint16) bool {
+		r := Report{
+			Frames:          int(frames),
+			MeanSSIM:        float64(ssimRaw) / 255,
+			TotalFreeze:     time.Duration(freezeMs) * time.Millisecond,
+			FreezeCount:     int(events),
+			P95DisplayDelay: time.Duration(p95Ms) * time.Millisecond,
+			Span:            30 * time.Second,
+		}
+		mos := MOS(r)
+		return mos >= 1 && mos <= 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"rtcadapt/internal/simtime"
+	"rtcadapt/internal/trace"
+)
+
+func BenchmarkLinkPackets(b *testing.B) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, Config{Trace: trace.Constant(100e6), QueueLimitBytes: 1 << 30})
+	delivered := 0
+	l.SetReceiver(ReceiverFunc(func(Packet, time.Duration) { delivered++ }))
+	accepted := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.Send(Packet{Size: 1200}) {
+			accepted++
+		}
+		if i%256 == 0 {
+			s.RunUntil(s.Now() + time.Millisecond)
+		}
+	}
+	s.Run()
+	// At very large b.N the virtual-time budget cannot drain everything
+	// and the droptail engages; conservation must still hold.
+	if delivered != accepted {
+		b.Fatalf("delivered %d of %d accepted", delivered, accepted)
+	}
+}
+
+func BenchmarkLinkTraceSegments(b *testing.B) {
+	// Serialization across a trace with many breakpoints.
+	s := simtime.NewScheduler()
+	tr := trace.LTE(1, 600*time.Second, trace.LTEConfig{})
+	l := NewLink(s, Config{Trace: tr, QueueLimitBytes: 1 << 30})
+	l.SetReceiver(ReceiverFunc(func(Packet, time.Duration) {}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(Packet{Size: 1200})
+		if i%64 == 0 {
+			s.RunUntil(s.Now() + time.Millisecond)
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,105 @@
+package netem
+
+import (
+	"time"
+
+	"rtcadapt/internal/simtime"
+	"rtcadapt/internal/stats"
+)
+
+// CrossTraffic injects background packets into a link: an on/off Poisson
+// process approximating web-browsing or bulk-sync traffic sharing the
+// bottleneck. Unlike a responsive competing flow (see session.RunShared),
+// cross traffic does not back off — it models the unresponsive portion of
+// real last-mile contention.
+type CrossTraffic struct {
+	sched *simtime.Scheduler
+	link  *Link
+	cfg   CrossTrafficConfig
+	rng   *stats.Rand
+
+	on      bool
+	sent    int
+	stopped bool
+}
+
+// CrossTrafficConfig parameterizes the background process.
+type CrossTrafficConfig struct {
+	// Rate is the mean send rate while in the ON state, bits/s.
+	// Default 500 kbps.
+	Rate float64
+	// PacketBytes is the packet size. Default 1200.
+	PacketBytes int
+	// OnMean and OffMean are the mean sojourn times of the ON/OFF
+	// states. Defaults 2 s and 4 s.
+	OnMean, OffMean time.Duration
+	// Seed seeds the process PRNG.
+	Seed int64
+}
+
+func (c *CrossTrafficConfig) defaults() {
+	if c.Rate == 0 {
+		c.Rate = 500e3
+	}
+	if c.PacketBytes == 0 {
+		c.PacketBytes = 1200
+	}
+	if c.OnMean == 0 {
+		c.OnMean = 2 * time.Second
+	}
+	if c.OffMean == 0 {
+		c.OffMean = 4 * time.Second
+	}
+}
+
+// NewCrossTraffic starts a background traffic process on link.
+func NewCrossTraffic(sched *simtime.Scheduler, link *Link, cfg CrossTrafficConfig) *CrossTraffic {
+	cfg.defaults()
+	ct := &CrossTraffic{sched: sched, link: link, cfg: cfg, rng: stats.NewRand(cfg.Seed)}
+	ct.toggle() // begin with a state draw
+	ct.pump()
+	return ct
+}
+
+// Sent returns the number of packets injected so far.
+func (ct *CrossTraffic) Sent() int { return ct.sent }
+
+// Stop halts the process.
+func (ct *CrossTraffic) Stop() { ct.stopped = true }
+
+// toggle flips the ON/OFF state and schedules the next flip.
+func (ct *CrossTraffic) toggle() {
+	if ct.stopped {
+		return
+	}
+	ct.on = !ct.on
+	mean := ct.cfg.OnMean
+	if !ct.on {
+		mean = ct.cfg.OffMean
+	}
+	hold := time.Duration(ct.rng.Exponential(float64(mean)))
+	if hold < time.Millisecond {
+		hold = time.Millisecond
+	}
+	ct.sched.After(hold, ct.toggle)
+}
+
+// pump sends packets with exponential inter-arrivals while ON.
+func (ct *CrossTraffic) pump() {
+	if ct.stopped {
+		return
+	}
+	if ct.on {
+		ct.sent++
+		ct.link.Send(Packet{Size: ct.cfg.PacketBytes, Payload: crossTrafficMarker{}})
+	}
+	meanGap := float64(ct.cfg.PacketBytes*8) / ct.cfg.Rate * float64(time.Second)
+	gap := time.Duration(ct.rng.Exponential(meanGap))
+	if gap < 10*time.Microsecond {
+		gap = 10 * time.Microsecond
+	}
+	ct.sched.After(gap, ct.pump)
+}
+
+// crossTrafficMarker tags background packets so receivers can ignore them.
+type crossTrafficMarker struct{}

@@ -1,0 +1,73 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"rtcadapt/internal/simtime"
+	"rtcadapt/internal/trace"
+)
+
+func TestCrossTrafficRate(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, Config{Trace: trace.Constant(10e6), QueueLimitBytes: 1 << 24})
+	delivered := 0
+	var bytes int64
+	l.SetReceiver(ReceiverFunc(func(p Packet, _ time.Duration) {
+		delivered++
+		bytes += int64(p.Size)
+	}))
+	ct := NewCrossTraffic(s, l, CrossTrafficConfig{
+		Rate: 1e6, OnMean: 2 * time.Second, OffMean: 2 * time.Second, Seed: 1,
+	})
+	s.RunUntil(120 * time.Second)
+	ct.Stop()
+	if ct.Sent() == 0 || delivered == 0 {
+		t.Fatal("cross traffic never sent")
+	}
+	// ON half the time at 1 Mbps -> ~0.5 Mbps long-run mean.
+	rate := float64(bytes*8) / 120
+	if rate < 0.25e6 || rate > 0.8e6 {
+		t.Errorf("long-run cross-traffic rate %.2f Mbps, want ~0.5", rate/1e6)
+	}
+}
+
+func TestCrossTrafficOnOffBurstiness(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, Config{Trace: trace.Constant(10e6), QueueLimitBytes: 1 << 24})
+	var perSecond [60]int
+	l.SetReceiver(ReceiverFunc(func(p Packet, at time.Duration) {
+		idx := int(at / time.Second)
+		if idx >= 0 && idx < len(perSecond) {
+			perSecond[idx]++
+		}
+	}))
+	NewCrossTraffic(s, l, CrossTrafficConfig{Seed: 3})
+	s.RunUntil(60 * time.Second)
+	quiet, busy := 0, 0
+	for _, n := range perSecond {
+		if n == 0 {
+			quiet++
+		}
+		if n > 10 {
+			busy++
+		}
+	}
+	if quiet == 0 || busy == 0 {
+		t.Errorf("on/off structure missing: quiet=%d busy=%d", quiet, busy)
+	}
+}
+
+func TestCrossTrafficStop(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, Config{Trace: trace.Constant(10e6), QueueLimitBytes: 1 << 24})
+	l.SetReceiver(ReceiverFunc(func(Packet, time.Duration) {}))
+	ct := NewCrossTraffic(s, l, CrossTrafficConfig{Seed: 1})
+	s.RunUntil(5 * time.Second)
+	ct.Stop()
+	sent := ct.Sent()
+	s.RunUntil(30 * time.Second)
+	if ct.Sent() != sent {
+		t.Errorf("packets sent after Stop: %d -> %d", sent, ct.Sent())
+	}
+}

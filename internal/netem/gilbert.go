@@ -1,0 +1,68 @@
+package netem
+
+import "rtcadapt/internal/stats"
+
+// GilbertElliott is the classic two-state burst-loss model: the channel
+// alternates between a Good state (low loss) and a Bad state (high loss),
+// with geometric sojourn times. It reproduces the clustered losses of
+// wireless links that independent (Bernoulli) loss cannot.
+//
+// The zero value is invalid; use NewGilbertElliott. Not safe for
+// concurrent use.
+type GilbertElliott struct {
+	// PGoodToBad is the per-packet probability of entering the Bad
+	// state from Good.
+	PGoodToBad float64
+	// PBadToGood is the per-packet probability of returning to Good.
+	PBadToGood float64
+	// LossGood and LossBad are the per-packet loss probabilities inside
+	// each state.
+	LossGood, LossBad float64
+
+	bad bool
+}
+
+// NewGilbertElliott builds a model from the mean burst length (packets)
+// and the overall target loss rate. A classic parameterization: the Bad
+// state drops everything (LossBad = 1), Good drops nothing.
+func NewGilbertElliott(meanBurstLen float64, lossRate float64) *GilbertElliott {
+	if meanBurstLen < 1 {
+		meanBurstLen = 1
+	}
+	lossRate = stats.Clamp(lossRate, 0, 0.9)
+	pBadToGood := 1 / meanBurstLen
+	// Stationary P(bad) = p / (p + r) where p = PGoodToBad, r = PBadToGood.
+	// Overall loss = P(bad) * LossBad. Solve for p with LossBad = 1.
+	var pGoodToBad float64
+	if lossRate > 0 {
+		pGoodToBad = lossRate * pBadToGood / (1 - lossRate)
+	}
+	return &GilbertElliott{
+		PGoodToBad: pGoodToBad,
+		PBadToGood: pBadToGood,
+		LossGood:   0,
+		LossBad:    1,
+	}
+}
+
+// Lose advances the channel state by one packet and reports whether that
+// packet is lost. rng supplies the randomness so the caller controls
+// determinism.
+func (g *GilbertElliott) Lose(rng *stats.Rand) bool {
+	if g.bad {
+		if rng.Bool(g.PBadToGood) {
+			g.bad = false
+		}
+	} else {
+		if rng.Bool(g.PGoodToBad) {
+			g.bad = true
+		}
+	}
+	if g.bad {
+		return rng.Bool(g.LossBad)
+	}
+	return rng.Bool(g.LossGood)
+}
+
+// InBadState reports the current channel state (for tests/telemetry).
+func (g *GilbertElliott) InBadState() bool { return g.bad }

@@ -1,0 +1,114 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"rtcadapt/internal/simtime"
+	"rtcadapt/internal/stats"
+	"rtcadapt/internal/trace"
+)
+
+func TestGilbertElliottOverallLossRate(t *testing.T) {
+	for _, target := range []float64{0.01, 0.05, 0.15} {
+		ge := NewGilbertElliott(8, target)
+		rng := stats.NewRand(1)
+		lost := 0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			if ge.Lose(rng) {
+				lost++
+			}
+		}
+		got := float64(lost) / n
+		if math.Abs(got-target) > target*0.25+0.002 {
+			t.Errorf("target loss %v: measured %v", target, got)
+		}
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// With mean burst length 10, losses must cluster: the conditional
+	// probability P(loss | previous lost) must far exceed the marginal.
+	ge := NewGilbertElliott(10, 0.05)
+	rng := stats.NewRand(2)
+	const n = 200000
+	losses := make([]bool, n)
+	total := 0
+	for i := range losses {
+		losses[i] = ge.Lose(rng)
+		if losses[i] {
+			total++
+		}
+	}
+	marginal := float64(total) / n
+	condNum, condDen := 0, 0
+	for i := 1; i < n; i++ {
+		if losses[i-1] {
+			condDen++
+			if losses[i] {
+				condNum++
+			}
+		}
+	}
+	cond := float64(condNum) / float64(condDen)
+	if cond < 5*marginal {
+		t.Errorf("losses not bursty: P(loss|loss)=%v vs marginal %v", cond, marginal)
+	}
+	// Mean burst length should be near 10.
+	bursts, burstLen := 0, 0
+	inBurst := false
+	for _, l := range losses {
+		if l {
+			burstLen++
+			if !inBurst {
+				bursts++
+				inBurst = true
+			}
+		} else {
+			inBurst = false
+		}
+	}
+	mean := float64(burstLen) / float64(bursts)
+	if mean < 6 || mean > 14 {
+		t.Errorf("mean burst length %v, want ~10", mean)
+	}
+}
+
+func TestGilbertElliottDegenerate(t *testing.T) {
+	ge := NewGilbertElliott(0, 0) // clamps: burst 1, loss 0
+	rng := stats.NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if ge.Lose(rng) {
+			t.Fatal("zero-loss model lost a packet")
+		}
+	}
+	if ge.InBadState() {
+		t.Error("zero-loss model entered bad state")
+	}
+}
+
+func TestLinkWithBurstLoss(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, Config{
+		Trace:           trace.Constant(10e6),
+		BurstLoss:       NewGilbertElliott(5, 0.1),
+		Seed:            4,
+		QueueLimitBytes: 1 << 24,
+	})
+	c := &collector{}
+	l.SetReceiver(c)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		l.Send(Packet{Size: 100})
+	}
+	s.Run()
+	st := l.Stats()
+	if st.Delivered+st.DroppedLoss != n {
+		t.Fatalf("conservation: %d+%d != %d", st.Delivered, st.DroppedLoss, n)
+	}
+	frac := float64(st.DroppedLoss) / n
+	if frac < 0.05 || frac > 0.16 {
+		t.Errorf("burst loss fraction %v, want ~0.1", frac)
+	}
+}

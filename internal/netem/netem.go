@@ -1,0 +1,209 @@
+// Package netem is the discrete-event network emulator: a bottleneck link
+// with trace-driven time-varying capacity, a droptail byte queue, constant
+// propagation delay plus optional random jitter, and random loss. Packet
+// serialization integrates capacity across trace breakpoints exactly, so a
+// capacity drop mid-queue produces the precise drain dynamics that cause
+// the paper's latency spikes.
+package netem
+
+import (
+	"time"
+
+	"rtcadapt/internal/simtime"
+	"rtcadapt/internal/stats"
+	"rtcadapt/internal/trace"
+)
+
+// Packet is anything the link can carry: a size and an opaque payload.
+type Packet struct {
+	// Size is the on-wire size in bytes.
+	Size int
+	// Payload is the carried object (e.g. *rtp.Packet or fb.Report).
+	Payload any
+	// EnqueuedAt is stamped by the link when the packet is accepted.
+	EnqueuedAt time.Duration
+}
+
+// Receiver consumes packets on the far side of a link.
+type Receiver interface {
+	// Deliver is called at the packet's arrival time.
+	Deliver(pkt Packet, at time.Duration)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(pkt Packet, at time.Duration)
+
+// Deliver implements Receiver.
+func (f ReceiverFunc) Deliver(pkt Packet, at time.Duration) { f(pkt, at) }
+
+// Config configures a Link.
+type Config struct {
+	// Trace drives the link capacity. Required.
+	Trace *trace.Trace
+	// PropDelay is the one-way propagation delay. Zero means the
+	// default of 25 ms; pass a negative value for a zero-delay link.
+	PropDelay time.Duration
+	// JitterAmp adds uniform random delay in [0, JitterAmp] per packet.
+	// Zero disables jitter.
+	JitterAmp time.Duration
+	// LossProb is the independent per-packet loss probability.
+	LossProb float64
+	// BurstLoss, when non-nil, adds a Gilbert-Elliott two-state loss
+	// process on top of LossProb (bursty losses as seen on wireless
+	// links).
+	BurstLoss *GilbertElliott
+	// QueueLimitBytes bounds the droptail queue. Default 150 KB
+	// (a typical shallow last-mile buffer: ~500 ms at 2.5 Mbps).
+	QueueLimitBytes int
+	// Seed seeds the link's private PRNG (jitter, loss).
+	Seed int64
+}
+
+// Stats are the link's lifetime counters.
+type Stats struct {
+	// Accepted counts packets admitted to the queue.
+	Accepted int
+	// Delivered counts packets handed to the receiver.
+	Delivered int
+	// DroppedQueue counts droptail discards.
+	DroppedQueue int
+	// DroppedLoss counts random wire losses.
+	DroppedLoss int
+	// BytesDelivered sums delivered wire bytes.
+	BytesDelivered int64
+}
+
+// Link is a unidirectional bottleneck. Attach a Receiver before sending.
+// Not safe for concurrent use; everything runs on the scheduler goroutine.
+type Link struct {
+	sched *simtime.Scheduler
+	cfg   Config
+	rng   *stats.Rand
+	recv  Receiver
+
+	queue       []Packet
+	queuedBytes int
+	busy        bool
+	stats       Stats
+}
+
+// NewLink creates a link on the given scheduler.
+func NewLink(sched *simtime.Scheduler, cfg Config) *Link {
+	if cfg.Trace == nil {
+		panic("netem: Config.Trace is required")
+	}
+	if cfg.PropDelay == 0 {
+		cfg.PropDelay = 25 * time.Millisecond
+	} else if cfg.PropDelay < 0 {
+		cfg.PropDelay = 0
+	}
+	if cfg.QueueLimitBytes == 0 {
+		cfg.QueueLimitBytes = 150_000
+	}
+	return &Link{sched: sched, cfg: cfg, rng: stats.NewRand(cfg.Seed)}
+}
+
+// SetReceiver attaches the far-side consumer.
+func (l *Link) SetReceiver(r Receiver) { l.recv = r }
+
+// Stats returns a copy of the lifetime counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// QueueBytes returns the bytes currently queued (not counting the packet
+// in service).
+func (l *Link) QueueBytes() int { return l.queuedBytes }
+
+// QueueDelay estimates the time a packet entering now would wait before
+// transmission starts, given current capacity.
+func (l *Link) QueueDelay() time.Duration {
+	if l.queuedBytes == 0 {
+		return 0
+	}
+	bps, _ := l.cfg.Trace.RateAt(l.sched.Now())
+	return time.Duration(float64(l.queuedBytes*8) / bps * float64(time.Second))
+}
+
+// Capacity returns the link's current capacity in bits/s.
+func (l *Link) Capacity() float64 {
+	bps, _ := l.cfg.Trace.RateAt(l.sched.Now())
+	return bps
+}
+
+// Send offers a packet to the link at the current virtual time. It returns
+// false if the droptail queue rejected it.
+func (l *Link) Send(pkt Packet) bool {
+	if l.queuedBytes+pkt.Size > l.cfg.QueueLimitBytes {
+		l.stats.DroppedQueue++
+		return false
+	}
+	pkt.EnqueuedAt = l.sched.Now()
+	l.queue = append(l.queue, pkt)
+	l.queuedBytes += pkt.Size
+	l.stats.Accepted++
+	if !l.busy {
+		l.startTx()
+	}
+	return true
+}
+
+// startTx begins serializing the head-of-line packet.
+func (l *Link) startTx() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	pkt := l.queue[0]
+	l.queue = l.queue[1:]
+	l.queuedBytes -= pkt.Size
+
+	finish := l.serializeEnd(l.sched.Now(), float64(pkt.Size*8))
+	l.sched.At(finish, func() {
+		l.finishTx(pkt)
+	})
+}
+
+// serializeEnd integrates the capacity trace from start until bits are
+// fully serialized.
+func (l *Link) serializeEnd(start time.Duration, bits float64) time.Duration {
+	cur := start
+	remaining := bits
+	for {
+		bps, until := l.cfg.Trace.RateAt(cur)
+		if until == trace.Forever {
+			return cur + time.Duration(remaining/bps*float64(time.Second))
+		}
+		segSec := (until - cur).Seconds()
+		segBits := bps * segSec
+		if remaining <= segBits {
+			return cur + time.Duration(remaining/bps*float64(time.Second))
+		}
+		remaining -= segBits
+		cur = until
+	}
+}
+
+// finishTx completes service of pkt: schedule its delivery (unless lost)
+// and start the next transmission.
+func (l *Link) finishTx(pkt Packet) {
+	lost := l.rng.Bool(l.cfg.LossProb)
+	if l.cfg.BurstLoss != nil && l.cfg.BurstLoss.Lose(l.rng) {
+		lost = true
+	}
+	if lost {
+		l.stats.DroppedLoss++
+	} else {
+		delay := l.cfg.PropDelay
+		if l.cfg.JitterAmp > 0 {
+			delay += time.Duration(l.rng.Float64() * float64(l.cfg.JitterAmp))
+		}
+		l.sched.After(delay, func() {
+			l.stats.Delivered++
+			l.stats.BytesDelivered += int64(pkt.Size)
+			if l.recv != nil {
+				l.recv.Deliver(pkt, l.sched.Now())
+			}
+		})
+	}
+	l.startTx()
+}

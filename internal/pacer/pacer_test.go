@@ -1,0 +1,161 @@
+package pacer
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rtcadapt/internal/simtime"
+)
+
+type capture struct {
+	times []time.Duration
+	sizes []int
+}
+
+func (c *capture) fn(s *simtime.Scheduler) SendFunc {
+	return func(payload any, size int) {
+		c.times = append(c.times, s.Now())
+		c.sizes = append(c.sizes, size)
+	}
+}
+
+func TestPacerSpacing(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := &capture{}
+	// 1 Mbps * factor 1.0 => a 1250-byte packet takes 10 ms.
+	p := New(s, Config{Rate: 1e6, Factor: 1}, c.fn(s))
+	for i := 0; i < 4; i++ {
+		p.Enqueue(i, 1250)
+	}
+	s.Run()
+	if len(c.times) != 4 {
+		t.Fatalf("sent %d packets", len(c.times))
+	}
+	// First immediately, then 10 ms apart.
+	for i, want := range []time.Duration{0, 10, 20, 30} {
+		w := want * time.Millisecond
+		if d := c.times[i] - w; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("packet %d at %v, want %v", i, c.times[i], w)
+		}
+	}
+}
+
+func TestPacerFactorSpeedsDrain(t *testing.T) {
+	run := func(factor float64) time.Duration {
+		s := simtime.NewScheduler()
+		c := &capture{}
+		p := New(s, Config{Rate: 1e6, Factor: factor}, c.fn(s))
+		for i := 0; i < 10; i++ {
+			p.Enqueue(i, 1250)
+		}
+		s.Run()
+		return c.times[len(c.times)-1]
+	}
+	if !(run(2.5) < run(1.0)) {
+		t.Error("higher pacing factor should drain faster")
+	}
+}
+
+func TestPacerSetRate(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := &capture{}
+	p := New(s, Config{Rate: 1e6, Factor: 1}, c.fn(s))
+	p.SetRate(2e6)
+	if p.Rate() != 2e6 {
+		t.Errorf("Rate = %v", p.Rate())
+	}
+	p.SetRate(-5) // ignored
+	if p.Rate() != 2e6 {
+		t.Error("negative rate accepted")
+	}
+	p.Enqueue(0, 1250)
+	p.Enqueue(1, 1250)
+	s.Run()
+	// 1250 B at 2 Mbps = 5 ms gap.
+	if d := c.times[1] - 5*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("gap = %v, want 5ms", c.times[1])
+	}
+}
+
+func TestPacerQueueAccounting(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := &capture{}
+	p := New(s, Config{Rate: 1e6, Factor: 1}, c.fn(s))
+	p.Enqueue(0, 1000)
+	p.Enqueue(1, 1000)
+	p.Enqueue(2, 1000)
+	if p.QueueBytes() != 3000 {
+		t.Errorf("QueueBytes = %d", p.QueueBytes())
+	}
+	// 3000 B at 1 Mbps = 24 ms.
+	if d := p.QueueDelay() - 24*time.Millisecond; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("QueueDelay = %v", p.QueueDelay())
+	}
+	s.Run()
+	if p.QueueBytes() != 0 || p.QueueDelay() != 0 {
+		t.Error("queue not drained")
+	}
+	n, b := p.Sent()
+	if n != 3 || b != 3000 {
+		t.Errorf("Sent = %d,%d", n, b)
+	}
+}
+
+func TestPacerOverflowDrops(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := &capture{}
+	p := New(s, Config{Rate: 1e6, MaxQueueBytes: 2500}, c.fn(s))
+	p.Enqueue(0, 1250)
+	p.Enqueue(1, 1250)
+	p.Enqueue(2, 1250) // exceeds 2500
+	if p.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", p.Dropped())
+	}
+	s.Run()
+	if len(c.times) != 2 {
+		t.Errorf("sent %d", len(c.times))
+	}
+}
+
+func TestPacerIdleRestart(t *testing.T) {
+	s := simtime.NewScheduler()
+	c := &capture{}
+	p := New(s, Config{Rate: 1e6, Factor: 1}, c.fn(s))
+	p.Enqueue(0, 1250)
+	s.RunUntil(time.Second) // drains, pacer idle
+	s.At(time.Second, func() { p.Enqueue(1, 1250) })
+	s.Run()
+	if len(c.times) != 2 {
+		t.Fatalf("sent %d", len(c.times))
+	}
+	if c.times[1] != time.Second {
+		t.Errorf("restarted packet at %v, want 1s (immediate)", c.times[1])
+	}
+}
+
+// Property: everything enqueued within capacity is sent exactly once, in
+// order.
+func TestPacerConservationProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		s := simtime.NewScheduler()
+		c := &capture{}
+		p := New(s, Config{Rate: 1e6, MaxQueueBytes: 1 << 30}, c.fn(s))
+		for i, sz := range sizes {
+			p.Enqueue(i, int(sz)+1)
+		}
+		s.Run()
+		if len(c.times) != len(sizes) {
+			return false
+		}
+		for i := 1; i < len(c.times); i++ {
+			if c.times[i] < c.times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package plot renders small ASCII charts for terminal output: line
+// charts over binned series, CDF staircases, and labeled axes. The
+// experiment harness and the rtcplot tool use it to make figure output
+// readable without leaving the terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the data points (same length).
+	X, Y []float64
+}
+
+// Config controls chart geometry.
+type Config struct {
+	// Width and Height are the plot area in characters. Defaults 64x12.
+	Width, Height int
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// YMax forces the y-axis maximum; zero auto-scales.
+	YMax float64
+}
+
+func (c *Config) defaults() {
+	if c.Width <= 0 {
+		c.Width = 64
+	}
+	if c.Height <= 0 {
+		c.Height = 12
+	}
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'#', '*', 'o', '+', 'x', '@'}
+
+// Line renders one or more series as a binned line chart. Each series is
+// averaged into Width bins over the shared x-range; the y-axis is scaled
+// to the global maximum (or Config.YMax).
+func Line(cfg Config, series ...Series) string {
+	cfg.defaults()
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+
+	// Shared x-range.
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, x := range s.X {
+			xlo = math.Min(xlo, x)
+			xhi = math.Max(xhi, x)
+		}
+	}
+	if !(xhi > xlo) {
+		return "(degenerate x-range)\n"
+	}
+
+	// Bin each series.
+	binned := make([][]float64, len(series))
+	counts := make([][]int, len(series))
+	ymax := cfg.YMax
+	for si, s := range series {
+		binned[si] = make([]float64, cfg.Width)
+		counts[si] = make([]int, cfg.Width)
+		for i, x := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			c := int((x - xlo) / (xhi - xlo) * float64(cfg.Width))
+			if c >= cfg.Width {
+				c = cfg.Width - 1
+			}
+			binned[si][c] += s.Y[i]
+			counts[si][c]++
+		}
+		for c := range binned[si] {
+			if counts[si][c] > 0 {
+				binned[si][c] /= float64(counts[si][c])
+				if cfg.YMax == 0 && binned[si][c] > ymax {
+					ymax = binned[si][c]
+				}
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+
+	// Paint rows top-down.
+	var b strings.Builder
+	for row := cfg.Height; row >= 1; row-- {
+		lo := ymax * (float64(row) - 0.5) / float64(cfg.Height)
+		fmt.Fprintf(&b, "%10.1f |", ymax*float64(row)/float64(cfg.Height))
+		for c := 0; c < cfg.Width; c++ {
+			ch := byte(' ')
+			for si := range series {
+				if counts[si][c] > 0 && binned[si][c] >= lo {
+					ch = markers[si%len(markers)]
+				}
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(&b, "%10s  %-*s%*s\n", "",
+		cfg.Width/2, fmt.Sprintf("%.4g", xlo),
+		cfg.Width-cfg.Width/2, fmt.Sprintf("%.4g", xhi))
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", cfg.XLabel, cfg.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// CDF renders cumulative distributions: each series' X must be sorted
+// ascending and Y the cumulative fraction at X.
+func CDF(cfg Config, series ...Series) string {
+	cfg.defaults()
+	cfg.YMax = 1
+	// A CDF is just a line chart of fraction vs value.
+	return Line(cfg, series...)
+}

@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func ramp(n int) Series {
+	s := Series{Name: "ramp"}
+	for i := 0; i < n; i++ {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, float64(i))
+	}
+	return s
+}
+
+func TestLineBasicGeometry(t *testing.T) {
+	out := Line(Config{Width: 40, Height: 8}, ramp(100))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 8 plot rows + axis + x labels + legend.
+	if len(lines) < 11 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "ramp") {
+		t.Error("legend missing")
+	}
+	// A rising ramp must paint the top-right and not the top-left.
+	top := lines[0]
+	if !strings.Contains(top, "#") {
+		t.Errorf("top row empty:\n%s", out)
+	}
+	idx := strings.IndexByte(top, '#')
+	if idx < len(top)/2 {
+		t.Errorf("rising ramp painted top-left:\n%s", out)
+	}
+}
+
+func TestLineMultipleSeriesMarkers(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 1, 1}}
+	b := Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 2, 2}}
+	out := Line(Config{Width: 30, Height: 6}, a, b)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "*") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# = a") || !strings.Contains(out, "* = b") {
+		t.Errorf("legend mapping missing:\n%s", out)
+	}
+}
+
+func TestLineDegenerateInputs(t *testing.T) {
+	if out := Line(Config{}); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+	one := Series{Name: "pt", X: []float64{5}, Y: []float64{1}}
+	if out := Line(Config{}, one); !strings.Contains(out, "degenerate") {
+		t.Errorf("single point: %q", out)
+	}
+}
+
+func TestLineYMaxOverride(t *testing.T) {
+	s := Series{Name: "s", X: []float64{0, 1}, Y: []float64{1, 1}}
+	out := Line(Config{Width: 20, Height: 4, YMax: 100}, s)
+	// With YMax=100, a y=1 series paints only the bottom row (if any),
+	// never the top.
+	topRow := strings.Split(out, "\n")[0]
+	if strings.Contains(topRow, "#") {
+		t.Errorf("YMax override ignored:\n%s", out)
+	}
+}
+
+func TestCDFCapsAtOne(t *testing.T) {
+	s := Series{Name: "cdf", X: []float64{10, 20, 30}, Y: []float64{0.33, 0.66, 1.0}}
+	out := CDF(Config{Width: 30, Height: 5}, s)
+	if !strings.Contains(out, "1.0") {
+		t.Errorf("CDF top label missing:\n%s", out)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	s := ramp(10)
+	out := Line(Config{XLabel: "seconds", YLabel: "ms"}, s)
+	if !strings.Contains(out, "x: seconds") || !strings.Contains(out, "y: ms") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}

@@ -1,0 +1,46 @@
+package rtp
+
+import (
+	"testing"
+	"time"
+
+	"rtcadapt/internal/codec"
+)
+
+func BenchmarkHeaderMarshal(b *testing.B) {
+	p := Packet{
+		Header: Header{Version: 2, Marker: true, PayloadType: 96, SequenceNumber: 1234, Timestamp: 90000, SSRC: 42},
+		Ext:    Extension{TransportSeq: 77, FrameID: 9, FragIndex: 1, FragCount: 3, CaptureTS: time.Second},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeaderUnmarshal(b *testing.B) {
+	p := Packet{Header: Header{Version: 2}}
+	buf, _ := p.MarshalBinary()
+	var q Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketizeReassemble(b *testing.B) {
+	pz := NewPacketizer(1, 96, 1200)
+	r := NewReassembler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := codec.EncodedFrame{Index: i, Bits: 48000, Type: codec.TypeP}
+		for _, p := range pz.Packetize(f) {
+			r.Push(p, time.Duration(i)*time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package rtp
+
+import (
+	"encoding/hex"
+	"testing"
+	"time"
+)
+
+// TestPacketWireGolden pins the exact wire layout: a change to this test's
+// expectation is a wire-format break and must be deliberate.
+func TestPacketWireGolden(t *testing.T) {
+	p := Packet{
+		Header: Header{
+			Version:        2,
+			Marker:         true,
+			PayloadType:    96,
+			SequenceNumber: 0x0102,
+			Timestamp:      0x03040506,
+			SSRC:           0x0708090A,
+		},
+		Ext: Extension{
+			TransportSeq: 0x0B0C0D0E,
+			FrameID:      0x0F101112,
+			FragIndex:    0x1314,
+			FragCount:    0x1516,
+			FrameType:    1,
+			CaptureTS:    time.Duration(0x1718191A1B1C1D1E),
+		},
+	}
+	buf, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "90e0010203040506" + // V=2 X=1, M=1 PT=96, seq, ts hi
+		"0708090a" + // ssrc
+		"ada00006" + // ext profile + length
+		"0b0c0d0e" + // transport seq
+		"0f101112" + // frame id
+		"13141516" + // frag idx/cnt
+		"01000000" + // frame type + reserved
+		"1718191a1b1c1d1e" // capture ts
+	if got := hex.EncodeToString(buf); got != want {
+		t.Errorf("wire layout changed:\n got  %s\n want %s", got, want)
+	}
+}

@@ -1,0 +1,154 @@
+// Package rtp implements the media transport substrate: an RTP-like packet
+// format with a header extension carrying transport-wide sequence numbers
+// and frame metadata, frame packetization to MTU-sized packets, receiver-
+// side frame reassembly, and an adaptive jitter buffer.
+//
+// The wire format follows RTP (RFC 3550): a 12-byte fixed header followed
+// by one header extension. The extension carries what the simulator's
+// congestion controller and reassembler need: a transport-wide sequence
+// number (as in the TWCC extension), the frame id, fragment index/count,
+// frame type, and the capture timestamp.
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Wire-format constants.
+const (
+	// HeaderSize is the fixed RTP header size in bytes.
+	HeaderSize = 12
+	// ExtensionSize is the size of the rtcadapt header extension
+	// including its 4-byte RFC 8285 preamble.
+	ExtensionSize = 4 + 24
+	// IPUDPOverhead accounts for IPv4 + UDP headers when computing
+	// on-wire size.
+	IPUDPOverhead = 28
+	// DefaultMTU is the usual WebRTC payload MTU.
+	DefaultMTU = 1200
+
+	extProfile = 0xADA0 // identifies the rtcadapt extension
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrShortPacket = errors.New("rtp: packet too short")
+	ErrBadVersion  = errors.New("rtp: bad version")
+	ErrBadProfile  = errors.New("rtp: unknown extension profile")
+)
+
+// Header is the fixed RTP header.
+type Header struct {
+	// Version is the RTP version, always 2 on the wire.
+	Version byte
+	// Marker is set on the last packet of a frame.
+	Marker bool
+	// PayloadType identifies the codec.
+	PayloadType byte
+	// SequenceNumber increments per packet (wraps at 2^16).
+	SequenceNumber uint16
+	// Timestamp is the 90 kHz media timestamp of the frame.
+	Timestamp uint32
+	// SSRC identifies the stream.
+	SSRC uint32
+}
+
+// Extension is the rtcadapt header extension: everything the receiver and
+// congestion controller need that base RTP doesn't carry.
+type Extension struct {
+	// TransportSeq is the transport-wide sequence number used for
+	// congestion-control feedback (never wraps within a session).
+	TransportSeq uint32
+	// FrameID is the capture index of the frame this packet belongs to.
+	FrameID uint32
+	// FragIndex and FragCount locate this packet within its frame.
+	FragIndex, FragCount uint16
+	// FrameType mirrors codec.FrameType (0 = I, 1 = P).
+	FrameType byte
+	// TemporalLayer is the SVC temporal layer (0 = base, 1 = droppable).
+	TemporalLayer byte
+	// CaptureTS is the frame capture time in nanoseconds of virtual
+	// time, used for one-way latency accounting.
+	CaptureTS time.Duration
+}
+
+// Packet is one media packet. PayloadLen stands in for actual payload
+// bytes: the simulator transports sizes, not pixel data, but the header and
+// extension marshal to real wire bytes.
+type Packet struct {
+	Header
+	Ext Extension
+	// PayloadLen is the media payload size in bytes.
+	PayloadLen int
+}
+
+// WireSize returns the packet's on-wire size in bytes including IP/UDP
+// overhead — the size the bottleneck link serializes.
+func (p *Packet) WireSize() int {
+	return IPUDPOverhead + HeaderSize + ExtensionSize + p.PayloadLen
+}
+
+// MarshalBinary encodes the header and extension into wire bytes. The
+// payload is represented by length only and is not appended.
+func (p *Packet) MarshalBinary() ([]byte, error) {
+	if p.Version != 2 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, p.Version)
+	}
+	buf := make([]byte, HeaderSize+ExtensionSize)
+	buf[0] = p.Version<<6 | 1<<4 // X bit set: extension present
+	b1 := p.PayloadType & 0x7f
+	if p.Marker {
+		b1 |= 0x80
+	}
+	buf[1] = b1
+	binary.BigEndian.PutUint16(buf[2:], p.SequenceNumber)
+	binary.BigEndian.PutUint32(buf[4:], p.Timestamp)
+	binary.BigEndian.PutUint32(buf[8:], p.SSRC)
+
+	ext := buf[HeaderSize:]
+	binary.BigEndian.PutUint16(ext[0:], extProfile)
+	binary.BigEndian.PutUint16(ext[2:], 6) // length in 32-bit words
+	binary.BigEndian.PutUint32(ext[4:], p.Ext.TransportSeq)
+	binary.BigEndian.PutUint32(ext[8:], p.Ext.FrameID)
+	binary.BigEndian.PutUint16(ext[12:], p.Ext.FragIndex)
+	binary.BigEndian.PutUint16(ext[14:], p.Ext.FragCount)
+	ext[16] = p.Ext.FrameType
+	ext[17] = p.Ext.TemporalLayer
+	// ext[18..19] reserved (zero)
+	binary.BigEndian.PutUint64(ext[20:], uint64(p.Ext.CaptureTS))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes wire bytes produced by MarshalBinary. PayloadLen
+// is not on the wire and is left unchanged.
+func (p *Packet) UnmarshalBinary(buf []byte) error {
+	if len(buf) < HeaderSize+ExtensionSize {
+		return fmt.Errorf("%w: %d bytes", ErrShortPacket, len(buf))
+	}
+	version := buf[0] >> 6
+	if version != 2 {
+		return fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	p.Version = version
+	p.Marker = buf[1]&0x80 != 0
+	p.PayloadType = buf[1] & 0x7f
+	p.SequenceNumber = binary.BigEndian.Uint16(buf[2:])
+	p.Timestamp = binary.BigEndian.Uint32(buf[4:])
+	p.SSRC = binary.BigEndian.Uint32(buf[8:])
+
+	ext := buf[HeaderSize:]
+	if prof := binary.BigEndian.Uint16(ext[0:]); prof != extProfile {
+		return fmt.Errorf("%w: %#x", ErrBadProfile, prof)
+	}
+	p.Ext.TransportSeq = binary.BigEndian.Uint32(ext[4:])
+	p.Ext.FrameID = binary.BigEndian.Uint32(ext[8:])
+	p.Ext.FragIndex = binary.BigEndian.Uint16(ext[12:])
+	p.Ext.FragCount = binary.BigEndian.Uint16(ext[14:])
+	p.Ext.FrameType = ext[16]
+	p.Ext.TemporalLayer = ext[17]
+	p.Ext.CaptureTS = time.Duration(binary.BigEndian.Uint64(ext[20:]))
+	return nil
+}

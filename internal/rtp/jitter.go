@@ -1,0 +1,136 @@
+package rtp
+
+import (
+	"time"
+
+	"rtcadapt/internal/stats"
+)
+
+// JitterBuffer computes per-frame playout times. It adapts a target playout
+// delay to the observed one-way delay distribution (mean + a multiple of
+// the deviation, as RTP receivers do per RFC 3550's jitter estimate), and
+// enforces in-order, monotone display.
+//
+// Not safe for concurrent use.
+type JitterBuffer struct {
+	// MinDelay and MaxDelay bound the adaptive target. Defaults 10 ms
+	// and 1 s.
+	MinDelay, MaxDelay time.Duration
+	// LatenessBudget is the interactive latency budget: frames whose
+	// one-way delay exceeds it are not rendered (the viewer sees a
+	// freeze instead of seconds-stale video, as conferencing receivers
+	// behave). Zero means the 600 ms default; negative disables the
+	// budget.
+	LatenessBudget time.Duration
+
+	delayEst  *stats.EWMA // mean one-way delay, seconds
+	devEst    *stats.EWMA // mean absolute deviation, seconds
+	lastID    uint32
+	hasLast   bool
+	lastPlay  time.Duration
+	dropped   int
+	displayed int
+}
+
+// NewJitterBuffer returns a jitter buffer with the given delay bounds;
+// zero values take defaults.
+func NewJitterBuffer(minDelay, maxDelay time.Duration) *JitterBuffer {
+	if minDelay <= 0 {
+		minDelay = 10 * time.Millisecond
+	}
+	if maxDelay <= 0 {
+		maxDelay = time.Second
+	}
+	return &JitterBuffer{
+		MinDelay:       minDelay,
+		MaxDelay:       maxDelay,
+		LatenessBudget: 600 * time.Millisecond,
+		delayEst:       stats.NewEWMA(1.0 / 16),
+		devEst:         stats.NewEWMA(1.0 / 16),
+	}
+}
+
+// TargetDelay returns the current adaptive playout delay target.
+func (jb *JitterBuffer) TargetDelay() time.Duration {
+	if !jb.delayEst.Seeded() {
+		return jb.MinDelay
+	}
+	t := time.Duration((jb.delayEst.Value() + 4*jb.devEst.Value()) * float64(time.Second))
+	if t < jb.MinDelay {
+		t = jb.MinDelay
+	}
+	if t > jb.MaxDelay {
+		t = jb.MaxDelay
+	}
+	return t
+}
+
+// Push accepts a complete frame and returns its display time. drop=true
+// means the frame arrived too late (an in-order successor already played)
+// and must be discarded.
+func (jb *JitterBuffer) Push(f CompleteFrame) (displayAt time.Duration, drop bool) {
+	if jb.hasLast && f.FrameID <= jb.lastID {
+		jb.dropped++
+		return 0, true
+	}
+	if jb.LatenessBudget > 0 && f.OneWayDelay() > jb.LatenessBudget {
+		jb.dropped++
+		return 0, true
+	}
+
+	owd := f.OneWayDelay().Seconds()
+	if jb.delayEst.Seeded() {
+		dev := owd - jb.delayEst.Value()
+		if dev < 0 {
+			dev = -dev
+		}
+		jb.devEst.Update(dev)
+	} else {
+		jb.devEst.Update(0)
+	}
+	jb.delayEst.Update(owd)
+
+	displayAt = f.CaptureTS + jb.TargetDelay()
+	if displayAt < f.Arrival {
+		displayAt = f.Arrival // can't display before it arrives
+	}
+	if displayAt <= jb.lastPlay {
+		displayAt = jb.lastPlay + time.Millisecond // monotone display
+	}
+	jb.lastID = f.FrameID
+	jb.hasLast = true
+	jb.lastPlay = displayAt
+	jb.displayed++
+	return displayAt, false
+}
+
+// PushUnordered folds the frame into the delay estimators and returns its
+// tentative display time (capture + target delay, never before arrival)
+// WITHOUT enforcing display order or the lateness budget. Pipelines that
+// enforce decode-order dependencies themselves (see the session package)
+// use this and apply ordering at the decode pass.
+func (jb *JitterBuffer) PushUnordered(f CompleteFrame) time.Duration {
+	owd := f.OneWayDelay().Seconds()
+	if jb.delayEst.Seeded() {
+		dev := owd - jb.delayEst.Value()
+		if dev < 0 {
+			dev = -dev
+		}
+		jb.devEst.Update(dev)
+	} else {
+		jb.devEst.Update(0)
+	}
+	jb.delayEst.Update(owd)
+	jb.displayed++
+	displayAt := f.CaptureTS + jb.TargetDelay()
+	if displayAt < f.Arrival {
+		displayAt = f.Arrival
+	}
+	return displayAt
+}
+
+// Dropped returns the number of frames discarded as too late.
+func (jb *JitterBuffer) Dropped() int { return jb.dropped }
+
+// Displayed returns the number of frames scheduled for display.
+func (jb *JitterBuffer) Displayed() int { return jb.displayed }

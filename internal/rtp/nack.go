@@ -1,0 +1,170 @@
+package rtp
+
+import (
+	"sort"
+	"time"
+)
+
+// SeqLess compares RTP sequence numbers with 16-bit wraparound (RFC 3550
+// arithmetic): a < b iff the signed distance from a to b is positive.
+func SeqLess(a, b uint16) bool {
+	return a != b && int16(b-a) > 0
+}
+
+// NackGenerator tracks received RTP sequence numbers, detects gaps, and
+// emits NACK lists for feedback packets. Each missing sequence is
+// requested up to MaxRetries times with at least RetryInterval between
+// requests, then abandoned. Not safe for concurrent use.
+type NackGenerator struct {
+	// MaxRetries bounds requests per missing packet. Default 3.
+	MaxRetries int
+	// RetryInterval is the minimum spacing between requests for the
+	// same sequence. Default 50 ms.
+	RetryInterval time.Duration
+	// MaxTracked bounds the missing set; the oldest entries are
+	// abandoned beyond it. Default 256.
+	MaxTracked int
+
+	highest    uint16
+	started    bool
+	missing    map[uint16]*nackEntry
+	recovered  int
+	abandoned  int
+	duplicates int
+}
+
+type nackEntry struct {
+	lastAsked time.Duration
+	asks      int
+	everAsked bool
+}
+
+// NewNackGenerator returns a generator with defaults.
+func NewNackGenerator() *NackGenerator {
+	return &NackGenerator{
+		MaxRetries:    3,
+		RetryInterval: 50 * time.Millisecond,
+		MaxTracked:    256,
+		missing:       make(map[uint16]*nackEntry),
+	}
+}
+
+// OnPacket records an arrived RTP sequence number, registering any gap it
+// reveals and clearing the sequence from the missing set if it was a
+// retransmission.
+func (g *NackGenerator) OnPacket(seq uint16) {
+	if !g.started {
+		g.started = true
+		g.highest = seq
+		return
+	}
+	if _, wasMissing := g.missing[seq]; wasMissing {
+		delete(g.missing, seq)
+		g.recovered++
+		return
+	}
+	if !SeqLess(g.highest, seq) {
+		// Old duplicate or reordering we already accounted for.
+		g.duplicates++
+		return
+	}
+	// Register the gap (highest, seq) as missing.
+	for s := g.highest + 1; s != seq; s++ {
+		g.missing[s] = &nackEntry{}
+		if len(g.missing) > g.MaxTracked {
+			g.abandonOldest()
+		}
+	}
+	g.highest = seq
+}
+
+// abandonOldest drops the numerically oldest missing entry (wrap-aware).
+func (g *NackGenerator) abandonOldest() {
+	var oldest uint16
+	first := true
+	for s := range g.missing {
+		if first || SeqLess(s, oldest) {
+			oldest = s
+			first = false
+		}
+	}
+	if !first {
+		delete(g.missing, oldest)
+		g.abandoned++
+	}
+}
+
+// Collect returns the sequences to NACK at time now, respecting retry
+// limits. Sequences that exhausted their retries are abandoned.
+func (g *NackGenerator) Collect(now time.Duration) []uint16 {
+	var out []uint16
+	var exhausted []uint16
+	for s, e := range g.missing {
+		if e.asks >= g.MaxRetries {
+			exhausted = append(exhausted, s)
+			continue
+		}
+		if e.everAsked && now-e.lastAsked < g.RetryInterval {
+			continue
+		}
+		e.asks++
+		e.lastAsked = now
+		e.everAsked = true
+		out = append(out, s)
+	}
+	for _, s := range exhausted {
+		delete(g.missing, s)
+		g.abandoned++
+	}
+	sort.Slice(out, func(i, j int) bool { return SeqLess(out[i], out[j]) })
+	return out
+}
+
+// Missing returns the current number of outstanding missing sequences.
+func (g *NackGenerator) Missing() int { return len(g.missing) }
+
+// Recovered returns how many missing sequences later arrived.
+func (g *NackGenerator) Recovered() int { return g.recovered }
+
+// Abandoned returns how many sequences were given up on.
+func (g *NackGenerator) Abandoned() int { return g.abandoned }
+
+// RtxBuffer is the sender-side retransmission store: a bounded ring of
+// recently sent media packets keyed by RTP sequence number. Not safe for
+// concurrent use.
+type RtxBuffer struct {
+	cap   int
+	bySeq map[uint16]*Packet
+	order []uint16
+}
+
+// NewRtxBuffer returns a buffer holding up to capacity packets (default
+// 512 when capacity <= 0).
+func NewRtxBuffer(capacity int) *RtxBuffer {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &RtxBuffer{cap: capacity, bySeq: make(map[uint16]*Packet)}
+}
+
+// Store remembers a sent packet for possible retransmission.
+func (b *RtxBuffer) Store(pkt *Packet) {
+	if _, exists := b.bySeq[pkt.SequenceNumber]; !exists {
+		b.order = append(b.order, pkt.SequenceNumber)
+	}
+	b.bySeq[pkt.SequenceNumber] = pkt
+	for len(b.order) > b.cap {
+		old := b.order[0]
+		b.order = b.order[1:]
+		delete(b.bySeq, old)
+	}
+}
+
+// Get returns the stored packet for seq, if still buffered.
+func (b *RtxBuffer) Get(seq uint16) (*Packet, bool) {
+	p, ok := b.bySeq[seq]
+	return p, ok
+}
+
+// Len returns the number of buffered packets.
+func (b *RtxBuffer) Len() int { return len(b.bySeq) }

@@ -1,0 +1,185 @@
+package rtp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeqLess(t *testing.T) {
+	cases := []struct {
+		a, b uint16
+		want bool
+	}{
+		{1, 2, true},
+		{2, 1, false},
+		{5, 5, false},
+		{65535, 0, true},  // wrap
+		{0, 65535, false}, // wrap
+		{65000, 100, true},
+		{100, 65000, false},
+	}
+	for _, c := range cases {
+		if got := SeqLess(c.a, c.b); got != c.want {
+			t.Errorf("SeqLess(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNackGapDetection(t *testing.T) {
+	g := NewNackGenerator()
+	g.OnPacket(10)
+	g.OnPacket(11)
+	g.OnPacket(14) // 12, 13 missing
+	if g.Missing() != 2 {
+		t.Fatalf("missing = %d, want 2", g.Missing())
+	}
+	nacks := g.Collect(100 * time.Millisecond)
+	if len(nacks) != 2 || nacks[0] != 12 || nacks[1] != 13 {
+		t.Errorf("nacks = %v, want [12 13]", nacks)
+	}
+}
+
+func TestNackRecovery(t *testing.T) {
+	g := NewNackGenerator()
+	g.OnPacket(0)
+	g.OnPacket(3)
+	g.Collect(50 * time.Millisecond)
+	g.OnPacket(1) // retransmission arrives
+	if g.Missing() != 1 || g.Recovered() != 1 {
+		t.Errorf("missing=%d recovered=%d", g.Missing(), g.Recovered())
+	}
+}
+
+func TestNackRetryPacing(t *testing.T) {
+	g := NewNackGenerator()
+	g.OnPacket(0)
+	g.OnPacket(2)
+	first := g.Collect(100 * time.Millisecond)
+	if len(first) != 1 {
+		t.Fatalf("first collect = %v", first)
+	}
+	// Too soon: no re-request.
+	if again := g.Collect(120 * time.Millisecond); len(again) != 0 {
+		t.Errorf("re-requested before RetryInterval: %v", again)
+	}
+	// After the interval: re-request.
+	if again := g.Collect(160 * time.Millisecond); len(again) != 1 {
+		t.Errorf("no re-request after RetryInterval: %v", again)
+	}
+}
+
+func TestNackMaxRetriesAbandons(t *testing.T) {
+	g := NewNackGenerator()
+	g.OnPacket(0)
+	g.OnPacket(2)
+	now := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		now += 100 * time.Millisecond
+		if got := g.Collect(now); len(got) != 1 {
+			t.Fatalf("retry %d: %v", i, got)
+		}
+	}
+	now += 100 * time.Millisecond
+	if got := g.Collect(now); len(got) != 0 {
+		t.Fatalf("collected beyond MaxRetries: %v", got)
+	}
+	// One more Collect sweeps the exhausted entry.
+	g.Collect(now + 100*time.Millisecond)
+	if g.Missing() != 0 || g.Abandoned() != 1 {
+		t.Errorf("missing=%d abandoned=%d", g.Missing(), g.Abandoned())
+	}
+}
+
+func TestNackWraparound(t *testing.T) {
+	g := NewNackGenerator()
+	g.OnPacket(65534)
+	g.OnPacket(1) // 65535 and 0 missing across the wrap
+	if g.Missing() != 2 {
+		t.Fatalf("missing = %d, want 2 across wrap", g.Missing())
+	}
+	nacks := g.Collect(time.Second)
+	if len(nacks) != 2 || nacks[0] != 65535 || nacks[1] != 0 {
+		t.Errorf("nacks = %v, want [65535 0]", nacks)
+	}
+}
+
+func TestNackBoundedTracking(t *testing.T) {
+	g := NewNackGenerator()
+	g.MaxTracked = 10
+	g.OnPacket(0)
+	g.OnPacket(1000) // giant gap
+	if g.Missing() > 10 {
+		t.Errorf("missing = %d exceeds MaxTracked", g.Missing())
+	}
+	if g.Abandoned() == 0 {
+		t.Error("no entries abandoned despite overflow")
+	}
+}
+
+func TestNackOldDuplicateIgnored(t *testing.T) {
+	g := NewNackGenerator()
+	g.OnPacket(5)
+	g.OnPacket(6)
+	g.OnPacket(5) // duplicate of already-received
+	if g.Missing() != 0 {
+		t.Errorf("duplicate created missing entries: %d", g.Missing())
+	}
+}
+
+// Property: after delivering 0..n with arbitrary drops and then
+// retransmitting everything collected, the missing set is empty.
+func TestNackConservationProperty(t *testing.T) {
+	f := func(drop []bool) bool {
+		if len(drop) == 0 || len(drop) > 100 {
+			return true
+		}
+		g := NewNackGenerator()
+		g.OnPacket(0)
+		for i, d := range drop {
+			if !d {
+				g.OnPacket(uint16(i + 1))
+			}
+		}
+		// Ensure the tail gap is registered.
+		g.OnPacket(uint16(len(drop) + 1))
+		for _, s := range g.Collect(time.Second) {
+			g.OnPacket(s)
+		}
+		return g.Missing() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRtxBufferStoreGet(t *testing.T) {
+	b := NewRtxBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Store(&Packet{Header: Header{Version: 2, SequenceNumber: uint16(i)}})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+	if _, ok := b.Get(0); ok {
+		t.Error("evicted packet still present")
+	}
+	if p, ok := b.Get(4); !ok || p.SequenceNumber != 4 {
+		t.Error("latest packet missing")
+	}
+}
+
+func TestRtxBufferOverwrite(t *testing.T) {
+	b := NewRtxBuffer(0) // default capacity
+	p1 := &Packet{Header: Header{Version: 2, SequenceNumber: 7}, PayloadLen: 1}
+	p2 := &Packet{Header: Header{Version: 2, SequenceNumber: 7}, PayloadLen: 2}
+	b.Store(p1)
+	b.Store(p2)
+	if b.Len() != 1 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	got, _ := b.Get(7)
+	if got.PayloadLen != 2 {
+		t.Error("overwrite did not keep latest")
+	}
+}

@@ -1,0 +1,216 @@
+package rtp
+
+import (
+	"time"
+
+	"rtcadapt/internal/codec"
+)
+
+// Packetizer splits encoded frames into MTU-sized packets with continuous
+// sequence numbers. Not safe for concurrent use.
+type Packetizer struct {
+	mtu      int
+	ssrc     uint32
+	pt       byte
+	seq      uint16
+	twccSeq  uint32
+	clockHz  uint32
+	frameOut int
+}
+
+// NewPacketizer returns a packetizer. mtu is the media payload budget per
+// packet (headers not included); values <= 0 use DefaultMTU.
+func NewPacketizer(ssrc uint32, payloadType byte, mtu int) *Packetizer {
+	if mtu <= 0 {
+		mtu = DefaultMTU
+	}
+	return &Packetizer{mtu: mtu, ssrc: ssrc, pt: payloadType, clockHz: 90000}
+}
+
+// NextTransportSeq returns the transport-wide sequence number the next
+// packet will carry.
+func (p *Packetizer) NextTransportSeq() uint32 { return p.twccSeq }
+
+// Packetize splits one encoded frame into packets. Skip frames yield nil.
+// The last packet of each frame carries the RTP marker bit.
+func (p *Packetizer) Packetize(f codec.EncodedFrame) []*Packet {
+	if f.Type == codec.TypeSkip || f.Bytes() == 0 {
+		return nil
+	}
+	total := f.Bytes()
+	n := (total + p.mtu - 1) / p.mtu
+	pkts := make([]*Packet, 0, n)
+	ts := uint32(f.PTS.Seconds() * float64(p.clockHz))
+	ftype := byte(0)
+	if f.Type == codec.TypeP {
+		ftype = 1
+	}
+	remaining := total
+	for i := 0; i < n; i++ {
+		size := p.mtu
+		if remaining < size {
+			size = remaining
+		}
+		remaining -= size
+		pkt := &Packet{
+			Header: Header{
+				Version:        2,
+				Marker:         i == n-1,
+				PayloadType:    p.pt,
+				SequenceNumber: p.seq,
+				Timestamp:      ts,
+				SSRC:           p.ssrc,
+			},
+			Ext: Extension{
+				TransportSeq:  p.twccSeq,
+				FrameID:       uint32(f.Index),
+				FragIndex:     uint16(i),
+				FragCount:     uint16(n),
+				FrameType:     ftype,
+				TemporalLayer: byte(f.TemporalLayer),
+				CaptureTS:     f.PTS,
+			},
+			PayloadLen: size,
+		}
+		p.seq++
+		p.twccSeq++
+		pkts = append(pkts, pkt)
+	}
+	p.frameOut++
+	return pkts
+}
+
+// AllocTransportSeq hands out the next transport-wide sequence number for
+// a non-media packet that shares the congestion-controlled path (e.g. an
+// FEC repair).
+func (p *Packetizer) AllocTransportSeq() uint32 {
+	v := p.twccSeq
+	p.twccSeq++
+	return v
+}
+
+// Retransmit clones a previously sent packet for retransmission: same RTP
+// identity (sequence number, frame metadata) but a fresh transport-wide
+// sequence number so congestion-control feedback treats it as a new
+// transmission.
+func (p *Packetizer) Retransmit(orig *Packet) *Packet {
+	clone := *orig
+	clone.Ext.TransportSeq = p.twccSeq
+	p.twccSeq++
+	return &clone
+}
+
+// CompleteFrame is a fully reassembled frame at the receiver.
+type CompleteFrame struct {
+	// FrameID is the sender-side capture index.
+	FrameID uint32
+	// FrameType is 0 for I, 1 for P.
+	FrameType byte
+	// TemporalLayer is the SVC temporal layer of the frame.
+	TemporalLayer byte
+	// CaptureTS is the sender capture time.
+	CaptureTS time.Duration
+	// Arrival is when the last fragment arrived.
+	Arrival time.Duration
+	// FirstArrival is when the first fragment arrived.
+	FirstArrival time.Duration
+	// Bytes is the total media payload size.
+	Bytes int
+	// Packets is the fragment count.
+	Packets int
+}
+
+// OneWayDelay returns capture-to-complete-arrival latency.
+func (f CompleteFrame) OneWayDelay() time.Duration { return f.Arrival - f.CaptureTS }
+
+// Reassembler collects fragments into complete frames. Frames whose
+// fragments stop arriving are abandoned once a newer frame completes and a
+// horizon passes, so memory is bounded under loss. Not safe for concurrent
+// use.
+type Reassembler struct {
+	pending map[uint32]*pendingFrame
+	// Horizon is how far behind the newest completed frame a pending
+	// frame may lag before it is declared lost. Default 64 frames.
+	Horizon   uint32
+	newestID  uint32
+	hasNewest bool
+	lost      []uint32
+}
+
+type pendingFrame struct {
+	frame    CompleteFrame
+	got      map[uint16]bool
+	gotCount int
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[uint32]*pendingFrame), Horizon: 64}
+}
+
+// Push adds a received packet. If the packet completes its frame, the
+// complete frame is returned with ok=true.
+func (r *Reassembler) Push(pkt *Packet, arrival time.Duration) (CompleteFrame, bool) {
+	id := pkt.Ext.FrameID
+	pf, exists := r.pending[id]
+	if !exists {
+		pf = &pendingFrame{
+			frame: CompleteFrame{
+				FrameID:       id,
+				FrameType:     pkt.Ext.FrameType,
+				TemporalLayer: pkt.Ext.TemporalLayer,
+				CaptureTS:     pkt.Ext.CaptureTS,
+				FirstArrival:  arrival,
+			},
+			got: make(map[uint16]bool),
+		}
+		r.pending[id] = pf
+	}
+	if pf.got[pkt.Ext.FragIndex] {
+		return CompleteFrame{}, false // duplicate
+	}
+	pf.got[pkt.Ext.FragIndex] = true
+	pf.gotCount++
+	pf.frame.Bytes += pkt.PayloadLen
+	if arrival > pf.frame.Arrival {
+		pf.frame.Arrival = arrival
+	}
+	if arrival < pf.frame.FirstArrival {
+		pf.frame.FirstArrival = arrival
+	}
+	if pf.gotCount < int(pkt.Ext.FragCount) {
+		return CompleteFrame{}, false
+	}
+	// Frame complete.
+	pf.frame.Packets = pf.gotCount
+	delete(r.pending, id)
+	if !r.hasNewest || id > r.newestID {
+		r.newestID = id
+		r.hasNewest = true
+	}
+	r.expire()
+	return pf.frame, true
+}
+
+// expire abandons pending frames that fell behind the horizon.
+func (r *Reassembler) expire() {
+	if !r.hasNewest {
+		return
+	}
+	for id := range r.pending {
+		if id+r.Horizon < r.newestID {
+			delete(r.pending, id)
+			r.lost = append(r.lost, id)
+		}
+	}
+}
+
+// Lost drains the list of frame IDs abandoned since the last call.
+func (r *Reassembler) Lost() []uint32 {
+	out := r.lost
+	r.lost = nil
+	return out
+}
+
+// PendingFrames returns how many frames have fragments waiting.
+func (r *Reassembler) PendingFrames() int { return len(r.pending) }

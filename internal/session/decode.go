@@ -1,0 +1,6 @@
+package session
+
+// The decode-order dependency pass lives in the metrics package
+// (metrics.EnforceDecodeOrder) so receiver pipelines outside this package
+// (e.g. the SFU) can reuse it. This file intentionally left as a pointer
+// for readers following the session assembly code.

@@ -1,0 +1,26 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"rtcadapt/internal/core"
+)
+
+func TestTemporalLayersImproveLossToleranceEndToEnd(t *testing.T) {
+	// Under random loss with PLI-only recovery, half the losses hit TL1
+	// frames whose loss is local — delivery must improve clearly.
+	run := func(layers int) float64 {
+		cfg := steadyConfig(core.NewResetOnly())
+		cfg.Duration = 20 * time.Second
+		cfg.LossProb = 0.015
+		cfg.Encoder.TemporalLayers = layers
+		res := Run(cfg)
+		return float64(res.Report.DeliveredFrames) / float64(res.Report.Frames)
+	}
+	flat, layered := run(1), run(2)
+	if layered < flat+0.04 {
+		t.Errorf("temporal layers did not improve loss tolerance: %.3f -> %.3f", flat, layered)
+	}
+	t.Logf("delivery: flat=%.3f layered=%.3f", flat, layered)
+}

@@ -1,0 +1,733 @@
+// Package session wires the full RTC pipeline into one deterministic
+// discrete-event simulation: synthetic video source -> encoder controller
+// (the paper's contribution or a baseline) -> x264-like encoder -> RTP
+// packetizer -> pacer -> bottleneck link -> reassembler -> jitter buffer ->
+// display, with a feedback path (per-packet arrival reports -> bandwidth
+// estimator -> controller) closing the loop.
+//
+// A session is a pure function of its Config: same config, same seeds, same
+// per-frame ledger. Run executes a single session end to end; New builds a
+// Session on an externally owned scheduler so several flows can share one
+// bottleneck link (see the fairness experiment).
+package session
+
+import (
+	"time"
+
+	"rtcadapt/internal/audio"
+	"rtcadapt/internal/cc"
+	"rtcadapt/internal/codec"
+	"rtcadapt/internal/core"
+	"rtcadapt/internal/fb"
+	"rtcadapt/internal/fec"
+	"rtcadapt/internal/metrics"
+	"rtcadapt/internal/netem"
+	"rtcadapt/internal/pacer"
+	"rtcadapt/internal/rtp"
+	"rtcadapt/internal/simtime"
+	"rtcadapt/internal/trace"
+	"rtcadapt/internal/video"
+)
+
+// Config describes one end-to-end run.
+type Config struct {
+	// Duration is the capture span in virtual time. Default 30 s.
+	Duration time.Duration
+	// StartAt delays the session start (capture, feedback, pacing); the
+	// default is zero. Used to stagger flows in multi-flow experiments.
+	StartAt time.Duration
+	// Seed drives every random component. Runs with equal Config are
+	// identical.
+	Seed int64
+
+	// Content selects the video class. FPS defaults to 30.
+	Content video.Class
+	FPS     int
+	// VideoSource overrides the synthetic source entirely (e.g. a
+	// video.TraceSource replaying recorded complexity); Content/FPS are
+	// ignored when set.
+	VideoSource video.FrameSource
+	// Audio adds an Opus-like 32 kbps voice stream sharing the
+	// bottleneck; its quality is reported in Result.Audio.
+	Audio bool
+
+	// Trace drives the forward (media) link capacity. Required unless
+	// ForwardLink is provided.
+	Trace *trace.Trace
+	// ForwardLink, when non-nil, is an externally owned (possibly
+	// shared) bottleneck; the session sends into it but does not attach
+	// a receiver — the owner must route delivered packets back via
+	// Deliver (e.g. through an SSRCDemux). PropDelay/JitterAmp/LossProb
+	// and queue settings are ignored in that case.
+	ForwardLink *netem.Link
+	// PropDelay is the one-way propagation delay each way. Zero means
+	// 25 ms.
+	PropDelay time.Duration
+	// JitterAmp adds uniform per-packet delay jitter on the forward
+	// link.
+	JitterAmp time.Duration
+	// LossProb is the forward-link random loss probability.
+	LossProb float64
+	// BurstLoss optionally adds a Gilbert-Elliott burst-loss process on
+	// the forward link.
+	BurstLoss *netem.GilbertElliott
+	// FeedbackLossProb is the reverse-link random loss probability
+	// (feedback packets).
+	FeedbackLossProb float64
+	// QueueLimitBytes bounds the forward bottleneck queue (zero: 150 KB).
+	QueueLimitBytes int
+
+	// NACK enables receiver NACKs and sender retransmission (RFC 4585
+	// style loss recovery). Off by default.
+	NACK bool
+	// Probing enables periodic padding probe clusters that rediscover
+	// capacity quickly (libwebrtc-style probing); effective with the
+	// default GCC estimator. Off by default.
+	Probing bool
+	// FECGroupSize enables XOR forward error correction with one repair
+	// packet per group of this many media packets (FlexFEC style);
+	// zero disables FEC. The controller's media target is reduced by
+	// the FEC overhead so total send rate still matches the estimate.
+	FECGroupSize int
+
+	// MTU is the media payload size per packet (zero: 1200).
+	MTU int
+	// FeedbackInterval is the receiver report cadence (zero: 50 ms).
+	FeedbackInterval time.Duration
+
+	// InitialRate seeds the estimator and encoder (zero: 1 Mbps).
+	InitialRate float64
+
+	// LatenessBudget is the receiver's interactive rendering budget
+	// (see rtp.JitterBuffer). Zero keeps the 600 ms default; negative
+	// disables it.
+	LatenessBudget time.Duration
+
+	// SSRC identifies this flow on a shared link. Zero derives one from
+	// the seed.
+	SSRC uint32
+
+	// Controller is the encoder controller under test. Required; a
+	// Controller must not be reused across runs.
+	Controller core.Controller
+	// NewEstimator constructs the bandwidth estimator; nil means GCC
+	// with defaults. The capacity function argument reads the true
+	// forward-link capacity (used by the oracle).
+	NewEstimator func(capacity cc.CapacityFunc) cc.Estimator
+
+	// Encoder optionally overrides encoder parameters. Zero fields take
+	// the codec defaults; TargetBitrate, FPS and Seed are always set by
+	// the session.
+	Encoder codec.Config
+}
+
+// TimelinePoint is a periodic sample of the control plane, for plotting.
+type TimelinePoint struct {
+	At            time.Duration
+	Capacity      float64 // true link capacity, bits/s
+	Estimate      float64 // estimator target, bits/s
+	EncoderTarget float64 // encoder ABR target, bits/s
+	LinkQueue     time.Duration
+	PacerQueue    time.Duration
+}
+
+// Result is everything a run produces.
+type Result struct {
+	// Records is the per-frame ledger in capture order.
+	Records []metrics.FrameRecord
+	// Report aggregates the whole session.
+	Report metrics.Report
+	// Timeline holds 100 ms control-plane samples.
+	Timeline []TimelinePoint
+	// LinkStats are the forward-link counters (shared counters when the
+	// link is shared).
+	LinkStats netem.Stats
+	// PacerDropped counts sender-side pacer overflows.
+	PacerDropped int
+	// PLISent counts keyframe requests from the receiver.
+	PLISent int
+	// NacksSent counts sequences the receiver requested; Retransmitted
+	// counts packets the sender resent in response.
+	NacksSent, Retransmitted int
+	// FECRepairs counts repair packets sent; FECRecovered counts media
+	// packets reconstructed from them at the receiver.
+	FECRepairs, FECRecovered int
+	// Audio is the voice-stream report (nil when Config.Audio is off).
+	Audio *audio.Report
+	// ProbeClusters and ProbesApplied count probing activity.
+	ProbeClusters, ProbesApplied int
+	// ControllerName and EstimatorName identify the control plane.
+	ControllerName, EstimatorName string
+	// FrameInterval echoes the capture period for window math.
+	FrameInterval time.Duration
+}
+
+// frameInfo is the sender-side ledger entry awaiting receiver resolution.
+type frameInfo struct {
+	rec      metrics.FrameRecord
+	motion   float64
+	resolved bool
+}
+
+// Session is one flow wired onto a scheduler. Construct with New, drive
+// the scheduler, then call Result.
+type Session struct {
+	cfg   Config
+	sched *simtime.Scheduler
+
+	source     video.FrameSource
+	enc        *codec.Encoder
+	est        cc.Estimator
+	forward    *netem.Link
+	reverse    *netem.Link
+	packetizer *rtp.Packetizer
+	history    *fb.History
+	recorder   *fb.Recorder
+	reasm      *rtp.Reassembler
+	nackGen    *rtp.NackGenerator
+	rtxBuf     *rtp.RtxBuffer
+	fecEnc     *fec.GroupEncoder
+	fecDec     *fec.Decoder
+	audioSrc   *audio.Source
+	audioRecv  *audio.Receiver
+	audioSent  int
+	probe      *probeController
+	jbuf       *rtp.JitterBuffer
+	pc         *pacer.Pacer
+
+	capacityFn cc.CapacityFunc
+
+	ledger            map[int]*frameInfo
+	order             []int
+	timeline          []TimelinePoint
+	pliSent           int
+	nacksSent         int
+	retransmitted     int
+	fecRepairs        int
+	lastPLI           time.Duration
+	keyframeRequested bool
+	frameInterval     time.Duration
+}
+
+// New wires a session onto sched. When cfg.ForwardLink is nil the session
+// owns a private link driven by cfg.Trace and attaches itself as its
+// receiver; otherwise it sends into the shared link and the owner must
+// route deliveries back through Deliver.
+func New(sched *simtime.Scheduler, cfg Config) *Session {
+	if cfg.Trace == nil && cfg.ForwardLink == nil {
+		panic("session: Config.Trace or Config.ForwardLink is required")
+	}
+	if cfg.Controller == nil {
+		panic("session: Config.Controller is required")
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.FPS == 0 {
+		cfg.FPS = 30
+	}
+	if cfg.FeedbackInterval == 0 {
+		cfg.FeedbackInterval = 50 * time.Millisecond
+	}
+	if cfg.InitialRate == 0 {
+		cfg.InitialRate = 1e6
+	}
+	if cfg.SSRC == 0 {
+		cfg.SSRC = uint32(cfg.Seed) + 100
+	}
+
+	s := &Session{
+		cfg:     cfg,
+		sched:   sched,
+		ledger:  make(map[int]*frameInfo),
+		lastPLI: -time.Hour,
+	}
+
+	if cfg.VideoSource != nil {
+		s.source = cfg.VideoSource
+	} else {
+		s.source = video.NewSource(video.SourceConfig{
+			Class: cfg.Content, FPS: cfg.FPS, Seed: cfg.Seed,
+		})
+	}
+	s.frameInterval = s.source.FrameInterval()
+
+	encCfg := cfg.Encoder
+	encCfg.TargetBitrate = cfg.InitialRate
+	encCfg.FPS = cfg.FPS
+	encCfg.Seed = cfg.Seed + 1
+	s.enc = codec.NewEncoder(encCfg)
+
+	if cfg.ForwardLink != nil {
+		s.forward = cfg.ForwardLink
+	} else {
+		s.forward = netem.NewLink(sched, netem.Config{
+			Trace:           cfg.Trace,
+			PropDelay:       cfg.PropDelay,
+			JitterAmp:       cfg.JitterAmp,
+			LossProb:        cfg.LossProb,
+			BurstLoss:       cfg.BurstLoss,
+			QueueLimitBytes: cfg.QueueLimitBytes,
+			Seed:            cfg.Seed + 2,
+		})
+		s.forward.SetReceiver(netem.ReceiverFunc(s.Deliver))
+	}
+	s.capacityFn = func(time.Duration) float64 { return s.forward.Capacity() }
+
+	if cfg.NewEstimator != nil {
+		s.est = cfg.NewEstimator(s.capacityFn)
+	} else {
+		s.est = cc.NewGCC(cc.GCCConfig{InitialRate: cfg.InitialRate})
+	}
+
+	// The reverse path carries only small feedback packets; a generous
+	// constant-rate link models it.
+	s.reverse = netem.NewLink(sched, netem.Config{
+		Trace:     trace.Constant(5e6),
+		PropDelay: cfg.PropDelay,
+		LossProb:  cfg.FeedbackLossProb,
+		Seed:      cfg.Seed + 3,
+	})
+	s.reverse.SetReceiver(netem.ReceiverFunc(s.onFeedback))
+
+	s.packetizer = rtp.NewPacketizer(cfg.SSRC, 96, cfg.MTU)
+	s.history = fb.NewHistory()
+	s.recorder = fb.NewRecorder()
+	s.reasm = rtp.NewReassembler()
+	// A decoder notices a missing reference within a few frames; a
+	// 15-frame horizon (~500 ms) models that detection latency and
+	// bounds PLI recovery time.
+	s.reasm.Horizon = 15
+	if cfg.NACK {
+		s.nackGen = rtp.NewNackGenerator()
+		s.rtxBuf = rtp.NewRtxBuffer(512)
+	}
+	if cfg.FECGroupSize > 0 {
+		s.fecEnc = fec.NewGroupEncoder(cfg.SSRC, cfg.FECGroupSize)
+		s.fecDec = fec.NewDecoder()
+	}
+	if cfg.Audio {
+		s.audioSrc = audio.NewSource(audio.Config{})
+		s.audioRecv = audio.NewReceiver(audio.Config{})
+	}
+	if cfg.Probing {
+		s.probe = newProbeController(s)
+	}
+	s.jbuf = rtp.NewJitterBuffer(0, 0)
+	if cfg.LatenessBudget != 0 {
+		s.jbuf.LatenessBudget = cfg.LatenessBudget
+	}
+
+	s.pc = pacer.New(sched, pacer.Config{Rate: cfg.InitialRate}, s.sendPacket)
+
+	// Timers all start at StartAt.
+	sched.At(cfg.StartAt, func() {
+		s.capture()
+		sched.Tick(s.frameInterval, s.capture)
+		sched.Tick(cfg.FeedbackInterval, s.feedbackTick)
+		sched.Tick(100*time.Millisecond, s.sampleTimeline)
+		if s.audioSrc != nil {
+			s.captureAudio()
+			sched.Tick(s.audioSrc.FrameDur(), s.captureAudio)
+		}
+		if s.probe != nil {
+			s.probe.start()
+		}
+	})
+
+	return s
+}
+
+// SSRC returns the flow's RTP SSRC (the demux key on shared links).
+func (s *Session) SSRC() uint32 { return s.cfg.SSRC }
+
+// ReverseLink returns the link delivering feedback to this sender. It is
+// exposed for topologies where a middlebox terminates feedback (the SFU
+// sends its reports into this link instead of a co-located receiver).
+func (s *Session) ReverseLink() *netem.Link { return s.reverse }
+
+// sendPacket is the pacer's transmit callback.
+func (s *Session) sendPacket(payload any, wireSize int) {
+	switch pkt := payload.(type) {
+	case *rtp.Packet:
+		s.history.Add(pkt.Ext.TransportSeq, s.sched.Now(), wireSize)
+		if s.rtxBuf != nil {
+			s.rtxBuf.Store(pkt)
+		}
+		s.forward.Send(netem.Packet{Size: wireSize, Payload: pkt})
+	case *fec.Repair:
+		s.history.Add(pkt.TransportSeq, s.sched.Now(), wireSize)
+		s.forward.Send(netem.Packet{Size: wireSize, Payload: pkt})
+	default:
+		panic("session: unknown pacer payload")
+	}
+}
+
+// requestPLI arms a keyframe request, rate-limited to one per 500 ms.
+func (s *Session) requestPLI() {
+	if s.sched.Now()-s.lastPLI < 500*time.Millisecond {
+		return
+	}
+	s.lastPLI = s.sched.Now()
+	s.recorder.RequestPLI()
+	s.pliSent++
+}
+
+// markDropped resolves a frame the receiver gave up on.
+func (s *Session) markDropped(frameID uint32) {
+	if fi, ok := s.ledger[int(frameID)]; ok && !fi.resolved {
+		fi.rec.Outcome = metrics.Dropped
+		fi.resolved = true
+	}
+	s.requestPLI()
+}
+
+// Deliver consumes one packet at the receiver (media or FEC repair). It
+// implements netem.Receiver for privately owned links and is called by the
+// SSRC demux on shared links.
+func (s *Session) Deliver(np netem.Packet, at time.Duration) {
+	switch pkt := np.Payload.(type) {
+	case *rtp.Packet:
+		s.recorder.OnPacket(pkt.Ext.TransportSeq, at, np.Size)
+		if pkt.PayloadType == audioPayloadType {
+			if s.audioRecv != nil {
+				s.audioRecv.OnFrame(int(pkt.Ext.FrameID), pkt.Ext.CaptureTS, at)
+			}
+			return
+		}
+		if pkt.PayloadType == probePayloadType {
+			return // padding: CC accounting only
+		}
+		s.handleMedia(pkt, at)
+		if s.fecDec != nil {
+			for _, rec := range s.fecDec.OnMedia(pkt.SequenceNumber) {
+				s.handleMedia(rec, at)
+			}
+		}
+	case *fec.Repair:
+		s.recorder.OnPacket(pkt.TransportSeq, at, np.Size)
+		if s.fecDec != nil {
+			for _, rec := range s.fecDec.OnRepair(pkt) {
+				s.handleMedia(rec, at)
+			}
+		}
+	}
+}
+
+// handleMedia pushes one (received or FEC-recovered) media packet through
+// the receive pipeline.
+func (s *Session) handleMedia(pkt *rtp.Packet, at time.Duration) {
+	if s.nackGen != nil {
+		s.nackGen.OnPacket(pkt.SequenceNumber)
+	}
+	complete, ok := s.reasm.Push(pkt, at)
+	for _, lostID := range s.reasm.Lost() {
+		s.markDropped(lostID)
+	}
+	if !ok {
+		return
+	}
+	// Tentative display time; decode-order dependencies and the lateness
+	// budget are enforced in the assembly pass.
+	displayAt := s.jbuf.PushUnordered(complete)
+	fi, have := s.ledger[int(complete.FrameID)]
+	if !have {
+		return
+	}
+	fi.rec.Outcome = metrics.Delivered
+	fi.rec.Arrival = complete.Arrival
+	fi.rec.DisplayAt = displayAt
+	fi.resolved = true
+}
+
+// onFeedback consumes one feedback report at the sender.
+func (s *Session) onFeedback(np netem.Packet, at time.Duration) {
+	rep := np.Payload.(fb.Report)
+	results := s.history.OnReport(rep)
+	s.est.OnPacketResults(at, results)
+	if s.probe != nil {
+		s.probe.onResults(results)
+	}
+	snap := s.est.Snapshot(at)
+	if snap.Target > 0 {
+		s.pc.SetRate(snap.Target)
+	}
+	// With FEC on, the controller budgets the media share of the
+	// estimate; repairs consume the rest.
+	if s.fecEnc != nil {
+		snap.Target /= 1 + s.fecEnc.Overhead()
+	}
+	s.cfg.Controller.OnFeedback(at, snap)
+	if rep.PLI {
+		s.keyframeRequested = true
+	}
+	for _, seq := range rep.Nacks {
+		if s.rtxBuf == nil {
+			break
+		}
+		if orig, ok := s.rtxBuf.Get(seq); ok {
+			clone := s.packetizer.Retransmit(orig)
+			s.retransmitted++
+			s.pc.Enqueue(clone, clone.WireSize())
+		}
+	}
+}
+
+// feedbackTick flushes the receiver report onto the reverse link.
+func (s *Session) feedbackTick() {
+	rep := s.recorder.Flush(s.sched.Now())
+	if s.nackGen != nil {
+		rep.Nacks = s.nackGen.Collect(s.sched.Now())
+		s.nacksSent += len(rep.Nacks)
+	}
+	s.reverse.Send(netem.Packet{Size: rep.WireSize(), Payload: rep})
+}
+
+// capture grabs, encodes, and packetizes one frame.
+func (s *Session) capture() {
+	now := s.sched.Now()
+	if now >= s.cfg.StartAt+s.cfg.Duration {
+		return
+	}
+	frame := s.source.Next()
+	// Capture PTS is relative to the session start.
+	frame.PTS += s.cfg.StartAt
+	snap := s.est.Snapshot(now)
+	ctx := core.FrameContext{
+		Now:               now,
+		Frame:             frame,
+		FrameInterval:     s.frameInterval,
+		EncoderTarget:     s.enc.TargetBitrate(),
+		EncoderScale:      s.enc.Scale(),
+		LastQP:            s.enc.LastQP(),
+		VBVFill:           s.enc.VBVFill(),
+		VBVSize:           s.enc.VBVSize(),
+		PacerQueueBytes:   s.pc.QueueBytes(),
+		PacerQueueDelay:   s.pc.QueueDelay(),
+		InFlightBytes:     s.history.InFlight(),
+		Estimate:          snap,
+		KeyframeRequested: s.keyframeRequested,
+	}
+	d := s.cfg.Controller.BeforeEncode(ctx)
+	if d.ForceKeyframe {
+		s.keyframeRequested = false
+	}
+	ef := s.enc.Encode(frame, d)
+	s.cfg.Controller.OnEncoded(now, ef)
+
+	fi := &frameInfo{
+		rec: metrics.FrameRecord{
+			Index:         frame.Index,
+			CaptureTS:     frame.PTS,
+			Bytes:         ef.Bytes(),
+			QP:            ef.QP,
+			Keyframe:      ef.Type == codec.TypeI,
+			TemporalLayer: ef.TemporalLayer,
+			SSIM:          ef.SSIM,
+		},
+		motion: ef.MotionRatio,
+	}
+	s.ledger[frame.Index] = fi
+	s.order = append(s.order, frame.Index)
+
+	if ef.Type == codec.TypeSkip {
+		fi.rec.Outcome = metrics.Skipped
+		fi.resolved = true
+		return
+	}
+	pkts := s.packetizer.Packetize(ef)
+	var repairs []*fec.Repair
+	if s.fecEnc != nil {
+		for _, p := range pkts {
+			if rep := s.fecEnc.Add(p); rep != nil {
+				repairs = append(repairs, rep)
+			}
+		}
+		// Frame-aligned flush: repairs never wait for the next frame.
+		if rep := s.fecEnc.Flush(); rep != nil {
+			repairs = append(repairs, rep)
+		}
+		for _, rep := range repairs {
+			rep.TransportSeq = s.packetizer.AllocTransportSeq()
+		}
+		s.fecRepairs += len(repairs)
+	}
+	s.sched.After(ef.EncodeTime, func() {
+		for _, p := range pkts {
+			s.pc.Enqueue(p, p.WireSize())
+		}
+		for _, rep := range repairs {
+			s.pc.Enqueue(rep, rep.WireSize())
+		}
+	})
+}
+
+// audioPayloadType marks audio packets on the shared path.
+const audioPayloadType = 111
+
+// captureAudio emits one audio frame straight onto the link (audio is
+// tiny; production pacers treat it as pass-through).
+func (s *Session) captureAudio() {
+	now := s.sched.Now()
+	if now >= s.cfg.StartAt+s.cfg.Duration {
+		return
+	}
+	f := s.audioSrc.Next()
+	pkt := &rtp.Packet{
+		Header: rtp.Header{
+			Version:        2,
+			Marker:         true,
+			PayloadType:    audioPayloadType,
+			SequenceNumber: uint16(f.Index),
+			SSRC:           s.cfg.SSRC,
+		},
+		Ext: rtp.Extension{
+			TransportSeq: s.packetizer.AllocTransportSeq(),
+			FrameID:      uint32(f.Index),
+			FragCount:    1,
+			CaptureTS:    f.PTS + s.cfg.StartAt,
+		},
+		PayloadLen: f.Bytes,
+	}
+	s.audioSent++
+	s.history.Add(pkt.Ext.TransportSeq, now, pkt.WireSize())
+	s.forward.Send(netem.Packet{Size: pkt.WireSize(), Payload: pkt})
+}
+
+// sampleTimeline records one control-plane sample.
+func (s *Session) sampleTimeline() {
+	now := s.sched.Now()
+	s.timeline = append(s.timeline, TimelinePoint{
+		At:            now,
+		Capacity:      s.capacityFn(now),
+		Estimate:      s.est.Snapshot(now).Target,
+		EncoderTarget: s.enc.TargetBitrate(),
+		LinkQueue:     s.forward.QueueDelay(),
+		PacerQueue:    s.pc.QueueDelay(),
+	})
+}
+
+// CaptureLedger returns the sender-side view of every captured frame —
+// encoder outputs (bytes, QP, keyframe, temporal layer, encoded SSIM)
+// with Outcome set only for sender-side skips — without receiver
+// resolution or freeze chaining. Topologies that terminate the media
+// elsewhere (e.g. the SFU) build receiver ledgers from this. Call before
+// Result, which mutates the ledger.
+func (s *Session) CaptureLedger() []metrics.FrameRecord {
+	out := make([]metrics.FrameRecord, 0, len(s.order))
+	for _, idx := range s.order {
+		out = append(out, s.ledger[idx].rec)
+	}
+	return out
+}
+
+// Result assembles the ledger after the scheduler has run. Call once.
+func (s *Session) Result() Result {
+	// First enforce decode-order dependencies (H.264 P-chain): frames
+	// whose references never arrived become undecodable freezes, and
+	// frames whose references were repaired late (NACK) decode late.
+	recs := make([]*metrics.FrameRecord, 0, len(s.order))
+	for _, idx := range s.order {
+		fi := s.ledger[idx]
+		if !fi.resolved {
+			fi.rec.Outcome = metrics.Dropped
+			fi.resolved = true
+		}
+		recs = append(recs, &fi.rec)
+	}
+	metrics.EnforceDecodeOrder(recs, s.jbuf.LatenessBudget)
+
+	records := make([]metrics.FrameRecord, 0, len(s.order))
+	lastDisplayedSSIM := 1.0
+	for _, idx := range s.order {
+		fi := s.ledger[idx]
+		switch fi.rec.Outcome {
+		case metrics.Delivered:
+			lastDisplayedSSIM = fi.rec.SSIM
+		case metrics.Dropped:
+			// The viewer saw a freeze in this slot.
+			fi.rec.SSIM = codec.SkipSSIM(lastDisplayedSSIM, fi.motion)
+			lastDisplayedSSIM = fi.rec.SSIM
+		case metrics.Skipped:
+			// Encoder already chained the skip penalty into SSIM.
+			lastDisplayedSSIM = fi.rec.SSIM
+		}
+		records = append(records, fi.rec)
+	}
+
+	var audioRep *audio.Report
+	if s.audioRecv != nil {
+		rep := s.audioRecv.Report(s.audioSent)
+		audioRep = &rep
+	}
+	probeClusters, probesApplied := 0, 0
+	if s.probe != nil {
+		probeClusters, probesApplied = s.probe.clusters, s.probe.applied
+	}
+
+	return Result{
+		Records:        records,
+		Audio:          audioRep,
+		ProbeClusters:  probeClusters,
+		ProbesApplied:  probesApplied,
+		Report:         metrics.SummarizeAll(records, s.frameInterval),
+		Timeline:       s.timeline,
+		LinkStats:      s.forward.Stats(),
+		PacerDropped:   s.pc.Dropped(),
+		PLISent:        s.pliSent,
+		NacksSent:      s.nacksSent,
+		Retransmitted:  s.retransmitted,
+		FECRepairs:     s.fecRepairs,
+		FECRecovered:   fecRecovered(s.fecDec),
+		ControllerName: s.cfg.Controller.Name(),
+		EstimatorName:  s.est.Name(),
+		FrameInterval:  s.frameInterval,
+	}
+}
+
+// fecRecovered reads the decoder counter, tolerating a nil decoder.
+func fecRecovered(d *fec.Decoder) int {
+	if d == nil {
+		return 0
+	}
+	return d.Recovered()
+}
+
+// Run executes one session end to end: the common single-flow entry point.
+func Run(cfg Config) Result {
+	sched := simtime.NewScheduler()
+	s := New(sched, cfg)
+	sched.RunUntil(cfg.StartAt + s.cfg.Duration + 2*time.Second)
+	return s.Result()
+}
+
+// SSRCDemux routes packets from a shared link to sessions by RTP SSRC.
+type SSRCDemux struct {
+	sessions map[uint32]*Session
+}
+
+// NewSSRCDemux builds a demux over the given sessions and returns it; use
+// it as the shared link's receiver.
+func NewSSRCDemux(sessions ...*Session) *SSRCDemux {
+	d := &SSRCDemux{sessions: make(map[uint32]*Session)}
+	for _, s := range sessions {
+		d.sessions[s.SSRC()] = s
+	}
+	return d
+}
+
+// Deliver implements netem.Receiver.
+func (d *SSRCDemux) Deliver(pkt netem.Packet, at time.Duration) {
+	var ssrc uint32
+	switch p := pkt.Payload.(type) {
+	case *rtp.Packet:
+		ssrc = p.SSRC
+	case *fec.Repair:
+		ssrc = p.SSRC
+	default:
+		return
+	}
+	if s, ok := d.sessions[ssrc]; ok {
+		s.Deliver(pkt, at)
+	}
+}

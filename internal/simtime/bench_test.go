@@ -1,0 +1,27 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%100)*time.Microsecond, func() {})
+		if i%64 == 0 {
+			for s.Step() {
+			}
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkTicker(b *testing.B) {
+	s := NewScheduler()
+	n := 0
+	s.Tick(time.Millisecond, func() { n++ })
+	b.ResetTimer()
+	s.RunUntil(time.Duration(b.N) * time.Millisecond)
+}

@@ -1,0 +1,228 @@
+// Package simtime provides a deterministic discrete-event scheduler with a
+// virtual clock. Every component of the simulator runs on virtual time, so a
+// whole end-to-end session is a pure function of its configuration and seeds.
+//
+// The zero value of Scheduler is ready to use. Events scheduled for the same
+// instant fire in scheduling order (FIFO), which keeps runs reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock exposes the current virtual time. Components that only need to read
+// time should accept a Clock rather than a *Scheduler.
+type Clock interface {
+	// Now returns the current virtual time, measured from the start of the
+	// simulation.
+	Now() time.Duration
+}
+
+// Event is a handle to a scheduled callback. It can be used to cancel the
+// callback before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Canceling an event that already
+// fired or was already canceled is a no-op. Cancel reports whether the event
+// was still pending.
+func (e *Event) Cancel() bool {
+	if e.canceled || e.index == -1 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use; simulations are single-goroutine by design.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Len returns the number of pending (non-canceled) events. Canceled events
+// still occupy queue slots until their deadline passes, so Len is an upper
+// bound immediately after cancellations.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a simulation bug, and silently reordering
+// events would destroy determinism.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("simtime: At called with nil callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: event scheduled in the past (now=%v, at=%v)", s.now, t))
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// deadline. It reports whether an event fired; false means the queue is
+// empty (or everything left was canceled).
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Peek returns the deadline of the earliest pending event and true, or zero
+// and false if none is pending.
+func (s *Scheduler) Peek() (time.Duration, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}
+
+// RunUntil fires events in order until the queue is exhausted or the next
+// event lies strictly beyond t, then advances the clock to exactly t.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: RunUntil into the past (now=%v, until=%v)", s.now, t))
+	}
+	for {
+		next, ok := s.Peek()
+		if !ok || next > t {
+			break
+		}
+		s.Step()
+		if s.stopped {
+			break
+		}
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	for !s.stopped && s.Step() {
+	}
+}
+
+// Stop makes Run and RunUntil return after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
+// Ticker schedules fn every interval, starting at now+interval, until
+// canceled via the returned handle or until the scheduler stops.
+type Ticker struct {
+	s        *Scheduler
+	interval time.Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// Tick creates and starts a Ticker. interval must be positive.
+func (s *Scheduler) Tick(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("simtime: Tick with non-positive interval")
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.s.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is safe to call multiple times and from
+// within the tick callback itself.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

@@ -1,0 +1,20 @@
+package stats
+
+import "testing"
+
+func BenchmarkLinRegSlope(b *testing.B) {
+	r := NewLinReg(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(float64(i), float64(i%7))
+		r.Slope()
+	}
+}
+
+func BenchmarkWindowedMin(b *testing.B) {
+	w := NewWindowedMin(2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Update(float64(i % 997))
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import "math"
+
+// MeanStd returns the sample mean and the sample standard deviation
+// (Bessel-corrected). Fewer than two samples yield a zero deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / (n - 1))
+}
+
+// CI95 returns the half-width of a 95% confidence interval for the mean
+// of xs, using Student's t critical values for small samples.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	_, std := MeanStd(xs)
+	return tCrit(n-1) * std / math.Sqrt(float64(n))
+}
+
+// tCrit returns the two-sided 95% Student-t critical value for df degrees
+// of freedom (tabulated for small df, 1.96 asymptotically).
+func tCrit(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+		2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+		2.110, 2.101, 2.093, 2.086,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	switch {
+	case df < 30:
+		return 2.05
+	case df < 60:
+		return 2.0
+	}
+	return 1.96
+}
+
+// WelchT computes Welch's t statistic and approximate degrees of freedom
+// for the difference of means between two samples. Returns ok=false when
+// either sample has fewer than two points or zero variance in both.
+func WelchT(a, b []float64) (t float64, df float64, ok bool) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0, false
+	}
+	ma, sa := MeanStd(a)
+	mb, sb := MeanStd(b)
+	va := sa * sa / float64(len(a))
+	vb := sb * sb / float64(len(b))
+	if va+vb == 0 {
+		return 0, 0, false
+	}
+	t = (ma - mb) / math.Sqrt(va+vb)
+	num := (va + vb) * (va + vb)
+	den := va*va/float64(len(a)-1) + vb*vb/float64(len(b)-1)
+	if den == 0 {
+		return t, math.Inf(1), true
+	}
+	return t, num / den, true
+}
+
+// SignificantlyDifferent reports whether two samples' means differ at the
+// 95% level under Welch's t-test.
+func SignificantlyDifferent(a, b []float64) bool {
+	t, df, ok := WelchT(a, b)
+	if !ok {
+		return false
+	}
+	return math.Abs(t) > tCrit(int(df))
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	// Sample (Bessel) stddev of this set is ~2.138.
+	if math.Abs(s-2.1381) > 1e-3 {
+		t.Errorf("std = %v", s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("empty input")
+	}
+	if m, s := MeanStd([]float64{7}); m != 7 || s != 0 {
+		t.Error("single sample")
+	}
+}
+
+func TestCI95KnownCase(t *testing.T) {
+	// n=5, std=1: CI95 = 2.776 / sqrt(5) ≈ 1.2415.
+	xs := []float64{-1.2649, -0.6325, 0, 0.6325, 1.2649} // mean 0, sample std ~1
+	ci := CI95(xs)
+	if math.Abs(ci-1.2415) > 0.01 {
+		t.Errorf("CI95 = %v, want ~1.2415", ci)
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Error("CI of single sample should be 0")
+	}
+}
+
+func TestTCritMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		c := tCrit(df)
+		if c > prev+1e-9 {
+			t.Fatalf("tCrit not non-increasing at df=%d", df)
+		}
+		prev = c
+	}
+	if tCrit(1000) != 1.96 {
+		t.Error("asymptotic tCrit")
+	}
+}
+
+func TestWelch(t *testing.T) {
+	a := []float64{10, 11, 9, 10.5, 9.5}
+	b := []float64{20, 21, 19, 20.5, 19.5}
+	if !SignificantlyDifferent(a, b) {
+		t.Error("clearly different samples not flagged")
+	}
+	c := []float64{10, 11, 9, 10.5, 9.5}
+	if SignificantlyDifferent(a, c) {
+		t.Error("identical distributions flagged")
+	}
+	if _, _, ok := WelchT([]float64{1}, b); ok {
+		t.Error("degenerate sample accepted")
+	}
+	if _, _, ok := WelchT([]float64{5, 5}, []float64{5, 5}); ok {
+		t.Error("zero-variance pair accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is a thin deterministic PRNG wrapper. Every simulator component owns
+// its own Rand seeded from the session seed, so adding randomness to one
+// component never perturbs another (no shared-stream coupling).
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a PRNG seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// Intn returns a uniform sample in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+
+// NormFloat64 returns a standard normal sample.
+func (r *Rand) NormFloat64() float64 { return r.r.NormFloat64() }
+
+// LogNormal returns a sample from a log-normal distribution with the given
+// mean (of the underlying distribution, i.e. E[X] = mean) and coefficient of
+// variation cv. cv = 0 returns mean exactly.
+func (r *Rand) LogNormal(mean, cv float64) float64 {
+	if cv <= 0 || mean <= 0 {
+		return mean
+	}
+	sigma2 := math.Log1p(cv * cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(mu + math.Sqrt(sigma2)*r.r.NormFloat64())
+}
+
+// Exponential returns a sample from an exponential distribution with the
+// given mean.
+func (r *Rand) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.r.ExpFloat64() * mean
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.r.Float64() < p
+}
+
+// Jitter returns v scaled by a uniform factor in [1-amp, 1+amp].
+func (r *Rand) Jitter(v, amp float64) float64 {
+	if amp <= 0 {
+		return v
+	}
+	return v * (1 + amp*(2*r.r.Float64()-1))
+}
+
+// Split derives a new independent PRNG from this one. Used to hand each
+// subcomponent its own stream.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.r.Int63())
+}

@@ -1,0 +1,402 @@
+// Package stats provides the small online statistics used throughout the
+// simulator: exponentially weighted moving averages, windowed extrema,
+// percentile summaries, histograms, an online linear regression (used by the
+// congestion controller's trendline filter), and a deterministic PRNG
+// wrapper.
+//
+// All types have useful zero values unless a constructor is documented.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EWMA is an exponentially weighted moving average. The zero value is empty;
+// the first Update seeds the average directly.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	seeded bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Higher
+// alpha weights recent samples more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds a sample into the average and returns the new value.
+func (e *EWMA) Update(sample float64) float64 {
+	if !e.seeded {
+		e.value = sample
+		e.seeded = true
+		return e.value
+	}
+	e.value += e.alpha * (sample - e.value)
+	return e.value
+}
+
+// Value returns the current average (zero if no samples yet).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Seeded reports whether at least one sample has been folded in.
+func (e *EWMA) Seeded() bool { return e.seeded }
+
+// Reset clears the average back to the unseeded state.
+func (e *EWMA) Reset() { e.value = 0; e.seeded = false }
+
+// Set forces the average to v and marks it seeded.
+func (e *EWMA) Set(v float64) { e.value = v; e.seeded = true }
+
+// WindowedMin tracks the minimum of the last N samples in O(1) amortized
+// time using a monotonic deque.
+type WindowedMin struct {
+	window int
+	seq    int
+	deque  []minEntry // increasing values
+}
+
+type minEntry struct {
+	seq int
+	val float64
+}
+
+// NewWindowedMin returns a tracker over the last window samples. window must
+// be positive.
+func NewWindowedMin(window int) *WindowedMin {
+	if window <= 0 {
+		panic("stats: WindowedMin window must be positive")
+	}
+	return &WindowedMin{window: window}
+}
+
+// Update inserts a sample and returns the current windowed minimum.
+func (w *WindowedMin) Update(v float64) float64 {
+	for len(w.deque) > 0 && w.deque[len(w.deque)-1].val >= v {
+		w.deque = w.deque[:len(w.deque)-1]
+	}
+	w.deque = append(w.deque, minEntry{seq: w.seq, val: v})
+	w.seq++
+	for w.deque[0].seq <= w.seq-1-w.window {
+		w.deque = w.deque[1:]
+	}
+	return w.deque[0].val
+}
+
+// Min returns the current windowed minimum, or +Inf when empty.
+func (w *WindowedMin) Min() float64 {
+	if len(w.deque) == 0 {
+		return math.Inf(1)
+	}
+	return w.deque[0].val
+}
+
+// WindowedMax tracks the maximum of the last N samples in O(1) amortized
+// time using a monotonic deque.
+type WindowedMax struct {
+	window int
+	seq    int
+	deque  []minEntry // decreasing values
+}
+
+// NewWindowedMax returns a tracker over the last window samples. window
+// must be positive.
+func NewWindowedMax(window int) *WindowedMax {
+	if window <= 0 {
+		panic("stats: WindowedMax window must be positive")
+	}
+	return &WindowedMax{window: window}
+}
+
+// Update inserts a sample and returns the current windowed maximum.
+func (w *WindowedMax) Update(v float64) float64 {
+	for len(w.deque) > 0 && w.deque[len(w.deque)-1].val <= v {
+		w.deque = w.deque[:len(w.deque)-1]
+	}
+	w.deque = append(w.deque, minEntry{seq: w.seq, val: v})
+	w.seq++
+	for w.deque[0].seq <= w.seq-1-w.window {
+		w.deque = w.deque[1:]
+	}
+	return w.deque[0].val
+}
+
+// Max returns the current windowed maximum, or -Inf when empty.
+func (w *WindowedMax) Max() float64 {
+	if len(w.deque) == 0 {
+		return math.Inf(-1)
+	}
+	return w.deque[0].val
+}
+
+// Summary computes order statistics over a recorded sample set. Samples are
+// kept in full; simulations are small enough that sketching is unnecessary,
+// and exact percentiles make tests deterministic.
+type Summary struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records a sample.
+func (s *Summary) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Sum returns the sum of all samples.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or zero for an empty summary.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Stddev returns the population standard deviation, or zero if fewer than
+// two samples were recorded.
+func (s *Summary) Stddev() float64 {
+	n := len(s.samples)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) using linear
+// interpolation between order statistics. Empty summaries return zero.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		s.ensureSorted()
+		return s.samples[0]
+	}
+	if q >= 1 {
+		s.ensureSorted()
+		return s.samples[len(s.samples)-1]
+	}
+	s.ensureSorted()
+	pos := q * float64(len(s.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac
+}
+
+// Min returns the smallest sample, or zero for an empty summary.
+func (s *Summary) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest sample, or zero for an empty summary.
+func (s *Summary) Max() float64 { return s.Quantile(1) }
+
+// Samples returns a copy of the recorded samples in insertion order is NOT
+// guaranteed; the slice may be sorted. Use for CDF rendering.
+func (s *Summary) Samples() []float64 {
+	out := make([]float64, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Histogram is a fixed-bucket histogram over [min, max) with uniform bucket
+// widths; samples outside the range fall into the first/last bucket.
+type Histogram struct {
+	min, max float64
+	counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with n uniform buckets spanning
+// [min, max). n must be positive and max > min.
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || max <= min {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{min: min, max: max, counts: make([]int, n)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.min) / (h.max - h.min) * float64(len(h.counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Counts returns the per-bucket counts (not a copy; callers must not
+// mutate).
+func (h *Histogram) Counts() []int { return h.counts }
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketMid returns the midpoint value of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	w := (h.max - h.min) / float64(len(h.counts))
+	return h.min + (float64(i)+0.5)*w
+}
+
+// LinReg is an online simple linear regression y = a + b*x over a sliding
+// window of at most N points. It is the core of the GCC trendline filter.
+type LinReg struct {
+	window int
+	xs, ys []float64
+}
+
+// NewLinReg returns a regression over the last window points. window must be
+// at least 2.
+func NewLinReg(window int) *LinReg {
+	if window < 2 {
+		panic("stats: LinReg window must be >= 2")
+	}
+	return &LinReg{window: window}
+}
+
+// Add inserts a point, evicting the oldest when the window is full.
+func (r *LinReg) Add(x, y float64) {
+	r.xs = append(r.xs, x)
+	r.ys = append(r.ys, y)
+	if len(r.xs) > r.window {
+		r.xs = r.xs[1:]
+		r.ys = r.ys[1:]
+	}
+}
+
+// Len returns the number of points currently in the window.
+func (r *LinReg) Len() int { return len(r.xs) }
+
+// Slope returns the least-squares slope b and true, or 0 and false when
+// fewer than two points (or zero x-variance) are available.
+func (r *LinReg) Slope() (float64, bool) {
+	n := len(r.xs)
+	if n < 2 {
+		return 0, false
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += r.xs[i]
+		sy += r.ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		dx := r.xs[i] - mx
+		num += dx * (r.ys[i] - my)
+		den += dx * dx
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// Reset drops all points.
+func (r *LinReg) Reset() { r.xs = r.xs[:0]; r.ys = r.ys[:0] }
+
+// RateMeter measures a rate (e.g. acknowledged bitrate) over a sliding time
+// window from (timestamp, amount) samples. Timestamps are float64 seconds.
+type RateMeter struct {
+	window  float64 // seconds
+	times   []float64
+	amounts []float64
+	total   float64
+}
+
+// NewRateMeter returns a meter over the given window in seconds.
+func NewRateMeter(windowSec float64) *RateMeter {
+	if windowSec <= 0 {
+		panic("stats: RateMeter window must be positive")
+	}
+	return &RateMeter{window: windowSec}
+}
+
+// Add records amount observed at time t (seconds). Times must be
+// non-decreasing.
+func (m *RateMeter) Add(t, amount float64) {
+	m.times = append(m.times, t)
+	m.amounts = append(m.amounts, amount)
+	m.total += amount
+	m.evict(t)
+}
+
+func (m *RateMeter) evict(now float64) {
+	cut := now - m.window
+	i := 0
+	for i < len(m.times) && m.times[i] < cut {
+		m.total -= m.amounts[i]
+		i++
+	}
+	if i > 0 {
+		m.times = m.times[i:]
+		m.amounts = m.amounts[i:]
+	}
+}
+
+// Rate returns the windowed rate in amount-units per second as of time t.
+// With no samples in the window it returns zero.
+func (m *RateMeter) Rate(t float64) float64 {
+	m.evict(t)
+	if len(m.times) == 0 {
+		return 0
+	}
+	span := t - m.times[0]
+	if span < m.window/2 {
+		span = m.window / 2 // avoid wild rates from a near-empty window
+	}
+	return m.total / span
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampInt limits v to [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

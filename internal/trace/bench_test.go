@@ -1,0 +1,14 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkRateAt(b *testing.B) {
+	tr := LTE(1, 600*time.Second, LTEConfig{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.RateAt(time.Duration(i%600000) * time.Millisecond)
+	}
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV writes the trace as "seconds,bps" rows with a header line.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "bps"}); err != nil {
+		return err
+	}
+	for _, p := range t.points {
+		rec := []string{
+			strconv.FormatFloat(p.At.Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(p.Bps, 'f', 1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any "seconds,bps" CSV with
+// an optional header row).
+func ReadCSV(name string, r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var points []Point
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && rec[0] == "seconds" {
+			continue // header
+		}
+		sec, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad seconds %q", line, rec[0])
+		}
+		bps, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad bps %q", line, rec[1])
+		}
+		points = append(points, Point{At: time.Duration(sec * float64(time.Second)), Bps: bps})
+	}
+	return New(name, points...)
+}

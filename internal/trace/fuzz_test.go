@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary CSV input never panics the trace parser,
+// and accepted traces satisfy the trace invariants.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("seconds,bps\n0,1000000\n1.5,500000\n")
+	f.Add("0,1\n")
+	f.Add("")
+	f.Add("seconds,bps\nx,y\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		pts := tr.Points()
+		if len(pts) == 0 {
+			t.Fatal("accepted trace with no points")
+		}
+		if pts[0].At != 0 {
+			t.Fatal("accepted trace not starting at 0")
+		}
+		for i, p := range pts {
+			if p.Bps <= 0 {
+				t.Fatalf("accepted non-positive rate at %d", i)
+			}
+			if i > 0 && pts[i-1].At >= p.At {
+				t.Fatal("accepted non-increasing breakpoints")
+			}
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"time"
+
+	"rtcadapt/internal/stats"
+)
+
+// LTEConfig parameterizes the synthetic cellular capacity model.
+type LTEConfig struct {
+	// Mean is the long-run mean capacity in bits/s. Default 3 Mbps.
+	Mean float64
+	// Step is the sampling granularity. Default 200 ms.
+	Step time.Duration
+	// FadeProb is the per-step probability of entering a deep fade
+	// (signal loss / cell-edge episode). Default 0.01.
+	FadeProb float64
+	// FadeDepth is the multiplicative capacity factor during a fade.
+	// Default 0.25.
+	FadeDepth float64
+	// FadeHold is the mean fade duration. Default 2 s.
+	FadeHold time.Duration
+	// Sigma is the per-step lognormal variation (coefficient of
+	// variation) of the slow-fading process. Default 0.15.
+	Sigma float64
+}
+
+func (c *LTEConfig) defaults() {
+	if c.Mean == 0 {
+		c.Mean = 3e6
+	}
+	if c.Step == 0 {
+		c.Step = 200 * time.Millisecond
+	}
+	if c.FadeProb == 0 {
+		c.FadeProb = 0.01
+	}
+	if c.FadeDepth == 0 {
+		c.FadeDepth = 0.25
+	}
+	if c.FadeHold == 0 {
+		c.FadeHold = 2 * time.Second
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.15
+	}
+}
+
+// LTE generates a synthetic cellular capacity trace: an AR(1) slow-fading
+// process around the mean, punctuated by deep-fade episodes that reproduce
+// the sudden bandwidth drops the paper targets (handover, cell edge).
+func LTE(seed int64, dur time.Duration, cfg LTEConfig) *Trace {
+	cfg.defaults()
+	rng := stats.NewRand(seed)
+	var ps []Point
+	level := cfg.Mean
+	fadeLeft := time.Duration(0)
+	const ar = 0.9 // AR(1) pull toward the mean
+	for at := time.Duration(0); at < dur; at += cfg.Step {
+		level = ar*level + (1-ar)*cfg.Mean
+		level = rng.Jitter(level, cfg.Sigma)
+		level = stats.Clamp(level, 0.1*cfg.Mean, 3*cfg.Mean)
+		bps := level
+		if fadeLeft > 0 {
+			bps = level * cfg.FadeDepth
+			fadeLeft -= cfg.Step
+		} else if rng.Bool(cfg.FadeProb) {
+			fadeLeft = time.Duration(rng.Exponential(float64(cfg.FadeHold)))
+			bps = level * cfg.FadeDepth
+		}
+		ps = append(ps, Point{At: at, Bps: bps})
+	}
+	return MustNew("lte", ps...)
+}
+
+// WiFiConfig parameterizes the synthetic WiFi capacity model.
+type WiFiConfig struct {
+	// Mean is the long-run mean capacity in bits/s. Default 8 Mbps.
+	Mean float64
+	// Step is the sampling granularity. Default 100 ms.
+	Step time.Duration
+	// ContentionProb is the per-step probability of a contention burst
+	// (a competing station grabbing airtime). Default 0.05.
+	ContentionProb float64
+	// ContentionDepth is the capacity factor during contention.
+	// Default 0.4.
+	ContentionDepth float64
+	// Sigma is per-step variation. Default 0.25 (WiFi is noisier than
+	// LTE at short timescales).
+	Sigma float64
+}
+
+func (c *WiFiConfig) defaults() {
+	if c.Mean == 0 {
+		c.Mean = 8e6
+	}
+	if c.Step == 0 {
+		c.Step = 100 * time.Millisecond
+	}
+	if c.ContentionProb == 0 {
+		c.ContentionProb = 0.05
+	}
+	if c.ContentionDepth == 0 {
+		c.ContentionDepth = 0.4
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.25
+	}
+}
+
+// WiFi generates a synthetic WLAN capacity trace: high mean, short noisy
+// excursions, and brief contention dips rather than LTE's long fades.
+func WiFi(seed int64, dur time.Duration, cfg WiFiConfig) *Trace {
+	cfg.defaults()
+	rng := stats.NewRand(seed)
+	var ps []Point
+	for at := time.Duration(0); at < dur; at += cfg.Step {
+		bps := rng.Jitter(cfg.Mean, cfg.Sigma)
+		if rng.Bool(cfg.ContentionProb) {
+			bps *= cfg.ContentionDepth
+		}
+		bps = stats.Clamp(bps, 0.05*cfg.Mean, 2*cfg.Mean)
+		ps = append(ps, Point{At: at, Bps: bps})
+	}
+	return MustNew("wifi", ps...)
+}
+
+// RandomWalk generates a bounded multiplicative random walk, useful for
+// stress-testing estimators.
+func RandomWalk(seed int64, dur, step time.Duration, start, lo, hi float64) *Trace {
+	if step <= 0 {
+		panic("trace: RandomWalk step must be positive")
+	}
+	rng := stats.NewRand(seed)
+	var ps []Point
+	level := start
+	for at := time.Duration(0); at < dur; at += step {
+		level = stats.Clamp(rng.Jitter(level, 0.1), lo, hi)
+		ps = append(ps, Point{At: at, Bps: level})
+	}
+	return MustNew("randomwalk", ps...)
+}

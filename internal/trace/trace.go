@@ -1,0 +1,242 @@
+// Package trace models time-varying bottleneck capacity as piecewise-
+// constant traces. Traces drive the netem link and double as the ground
+// truth for the oracle estimator.
+//
+// A trace is an ordered list of (at, bps) breakpoints; the rate at time t is
+// the bps of the last breakpoint at or before t. Synthetic generators cover
+// the scenarios in the paper's evaluation: sudden step drops, staircases,
+// oscillation, and LTE/WiFi-like capacity processes.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"rtcadapt/internal/stats"
+)
+
+// Forever marks a segment with no later breakpoint.
+const Forever = time.Duration(math.MaxInt64)
+
+// Point is one breakpoint: from At onward the capacity is Bps.
+type Point struct {
+	At  time.Duration
+	Bps float64
+}
+
+// Trace is an immutable piecewise-constant capacity function. The zero value
+// is invalid; use the constructors.
+type Trace struct {
+	name   string
+	points []Point
+}
+
+// New builds a trace from breakpoints. Points are sorted by time; the first
+// breakpoint must be at time zero so the rate is defined everywhere, and all
+// rates must be positive.
+func New(name string, points ...Point) (*Trace, error) {
+	if len(points) == 0 {
+		return nil, errors.New("trace: no points")
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].At < ps[j].At })
+	if ps[0].At != 0 {
+		return nil, fmt.Errorf("trace: first breakpoint at %v, want 0", ps[0].At)
+	}
+	for i, p := range ps {
+		if p.Bps <= 0 {
+			return nil, fmt.Errorf("trace: non-positive rate %v at %v", p.Bps, p.At)
+		}
+		if i > 0 && ps[i-1].At == p.At {
+			return nil, fmt.Errorf("trace: duplicate breakpoint at %v", p.At)
+		}
+	}
+	return &Trace{name: name, points: ps}, nil
+}
+
+// MustNew is New but panics on error; for use with literal points.
+func MustNew(name string, points ...Point) *Trace {
+	tr, err := New(name, points...)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Name returns the trace's descriptive name.
+func (t *Trace) Name() string { return t.name }
+
+// Points returns a copy of the breakpoints.
+func (t *Trace) Points() []Point {
+	out := make([]Point, len(t.points))
+	copy(out, t.points)
+	return out
+}
+
+// RateAt returns the capacity in bits/s at time at, plus the time of the
+// next breakpoint (Forever if none). at must be non-negative.
+func (t *Trace) RateAt(at time.Duration) (bps float64, validUntil time.Duration) {
+	if at < 0 {
+		at = 0
+	}
+	// Binary search for the last point with At <= at.
+	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].At > at }) - 1
+	if i < 0 {
+		i = 0
+	}
+	next := Forever
+	if i+1 < len(t.points) {
+		next = t.points[i+1].At
+	}
+	return t.points[i].Bps, next
+}
+
+// MeanRate returns the time-weighted mean capacity over [from, to).
+func (t *Trace) MeanRate(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	var bits float64
+	cur := from
+	for cur < to {
+		bps, next := t.RateAt(cur)
+		end := to
+		if next < end {
+			end = next
+		}
+		bits += bps * (end - cur).Seconds()
+		cur = end
+	}
+	return bits / (to - from).Seconds()
+}
+
+// MinRate returns the lowest capacity in [from, to).
+func (t *Trace) MinRate(from, to time.Duration) float64 {
+	lo := math.Inf(1)
+	cur := from
+	for cur < to {
+		bps, next := t.RateAt(cur)
+		lo = math.Min(lo, bps)
+		if next >= to {
+			break
+		}
+		cur = next
+	}
+	return lo
+}
+
+// Scale returns a new trace with every rate multiplied by factor.
+func (t *Trace) Scale(factor float64) *Trace {
+	if factor <= 0 {
+		panic("trace: Scale factor must be positive")
+	}
+	ps := t.Points()
+	for i := range ps {
+		ps[i].Bps *= factor
+	}
+	return &Trace{name: fmt.Sprintf("%s*%.2g", t.name, factor), points: ps}
+}
+
+// Clamp returns a new trace with every rate limited to [lo, hi].
+func (t *Trace) Clamp(lo, hi float64) *Trace {
+	ps := t.Points()
+	for i := range ps {
+		ps[i].Bps = stats.Clamp(ps[i].Bps, lo, hi)
+	}
+	return &Trace{name: t.name + "#clamped", points: ps}
+}
+
+// Shift returns a new trace with all breakpoints delayed by d; the initial
+// rate is extended backward to time zero.
+func (t *Trace) Shift(d time.Duration) *Trace {
+	if d < 0 {
+		panic("trace: negative Shift")
+	}
+	ps := make([]Point, 0, len(t.points)+1)
+	ps = append(ps, Point{At: 0, Bps: t.points[0].Bps})
+	for _, p := range t.points {
+		if p.At == 0 {
+			continue
+		}
+		ps = append(ps, Point{At: p.At + d, Bps: p.Bps})
+	}
+	return &Trace{name: t.name + "#shifted", points: ps}
+}
+
+// Splice returns a trace equal to t before at and other (re-based to start
+// at at) afterward.
+func (t *Trace) Splice(at time.Duration, other *Trace) *Trace {
+	var ps []Point
+	for _, p := range t.points {
+		if p.At >= at {
+			break
+		}
+		ps = append(ps, p)
+	}
+	for _, p := range other.points {
+		ps = append(ps, Point{At: at + p.At, Bps: p.Bps})
+	}
+	return &Trace{name: t.name + "+" + other.name, points: ps}
+}
+
+// Constant returns a trace with a fixed capacity.
+func Constant(bps float64) *Trace {
+	return MustNew(fmt.Sprintf("const-%.0fbps", bps), Point{At: 0, Bps: bps})
+}
+
+// StepDrop returns the paper's motivating scenario: capacity before until
+// dropAt, then capacity after.
+func StepDrop(before, after float64, dropAt time.Duration) *Trace {
+	return MustNew(
+		fmt.Sprintf("drop-%.1f-to-%.1fMbps", before/1e6, after/1e6),
+		Point{At: 0, Bps: before},
+		Point{At: dropAt, Bps: after},
+	)
+}
+
+// StepDropRecover is StepDrop with capacity restored to before at
+// recoverAt.
+func StepDropRecover(before, after float64, dropAt, recoverAt time.Duration) *Trace {
+	if recoverAt <= dropAt {
+		panic("trace: recoverAt must follow dropAt")
+	}
+	return MustNew(
+		fmt.Sprintf("droprec-%.1f-to-%.1fMbps", before/1e6, after/1e6),
+		Point{At: 0, Bps: before},
+		Point{At: dropAt, Bps: after},
+		Point{At: recoverAt, Bps: before},
+	)
+}
+
+// Staircase returns a trace that steps through the given rates, holding
+// each for hold.
+func Staircase(hold time.Duration, rates ...float64) *Trace {
+	if len(rates) == 0 {
+		panic("trace: Staircase needs at least one rate")
+	}
+	ps := make([]Point, len(rates))
+	for i, r := range rates {
+		ps[i] = Point{At: time.Duration(i) * hold, Bps: r}
+	}
+	return MustNew("staircase", ps...)
+}
+
+// Oscillating returns a square wave alternating between hi and lo with the
+// given half-period, for the given duration.
+func Oscillating(hi, lo float64, halfPeriod, dur time.Duration) *Trace {
+	var ps []Point
+	level := hi
+	for at := time.Duration(0); at < dur; at += halfPeriod {
+		ps = append(ps, Point{At: at, Bps: level})
+		if level == hi {
+			level = lo
+		} else {
+			level = hi
+		}
+	}
+	return MustNew("oscillating", ps...)
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		points []Point
+		ok     bool
+	}{
+		{"empty", nil, false},
+		{"no-zero-start", []Point{{At: time.Second, Bps: 1e6}}, false},
+		{"negative-rate", []Point{{At: 0, Bps: -1}}, false},
+		{"zero-rate", []Point{{At: 0, Bps: 0}}, false},
+		{"duplicate", []Point{{At: 0, Bps: 1}, {At: 0, Bps: 2}}, false},
+		{"valid", []Point{{At: 0, Bps: 1e6}, {At: time.Second, Bps: 2e6}}, true},
+		{"unsorted-valid", []Point{{At: time.Second, Bps: 2e6}, {At: 0, Bps: 1e6}}, true},
+	}
+	for _, c := range cases {
+		_, err := New(c.name, c.points...)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	tr := StepDrop(2.5e6, 0.8e6, 10*time.Second)
+	cases := []struct {
+		at        time.Duration
+		wantBps   float64
+		wantUntil time.Duration
+	}{
+		{0, 2.5e6, 10 * time.Second},
+		{5 * time.Second, 2.5e6, 10 * time.Second},
+		{10 * time.Second, 0.8e6, Forever},
+		{20 * time.Second, 0.8e6, Forever},
+		{-time.Second, 2.5e6, 10 * time.Second},
+	}
+	for _, c := range cases {
+		bps, until := tr.RateAt(c.at)
+		if bps != c.wantBps || until != c.wantUntil {
+			t.Errorf("RateAt(%v) = %v,%v want %v,%v", c.at, bps, until, c.wantBps, c.wantUntil)
+		}
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	tr := StepDrop(2e6, 1e6, 5*time.Second)
+	got := tr.MeanRate(0, 10*time.Second)
+	if math.Abs(got-1.5e6) > 1 {
+		t.Errorf("MeanRate = %v, want 1.5e6", got)
+	}
+	if tr.MeanRate(5*time.Second, 5*time.Second) != 0 {
+		t.Error("empty interval should return 0")
+	}
+}
+
+func TestMinRate(t *testing.T) {
+	tr := Staircase(time.Second, 3e6, 1e6, 2e6)
+	if got := tr.MinRate(0, 3*time.Second); got != 1e6 {
+		t.Errorf("MinRate = %v, want 1e6", got)
+	}
+	if got := tr.MinRate(0, 500*time.Millisecond); got != 3e6 {
+		t.Errorf("MinRate first segment = %v, want 3e6", got)
+	}
+}
+
+func TestScaleClampShift(t *testing.T) {
+	tr := Constant(1e6)
+	if bps, _ := tr.Scale(2).RateAt(0); bps != 2e6 {
+		t.Errorf("Scale: %v", bps)
+	}
+	if bps, _ := tr.Clamp(0, 0.5e6).RateAt(0); bps != 0.5e6 {
+		t.Errorf("Clamp: %v", bps)
+	}
+	sh := StepDrop(2e6, 1e6, time.Second).Shift(500 * time.Millisecond)
+	if bps, _ := sh.RateAt(time.Second); bps != 2e6 {
+		t.Errorf("Shift: rate at 1s = %v, want 2e6 (drop moved to 1.5s)", bps)
+	}
+	if bps, _ := sh.RateAt(2 * time.Second); bps != 1e6 {
+		t.Errorf("Shift: rate at 2s = %v, want 1e6", bps)
+	}
+}
+
+func TestSplice(t *testing.T) {
+	a := Constant(3e6)
+	b := StepDrop(2e6, 1e6, time.Second)
+	sp := a.Splice(10*time.Second, b)
+	checks := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 3e6},
+		{9 * time.Second, 3e6},
+		{10 * time.Second, 2e6},
+		{11 * time.Second, 1e6},
+	}
+	for _, c := range checks {
+		if bps, _ := sp.RateAt(c.at); bps != c.want {
+			t.Errorf("Splice RateAt(%v) = %v, want %v", c.at, bps, c.want)
+		}
+	}
+}
+
+func TestOscillating(t *testing.T) {
+	tr := Oscillating(2e6, 1e6, time.Second, 4*time.Second)
+	for i := 0; i < 4; i++ {
+		at := time.Duration(i)*time.Second + 500*time.Millisecond
+		want := 2e6
+		if i%2 == 1 {
+			want = 1e6
+		}
+		if bps, _ := tr.RateAt(at); bps != want {
+			t.Errorf("Oscillating RateAt(%v) = %v, want %v", at, bps, want)
+		}
+	}
+}
+
+func TestLTEDeterministicAndBounded(t *testing.T) {
+	a := LTE(42, 30*time.Second, LTEConfig{})
+	b := LTE(42, 30*time.Second, LTEConfig{})
+	pa, pb := a.Points(), b.Points()
+	if len(pa) != len(pb) {
+		t.Fatal("same seed produced different lengths")
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	cfg := LTEConfig{}
+	cfg.defaults()
+	for _, p := range pa {
+		// Deep fades can push rate to FadeDepth * clamped level.
+		if p.Bps < 0.1*cfg.Mean*cfg.FadeDepth-1 || p.Bps > 3*cfg.Mean+1 {
+			t.Fatalf("LTE rate %v out of bounds at %v", p.Bps, p.At)
+		}
+	}
+	c := LTE(43, 30*time.Second, LTEConfig{})
+	if c.MeanRate(0, 30*time.Second) == a.MeanRate(0, 30*time.Second) {
+		t.Error("different seeds produced identical mean (suspicious)")
+	}
+}
+
+func TestLTEHasFades(t *testing.T) {
+	cfg := LTEConfig{FadeProb: 0.05}
+	tr := LTE(7, 60*time.Second, cfg)
+	cfg.defaults()
+	min := tr.MinRate(0, 60*time.Second)
+	if min > 0.5*cfg.Mean {
+		t.Errorf("LTE trace with FadeProb=0.05 never faded: min=%v mean=%v", min, cfg.Mean)
+	}
+}
+
+func TestWiFiBounds(t *testing.T) {
+	cfg := WiFiConfig{}
+	tr := WiFi(5, 30*time.Second, cfg)
+	cfg.defaults()
+	for _, p := range tr.Points() {
+		if p.Bps < 0.05*cfg.Mean-1 || p.Bps > 2*cfg.Mean+1 {
+			t.Fatalf("WiFi rate %v out of bounds", p.Bps)
+		}
+	}
+}
+
+func TestRandomWalkBounds(t *testing.T) {
+	tr := RandomWalk(3, 10*time.Second, 100*time.Millisecond, 1e6, 0.5e6, 2e6)
+	for _, p := range tr.Points() {
+		if p.Bps < 0.5e6 || p.Bps > 2e6 {
+			t.Fatalf("RandomWalk escaped bounds: %v", p.Bps)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := StepDropRecover(2.5e6, 0.8e6, 10*time.Second, 20*time.Second)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV("rt", &buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	po, pg := orig.Points(), got.Points()
+	if len(po) != len(pg) {
+		t.Fatalf("round trip changed point count: %d -> %d", len(po), len(pg))
+	}
+	for i := range po {
+		if math.Abs(po[i].Bps-pg[i].Bps) > 0.5 {
+			t.Errorf("point %d bps %v -> %v", i, po[i].Bps, pg[i].Bps)
+		}
+		if d := po[i].At - pg[i].At; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("point %d at %v -> %v", i, po[i].At, pg[i].At)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"seconds,bps\nx,100\n",
+		"seconds,bps\n1.0,y\n",
+		"seconds,bps\n1.0\n",
+		"", // no points
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV("bad", strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	tr, err := ReadCSV("nh", strings.NewReader("0,1000000\n1.5,500000\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if bps, _ := tr.RateAt(2 * time.Second); bps != 500000 {
+		t.Errorf("rate = %v, want 500000", bps)
+	}
+}
+
+// Property: MeanRate is always within [MinRate, max rate] of the window.
+func TestMeanWithinBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := RandomWalk(seed, 10*time.Second, 250*time.Millisecond, 1e6, 0.2e6, 5e6)
+		mean := tr.MeanRate(0, 10*time.Second)
+		lo := tr.MinRate(0, 10*time.Second)
+		hi := 0.0
+		for _, p := range tr.Points() {
+			hi = math.Max(hi, p.Bps)
+		}
+		return mean >= lo-1 && mean <= hi+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RateAt's validUntil is consistent — the rate is constant on
+// [at, validUntil).
+func TestRateSegmentConsistencyProperty(t *testing.T) {
+	f := func(seed int64, atMs uint16) bool {
+		tr := LTE(seed, 20*time.Second, LTEConfig{})
+		at := time.Duration(atMs) * time.Millisecond
+		bps, until := tr.RateAt(at)
+		if until == Forever {
+			return true
+		}
+		mid := at + (until-at)/2
+		bps2, _ := tr.RateAt(mid)
+		return bps2 == bps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,11 @@
+package video
+
+import "testing"
+
+func BenchmarkSourceNext(b *testing.B) {
+	s := NewSource(SourceConfig{Class: Sports, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}

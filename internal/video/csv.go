@@ -1,0 +1,132 @@
+package video
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// TraceSource replays per-frame complexity from a recorded trace (e.g.
+// converted from x264 stats logs), cycling when the trace is shorter than
+// the session. It satisfies the same Next/Take surface as Source.
+type TraceSource struct {
+	frames []Frame
+	fps    int
+	index  int
+}
+
+// NewTraceSource wraps recorded frames. fps <= 0 defaults to 30. The
+// frames' Index/PTS fields are reassigned on replay; Spatial, Temporal and
+// SceneCut are used as recorded.
+func NewTraceSource(frames []Frame, fps int) (*TraceSource, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("video: empty frame trace")
+	}
+	if fps <= 0 {
+		fps = 30
+	}
+	for i, f := range frames {
+		if f.Spatial <= 0 || f.Temporal <= 0 {
+			return nil, fmt.Errorf("video: frame %d has non-positive complexity", i)
+		}
+	}
+	return &TraceSource{frames: frames, fps: fps}, nil
+}
+
+// FPS returns the replay rate.
+func (s *TraceSource) FPS() int { return s.fps }
+
+// FrameInterval returns the replay period.
+func (s *TraceSource) FrameInterval() time.Duration {
+	return time.Duration(float64(time.Second) / float64(s.fps))
+}
+
+// Len returns the recorded trace length in frames.
+func (s *TraceSource) Len() int { return len(s.frames) }
+
+// Next produces the next frame, cycling through the recording.
+func (s *TraceSource) Next() Frame {
+	f := s.frames[s.index%len(s.frames)]
+	f.Index = s.index
+	f.PTS = time.Duration(s.index) * s.FrameInterval()
+	if s.index >= len(s.frames) && s.index%len(s.frames) == 0 {
+		// A wrap is a content discontinuity.
+		f.SceneCut = true
+	}
+	s.index++
+	return f
+}
+
+// Take returns the next n frames.
+func (s *TraceSource) Take(n int) []Frame {
+	out := make([]Frame, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// WriteCSV writes frames as "spatial,temporal,scenecut" rows with a
+// header.
+func WriteCSV(w io.Writer, frames []Frame) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"spatial", "temporal", "scenecut"}); err != nil {
+		return err
+	}
+	for _, f := range frames {
+		cut := "0"
+		if f.SceneCut {
+			cut = "1"
+		}
+		rec := []string{
+			strconv.FormatFloat(f.Spatial, 'f', 2, 64),
+			strconv.FormatFloat(f.Temporal, 'f', 2, 64),
+			cut,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses frames written by WriteCSV (header optional).
+func ReadCSV(r io.Reader) ([]Frame, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	var frames []Frame
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("video: csv line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && rec[0] == "spatial" {
+			continue
+		}
+		spatial, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("video: csv line %d: bad spatial %q", line, rec[0])
+		}
+		temporal, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("video: csv line %d: bad temporal %q", line, rec[1])
+		}
+		frames = append(frames, Frame{
+			Spatial:  spatial,
+			Temporal: temporal,
+			SceneCut: rec[2] == "1",
+		})
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("video: empty csv")
+	}
+	return frames, nil
+}

@@ -1,0 +1,93 @@
+package video
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := NewSource(SourceConfig{Class: Gaming, Seed: 1}).Take(50)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip changed count: %d -> %d", len(orig), len(got))
+	}
+	for i := range got {
+		if got[i].SceneCut != orig[i].SceneCut {
+			t.Errorf("frame %d scenecut mismatch", i)
+		}
+		if d := got[i].Spatial - orig[i].Spatial; d < -0.01 || d > 0.01 {
+			t.Errorf("frame %d spatial %v -> %v", i, orig[i].Spatial, got[i].Spatial)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"spatial,temporal,scenecut\n",
+		"x,1,0\n",
+		"1,y,0\n",
+		"1,2\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTraceSourceReplayAndCycle(t *testing.T) {
+	base := []Frame{
+		{Spatial: 100, Temporal: 10},
+		{Spatial: 200, Temporal: 20},
+		{Spatial: 300, Temporal: 30},
+	}
+	src, err := NewTraceSource(base, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 3 || src.FPS() != 30 {
+		t.Fatal("metadata")
+	}
+	fs := src.Take(7)
+	for i, f := range fs {
+		if f.Index != i {
+			t.Errorf("frame %d index %d", i, f.Index)
+		}
+		if f.PTS != time.Duration(i)*src.FrameInterval() {
+			t.Errorf("frame %d pts %v", i, f.PTS)
+		}
+		if f.Spatial != base[i%3].Spatial {
+			t.Errorf("frame %d spatial %v", i, f.Spatial)
+		}
+	}
+	// The wrap points (index 3 and 6) are marked as scene cuts.
+	if !fs[3].SceneCut || !fs[6].SceneCut {
+		t.Error("trace wrap not marked as scene cut")
+	}
+	if fs[4].SceneCut {
+		t.Error("non-wrap frame marked as cut")
+	}
+}
+
+func TestTraceSourceValidation(t *testing.T) {
+	if _, err := NewTraceSource(nil, 30); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTraceSource([]Frame{{Spatial: 0, Temporal: 1}}, 30); err == nil {
+		t.Error("zero complexity accepted")
+	}
+	src, err := NewTraceSource([]Frame{{Spatial: 1, Temporal: 1}}, 0)
+	if err != nil || src.FPS() != 30 {
+		t.Error("fps default")
+	}
+}

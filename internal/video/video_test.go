@@ -1,0 +1,170 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(SourceConfig{Class: Gaming, Seed: 42})
+	b := NewSource(SourceConfig{Class: Gaming, Seed: 42})
+	for i := 0; i < 500; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa != fb {
+			t.Fatalf("frame %d diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	a := NewSource(SourceConfig{Seed: 1})
+	b := NewSource(SourceConfig{Seed: 2})
+	same := true
+	for i := 0; i < 50; i++ {
+		if a.Next().Spatial != b.Next().Spatial {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical complexity streams")
+	}
+}
+
+func TestFrameTimestamps(t *testing.T) {
+	s := NewSource(SourceConfig{FPS: 30})
+	if s.FrameInterval() != time.Second/30 {
+		t.Errorf("FrameInterval = %v, want %v", s.FrameInterval(), time.Second/30)
+	}
+	for i := 0; i < 10; i++ {
+		f := s.Next()
+		if f.Index != i {
+			t.Errorf("frame %d has Index %d", i, f.Index)
+		}
+		want := time.Duration(i) * s.FrameInterval()
+		if f.PTS != want {
+			t.Errorf("frame %d PTS = %v, want %v", i, f.PTS, want)
+		}
+	}
+}
+
+func TestDefaultFPS(t *testing.T) {
+	s := NewSource(SourceConfig{})
+	if s.FPS() != 30 {
+		t.Errorf("default FPS = %d, want 30", s.FPS())
+	}
+}
+
+func TestComplexityInvariants(t *testing.T) {
+	for _, class := range Classes() {
+		s := NewSource(SourceConfig{Class: class, Seed: 7})
+		for i := 0; i < 2000; i++ {
+			f := s.Next()
+			if f.Spatial <= 0 {
+				t.Fatalf("%v frame %d: non-positive spatial %v", class, i, f.Spatial)
+			}
+			if f.Temporal <= 0 {
+				t.Fatalf("%v frame %d: non-positive temporal %v", class, i, f.Temporal)
+			}
+			if f.Temporal > f.Spatial*1.01 {
+				t.Fatalf("%v frame %d: temporal %v exceeds spatial %v", class, i, f.Temporal, f.Spatial)
+			}
+		}
+	}
+}
+
+func TestSceneCutsElevateTemporal(t *testing.T) {
+	s := NewSource(SourceConfig{Class: ScreenShare, Seed: 3})
+	cuts, regular := 0, 0
+	var cutRatio, regRatio float64
+	for i := 0; i < 20000; i++ {
+		f := s.Next()
+		r := f.Temporal / f.Spatial
+		if f.SceneCut {
+			cuts++
+			cutRatio += r
+		} else {
+			regular++
+			regRatio += r
+		}
+	}
+	if cuts == 0 {
+		t.Fatal("screen-share source produced no scene cuts in 20000 frames")
+	}
+	cutMean := cutRatio / float64(cuts)
+	regMean := regRatio / float64(regular)
+	if cutMean < 4*regMean {
+		t.Errorf("scene cuts should sharply elevate temporal/spatial: cut=%.3f regular=%.3f", cutMean, regMean)
+	}
+}
+
+func TestClassOrdering(t *testing.T) {
+	// Sports must be more temporally complex than TalkingHead on average —
+	// this ordering is what makes per-class experiment results meaningful.
+	mean := func(c Class) float64 {
+		s := NewSource(SourceConfig{Class: c, Seed: 5})
+		var sum float64
+		const n = 5000
+		for i := 0; i < n; i++ {
+			sum += s.Next().Temporal
+		}
+		return sum / n
+	}
+	th, sp := mean(TalkingHead), mean(Sports)
+	if sp < 3*th {
+		t.Errorf("Sports temporal complexity (%.0f) should dominate TalkingHead (%.0f)", sp, th)
+	}
+}
+
+func TestTake(t *testing.T) {
+	s := NewSource(SourceConfig{Seed: 1})
+	fs := s.Take(10)
+	if len(fs) != 10 {
+		t.Fatalf("Take(10) returned %d frames", len(fs))
+	}
+	for i, f := range fs {
+		if f.Index != i {
+			t.Errorf("Take frame %d has index %d", i, f.Index)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		TalkingHead: "talking-head",
+		ScreenShare: "screen-share",
+		Gaming:      "gaming",
+		Sports:      "sports",
+		Class(99):   "Class(99)",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}
+
+// Property: any seed/class combination keeps complexity positive and
+// bounded, and indices strictly increasing.
+func TestSourceInvariantProperty(t *testing.T) {
+	f := func(seed int64, classRaw uint8) bool {
+		class := Classes()[int(classRaw)%len(Classes())]
+		s := NewSource(SourceConfig{Class: class, Seed: seed})
+		prev := -1
+		for i := 0; i < 300; i++ {
+			fr := s.Next()
+			if fr.Spatial <= 0 || fr.Temporal <= 0 || fr.Spatial > 1e6 {
+				return false
+			}
+			if fr.Index != prev+1 {
+				return false
+			}
+			prev = fr.Index
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package rtcadapt_test
+
+import (
+	"testing"
+	"time"
+
+	"rtcadapt"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the README's
+// quickstart does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	res := rtcadapt.Run(rtcadapt.SessionConfig{
+		Duration:   10 * time.Second,
+		Seed:       1,
+		Content:    rtcadapt.TalkingHead,
+		Trace:      rtcadapt.StepDrop(2.5e6, 0.8e6, 5*time.Second),
+		Controller: rtcadapt.NewAdaptive(rtcadapt.AdaptiveConfig{}),
+	})
+	if res.Report.Frames == 0 {
+		t.Fatal("no frames")
+	}
+	if res.Report.P95NetDelay <= 0 {
+		t.Error("no latency stats")
+	}
+	if mos := rtcadapt.MOS(res.Report); mos < 1 || mos > 5 {
+		t.Errorf("MOS %v out of scale", mos)
+	}
+	post := rtcadapt.Summarize(res.Records, 5*time.Second, 10*time.Second, res.FrameInterval)
+	if post.Frames == 0 {
+		t.Error("windowed summary empty")
+	}
+}
+
+// TestPublicAPIControllersAndTraces covers the constructor surface.
+func TestPublicAPIControllersAndTraces(t *testing.T) {
+	controllers := []rtcadapt.Controller{
+		rtcadapt.NewNativeRC(),
+		rtcadapt.NewResetOnly(),
+		rtcadapt.NewAdaptive(rtcadapt.AdaptiveConfig{EnableResolution: true}),
+	}
+	traces := []*rtcadapt.Trace{
+		rtcadapt.Constant(2e6),
+		rtcadapt.LTE(1, 5*time.Second),
+		rtcadapt.WiFi(1, 5*time.Second),
+	}
+	for i, ctrl := range controllers {
+		res := rtcadapt.Run(rtcadapt.SessionConfig{
+			Duration:   5 * time.Second,
+			Seed:       int64(i),
+			Trace:      traces[i],
+			Controller: ctrl,
+		})
+		if res.ControllerName == "" {
+			t.Errorf("controller %d missing name", i)
+		}
+	}
+}
+
+// TestPublicAPIEstimators covers the estimator constructors.
+func TestPublicAPIEstimators(t *testing.T) {
+	if rtcadapt.NewGCC().Name() != "gcc" {
+		t.Error("gcc constructor")
+	}
+	oracle := rtcadapt.NewOracle(func(time.Duration) float64 { return 1e6 }, 0.9)
+	if oracle.Snapshot(0).Target != 0.9e6 {
+		t.Error("oracle constructor")
+	}
+}
+
+// TestPublicAPIRunShared covers the multi-flow entry point.
+func TestPublicAPIRunShared(t *testing.T) {
+	mk := func(seed int64) rtcadapt.SessionConfig {
+		return rtcadapt.SessionConfig{
+			Duration:   8 * time.Second,
+			Seed:       seed,
+			Controller: rtcadapt.NewAdaptive(rtcadapt.AdaptiveConfig{}),
+		}
+	}
+	results := rtcadapt.RunShared(
+		rtcadapt.SharedConfig{Trace: rtcadapt.Constant(3e6)},
+		[]rtcadapt.SessionConfig{mk(1), mk(2)},
+	)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Report.DeliveredFrames == 0 {
+			t.Errorf("flow %d delivered nothing", i)
+		}
+	}
+}
+
+// TestPublicAPIEncoderKnobs covers EncoderConfig passthrough.
+func TestPublicAPIEncoderKnobs(t *testing.T) {
+	res := rtcadapt.Run(rtcadapt.SessionConfig{
+		Duration:   5 * time.Second,
+		Trace:      rtcadapt.Constant(2e6),
+		Controller: rtcadapt.NewResetOnly(),
+		Encoder:    rtcadapt.EncoderConfig{TemporalLayers: 2},
+	})
+	sawTL1 := false
+	for _, rec := range res.Records {
+		if rec.TemporalLayer == 1 {
+			sawTL1 = true
+			break
+		}
+	}
+	if !sawTL1 {
+		t.Error("temporal layers not applied through the facade")
+	}
+}
