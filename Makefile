@@ -1,0 +1,32 @@
+GO       ?= go
+PKGS     := ./...
+FUZZTIME ?= 10s
+
+.PHONY: build test race lint fuzz-smoke bench check
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+race:
+	$(GO) test -race $(PKGS)
+
+lint:
+	$(GO) vet $(PKGS)
+	$(GO) run ./cmd/rtclint $(PKGS)
+
+# Each target is named explicitly: -fuzz=Fuzz is ambiguous in packages
+# with more than one fuzz test (internal/rtp has two).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReportUnmarshal -fuzztime=$(FUZZTIME) ./internal/fb
+	$(GO) test -run='^$$' -fuzz=FuzzPacketUnmarshal -fuzztime=$(FUZZTIME) ./internal/rtp
+	$(GO) test -run='^$$' -fuzz=FuzzReassembler -fuzztime=$(FUZZTIME) ./internal/rtp
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/video
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x $(PKGS)
+
+check: build lint test race

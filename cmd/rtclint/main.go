@@ -1,0 +1,103 @@
+// Command rtclint runs the repo-specific static-analysis suite
+// (internal/lint) over the module and reports findings as
+// file:line:col: [analyzer] message.
+//
+// Usage:
+//
+//	rtclint [-C dir] [-list] [packages]
+//
+// The only supported package pattern is "./..." (the default): the suite
+// always analyzes the whole module, because the invariants it enforces are
+// whole-tree properties. Exit status: 0 clean, 1 findings, 2 usage or load
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rtcadapt/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("rtclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root to analyze")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: rtclint [-C dir] [-list] [./...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	for _, pat := range fs.Args() {
+		if pat != "./..." {
+			fmt.Fprintf(stderr, "rtclint: unsupported package pattern %q (only ./...)\n", pat)
+			return 2
+		}
+	}
+
+	root, modPath, err := findModule(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtclint: %v\n", err)
+		return 2
+	}
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadModule(root, modPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtclint: %v\n", err)
+		return 2
+	}
+	runner := &lint.Runner{Analyzers: lint.Analyzers(), ReportUnusedIgnores: true}
+	diags := runner.Run(loader.Fset, pkgs)
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "rtclint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}

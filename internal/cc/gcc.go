@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -30,6 +31,43 @@ type GCCConfig struct {
 	// IncreaseFactor is the multiplicative increase rate per second in
 	// the Increase state. Default 1.08.
 	IncreaseFactor float64
+}
+
+// Validate checks the configuration for impossible parameterizations and
+// reports the first problem found. Zero fields are legal (they take
+// defaults); Validate rejects values that no default can repair. NewGCC
+// validates what it accepts; call Validate directly when building a
+// GCCConfig that is stored or forwarded rather than passed straight to
+// the constructor.
+func (c *GCCConfig) Validate() error {
+	if c.InitialRate < 0 {
+		return fmt.Errorf("cc: negative GCCConfig.InitialRate %v", c.InitialRate)
+	}
+	if c.MinRate < 0 {
+		return fmt.Errorf("cc: negative GCCConfig.MinRate %v", c.MinRate)
+	}
+	if c.MaxRate < 0 {
+		return fmt.Errorf("cc: negative GCCConfig.MaxRate %v", c.MaxRate)
+	}
+	if c.MinRate != 0 && c.MaxRate != 0 && c.MinRate > c.MaxRate {
+		return fmt.Errorf("cc: GCCConfig.MinRate %v exceeds MaxRate %v", c.MinRate, c.MaxRate)
+	}
+	if c.Beta < 0 || c.Beta > 1 {
+		return fmt.Errorf("cc: GCCConfig.Beta %v outside [0, 1]", c.Beta)
+	}
+	if c.TrendlineWindow < 0 || c.TrendlineWindow == 1 {
+		return fmt.Errorf("cc: GCCConfig.TrendlineWindow %d must be 0 (default) or >= 2", c.TrendlineWindow)
+	}
+	if c.ThresholdGain < 0 {
+		return fmt.Errorf("cc: negative GCCConfig.ThresholdGain %v", c.ThresholdGain)
+	}
+	if c.GroupSpan < 0 {
+		return fmt.Errorf("cc: negative GCCConfig.GroupSpan %v", c.GroupSpan)
+	}
+	if c.IncreaseFactor < 0 || (c.IncreaseFactor > 0 && c.IncreaseFactor < 1) {
+		return fmt.Errorf("cc: GCCConfig.IncreaseFactor %v must be 0 (default) or >= 1", c.IncreaseFactor)
+	}
+	return nil
 }
 
 func (c *GCCConfig) defaults() {
@@ -111,8 +149,12 @@ type packetGroup struct {
 	completeCount int
 }
 
-// NewGCC returns a GCC estimator.
+// NewGCC returns a GCC estimator. It panics on an invalid configuration
+// (see Validate).
 func NewGCC(cfg GCCConfig) *GCC {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg.defaults()
 	return &GCC{
 		cfg:       cfg,

@@ -1,0 +1,42 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGCCConfigValidate(t *testing.T) {
+	if err := (&GCCConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config (all defaults) rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		cfg  GCCConfig
+		want string
+	}{
+		{"negative initial", GCCConfig{InitialRate: -1}, "InitialRate"},
+		{"min above max", GCCConfig{MinRate: 2e6, MaxRate: 1e6}, "MinRate"},
+		{"beta above 1", GCCConfig{Beta: 1.1}, "Beta"},
+		{"window of one", GCCConfig{TrendlineWindow: 1}, "TrendlineWindow"},
+		{"fractional increase", GCCConfig{IncreaseFactor: 0.5}, "IncreaseFactor"},
+	}
+	for _, c := range bad {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted bad config", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNewGCCPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGCC accepted Beta 2")
+		}
+	}()
+	NewGCC(GCCConfig{Beta: 2})
+}

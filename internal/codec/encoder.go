@@ -75,6 +75,49 @@ type Config struct {
 	Seed int64
 }
 
+// Validate checks the configuration for impossible parameterizations and
+// reports the first problem found. Zero fields are legal (they take
+// defaults); Validate rejects values that no default can repair.
+// NewEncoder validates what it accepts; call Validate directly when
+// building a Config that is stored or forwarded rather than passed
+// straight to the constructor.
+func (c *Config) Validate() error {
+	if c.TargetBitrate < 0 {
+		return fmt.Errorf("codec: negative Config.TargetBitrate %v", c.TargetBitrate)
+	}
+	if c.FPS < 0 {
+		return fmt.Errorf("codec: negative Config.FPS %d", c.FPS)
+	}
+	if c.VBVBufferSeconds < 0 {
+		return fmt.Errorf("codec: negative Config.VBVBufferSeconds %v", c.VBVBufferSeconds)
+	}
+	if c.ABRBufferSeconds < 0 {
+		return fmt.Errorf("codec: negative Config.ABRBufferSeconds %v", c.ABRBufferSeconds)
+	}
+	if c.MinQP < 0 || c.MinQP > MaxQP {
+		return fmt.Errorf("codec: Config.MinQP %d outside [0, %d]", c.MinQP, MaxQP)
+	}
+	if c.MaxQP < 0 || c.MaxQP > MaxQP {
+		return fmt.Errorf("codec: Config.MaxQP %d outside [0, %d]", c.MaxQP, MaxQP)
+	}
+	if c.MinQP != 0 && c.MaxQP != 0 && c.MinQP > c.MaxQP {
+		return fmt.Errorf("codec: Config.MinQP %d exceeds MaxQP %d", c.MinQP, c.MaxQP)
+	}
+	if c.MaxQPStep < 0 {
+		return fmt.Errorf("codec: negative Config.MaxQPStep %d", c.MaxQPStep)
+	}
+	if c.Qcomp < 0 || c.Qcomp > 1 {
+		return fmt.Errorf("codec: Config.Qcomp %v outside [0, 1]", c.Qcomp)
+	}
+	if c.KeyintMax < 0 {
+		return fmt.Errorf("codec: negative Config.KeyintMax %d", c.KeyintMax)
+	}
+	if c.TemporalLayers > 2 {
+		return fmt.Errorf("codec: Config.TemporalLayers %d unsupported (max 2)", c.TemporalLayers)
+	}
+	return nil
+}
+
 func (c *Config) defaults() {
 	if c.TargetBitrate == 0 {
 		c.TargetBitrate = 1e6
@@ -194,6 +237,9 @@ type Encoder struct {
 
 // NewEncoder returns an encoder with the given configuration.
 func NewEncoder(cfg Config) *Encoder {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg.defaults()
 	e := &Encoder{
 		cfg:      cfg,
@@ -254,6 +300,9 @@ func (e *Encoder) Encode(f video.Frame, d Directives) EncodedFrame {
 	scaleChanged := false
 	if d.SetScale > 0 {
 		s := stats.Clamp(d.SetScale, 0.1, 1)
+		// e.scale only ever holds values produced by this same clamp, so
+		// inequality is exact change detection, not a tolerance question.
+		//lint:ignore floateq scale is stored verbatim; comparison detects directive changes exactly
 		if s != e.scale {
 			e.scale = s
 			scaleChanged = true

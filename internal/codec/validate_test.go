@@ -1,0 +1,43 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (&Config{}).Validate(); err != nil {
+		t.Fatalf("zero config (all defaults) rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative bitrate", Config{TargetBitrate: -1}, "TargetBitrate"},
+		{"negative fps", Config{FPS: -1}, "FPS"},
+		{"qp above cap", Config{MaxQP: 99}, "MaxQP"},
+		{"min above max", Config{MinQP: 40, MaxQP: 20}, "MinQP"},
+		{"qcomp above 1", Config{Qcomp: 1.5}, "Qcomp"},
+		{"too many layers", Config{TemporalLayers: 3}, "TemporalLayers"},
+	}
+	for _, c := range bad {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted bad config", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNewEncoderPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEncoder accepted TemporalLayers 3")
+		}
+	}()
+	NewEncoder(Config{TemporalLayers: 3})
+}

@@ -119,6 +119,9 @@ func buildConfig(tr *trace.Trace, content video.Class, kind ControllerKind,
 	default:
 		panic(fmt.Sprintf("experiments: unknown controller kind %q", kind))
 	}
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("experiments: bad scenario config: %v", err))
+	}
 	return cfg
 }
 

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtorValidate flags cross-package composite literals of exported
+// `...Config` structs that declare a Validate method, when the literal is
+// neither passed to the defining package (whose constructors validate) nor
+// validated anywhere in the enclosing function. A config literal that
+// bypasses validation is how an impossible parameterization (negative
+// rate, zero window) sneaks into a run and corrupts results quietly.
+var CtorValidate = &Analyzer{
+	Name: "ctorvalidate",
+	Doc: "flag config-struct literals that bypass the package's Validate " +
+		"method or constructor",
+	Run: runCtorValidate,
+}
+
+func runCtorValidate(pass *Pass) {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			named := configType(pass, lit)
+			if named == nil {
+				return true
+			}
+			if nestedInConfigLiteral(pass, stack) {
+				return true
+			}
+			if passedAsConfigParam(pass, stack, named) {
+				return true
+			}
+			if enclosingFuncValidatesOrCallsPackage(pass, stack, named) {
+				return true
+			}
+			obj := named.Obj()
+			pass.Reportf(lit.Pos(),
+				"%s.%s literal is never validated: call Validate() or use a %s constructor",
+				obj.Pkg().Name(), obj.Name(), obj.Pkg().Name())
+			return true
+		})
+	}
+}
+
+// configType returns the named type of lit if it is an exported Config
+// struct from another package that has a Validate() error method, else
+// nil.
+func configType(pass *Pass, lit *ast.CompositeLit) *types.Named {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg() == pass.Pkg {
+		return nil // defining package builds its own configs freely
+	}
+	if !obj.Exported() || !isConfigName(obj.Name()) {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	if findValidate(named) == nil {
+		return nil
+	}
+	return named
+}
+
+// isConfigName reports whether a type name marks a configuration struct.
+func isConfigName(name string) bool {
+	return len(name) >= len("Config") && name[len(name)-len("Config"):] == "Config"
+}
+
+// findValidate returns the Validate() error method of t (value or pointer
+// receiver), or nil.
+func findValidate(t *types.Named) *types.Func {
+	ms := types.NewMethodSet(types.NewPointer(t))
+	sel := ms.Lookup(t.Obj().Pkg(), "Validate")
+	if sel == nil {
+		return nil
+	}
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return nil
+	}
+	return fn
+}
+
+// nestedInConfigLiteral reports whether the literal sits inside another
+// cross-package named-struct composite literal (e.g. a codec.Config as
+// the Encoder field of a session.Config). Validating the inner config is
+// the outer config's responsibility — session.Config.Validate validates
+// its Encoder — so only the outermost literal is checked.
+func nestedInConfigLiteral(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		outer, ok := stack[i].(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Info.Types[outer]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg() != pass.Pkg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// passedAsConfigParam reports whether the literal (possibly behind a
+// unary &) is a direct argument to a call whose callee either lives in
+// the package defining the config type (constructors validate what they
+// accept) or declares the matching parameter with the config type itself
+// (a facade such as rtcadapt.Run(cfg SessionConfig), which forwards to
+// the validating constructor).
+func passedAsConfigParam(pass *Pass, stack []ast.Node, named *types.Named) bool {
+	i := len(stack) - 1 // stack[i] is the literal itself
+	arg := stack[i]
+	if i > 0 {
+		if u, ok := stack[i-1].(*ast.UnaryExpr); ok && u.X == arg {
+			i--
+			arg = stack[i]
+		}
+	}
+	if i == 0 {
+		return false
+	}
+	call, ok := stack[i-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	argIndex := -1
+	for ai, a := range call.Args {
+		if a == arg {
+			argIndex = ai
+			break
+		}
+	}
+	if argIndex == -1 {
+		return false
+	}
+	var callee types.Object
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee = pass.Info.Uses[fn]
+	case *ast.SelectorExpr:
+		callee = pass.Info.Uses[fn.Sel]
+	}
+	if callee == nil {
+		return false
+	}
+	if callee.Pkg() == named.Obj().Pkg() {
+		return true
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	pi := argIndex
+	if sig.Variadic() && pi >= params.Len()-1 {
+		pi = params.Len() - 1
+	}
+	if pi >= params.Len() {
+		return false
+	}
+	ptype := params.At(pi).Type()
+	if p, ok := ptype.(*types.Pointer); ok {
+		ptype = p.Elem()
+	}
+	return types.Identical(ptype, named)
+}
+
+// enclosingFuncValidatesOrCallsPackage reports whether the function (or
+// function literal) containing the config literal either calls the
+// config's Validate method, or calls *any* function of the defining
+// package (whose constructors validate what they accept — the common
+// build-then-pass pattern). Only a config that never reaches its owning
+// package escapes validation.
+func enclosingFuncValidatesOrCallsPackage(pass *Pass, stack []ast.Node, named *types.Named) bool {
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	validate := findValidate(named)
+	defPkg := named.Obj().Pkg()
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fn := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = pass.Info.Uses[fn]
+		case *ast.SelectorExpr:
+			obj = pass.Info.Uses[fn.Sel]
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return true
+		}
+		if fn.Origin() == validate || fn.Pkg() == defPkg {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixturePrefix is the import-path root the fixture tree is loaded under.
+const fixturePrefix = "fixture"
+
+// loadFixtures loads testdata/src once per test binary.
+func loadFixtures(t *testing.T) (*Loader, map[string]*Package) {
+	t.Helper()
+	loader := NewLoader()
+	pkgs, err := loader.LoadModule(filepath.Join("testdata", "src"), fixturePrefix)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	return loader, byPath
+}
+
+// wantRe extracts the backquoted patterns of a `// want` comment.
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+// expectation is one `// want` pattern, matched against diagnostics on
+// its line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses `// want` comments from the package's files.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					pats := wantRe.FindAllStringSubmatch(text, -1)
+					if len(pats) == 0 {
+						t.Fatalf("%s:%d: want comment without backquoted pattern", pos.Filename, pos.Line)
+					}
+					for _, m := range pats {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkDiagnostics asserts the diagnostics exactly satisfy the wants.
+func checkDiagnostics(t *testing.T, diags []Diagnostic, wants []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// runOn applies the given analyzers to the named fixture packages and
+// compares diagnostics against the packages' want comments.
+func runOn(t *testing.T, loader *Loader, byPath map[string]*Package, analyzers []*Analyzer, paths ...string) {
+	t.Helper()
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, ok := byPath[fixturePrefix+"/"+p]
+		if !ok {
+			t.Fatalf("fixture package %q not loaded", p)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	runner := &Runner{Analyzers: analyzers}
+	diags := runner.Run(loader.Fset, pkgs)
+	checkDiagnostics(t, diags, collectWants(t, loader.Fset, pkgs))
+}
+
+func TestNoWallClockFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{NoWallClock}, "internal/clockfix", "scopecheck")
+}
+
+func TestSeededRandFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{SeededRand}, "internal/randfix", "scopecheck")
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{FloatEq}, "floateqfix")
+}
+
+func TestUnitSuffixFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{UnitSuffix}, "unitfix")
+}
+
+func TestCtorValidateFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{CtorValidate}, "ctorfix/cfgpkg", "ctorfix/use")
+}
+
+// TestIgnoreFixture runs the full suite so directives interact with every
+// analyzer the way they do in production.
+func TestIgnoreFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, Analyzers(), "internal/ignorefix")
+}
+
+// TestFixtureWantsPresent guards against fixtures silently losing their
+// expectations (a fixture with zero wants tests nothing).
+func TestFixtureWantsPresent(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	perPkg := map[string]int{}
+	for path, pkg := range byPath {
+		perPkg[path] = len(collectWants(t, loader.Fset, []*Package{pkg}))
+	}
+	for _, path := range []string{
+		"fixture/internal/clockfix",
+		"fixture/internal/randfix",
+		"fixture/internal/ignorefix",
+		"fixture/floateqfix",
+		"fixture/unitfix",
+		"fixture/ctorfix/use",
+	} {
+		if perPkg[path] == 0 {
+			t.Errorf("fixture %s has no want expectations", path)
+		}
+	}
+	if perPkg["fixture/scopecheck"] != 0 {
+		t.Errorf("fixture scopecheck must stay expectation-free (it asserts silence)")
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering cmd/rtclint
+// prints.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x/y.go", Line: 3, Column: 7},
+		Analyzer: "floateq",
+		Message:  "msg",
+	}
+	if got, want := d.String(), "x/y.go:3:7: [floateq] msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

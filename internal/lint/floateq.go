@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Computed floats
+// carry rounding error, so equality is a latent heisenbug: it works on one
+// code path (or one architecture's FMA contraction) and fails on another.
+// Compare against a tolerance, or restructure so the comparison is exact.
+//
+// Two comparisons stay allowed because they are exact by construction:
+//
+//   - comparison against the constant 0 (the idiomatic "field unset"
+//     sentinel test in config defaults; 0 is exactly representable and a
+//     computed value only equals it when it is exactly zero)
+//   - x != x / x == x on the same expression (the NaN-check idiom;
+//     prefer math.IsNaN, but the comparison is well-defined)
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands (use tolerances)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, bin.X) || !isFloat(pass, bin.Y) {
+				return true
+			}
+			if isExactZero(pass, bin.X) || isExactZero(pass, bin.Y) {
+				return true
+			}
+			if sameExpr(bin.X, bin.Y) {
+				return true // NaN-check idiom
+			}
+			pass.Reportf(bin.OpPos, "%s between floating-point operands; compare with a tolerance", bin.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether e's type is (or defaults to) a floating-point
+// type.
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+// sameExpr reports whether two expressions are structurally identical
+// chains of identifiers and field selections (x, a.b.c). Anything with
+// calls or indexing is conservatively treated as different.
+func sameExpr(a, b ast.Expr) bool {
+	a, b = unparen(a), unparen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameExpr(av.X, bv.X)
+	}
+	return false
+}

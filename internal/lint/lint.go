@@ -1,0 +1,218 @@
+// Package lint is a repo-specific static-analysis suite. It machine-checks
+// the invariants that keep this reproduction trustworthy: all time flows
+// through the virtual clock (determinism), all randomness is seeded
+// (reproducibility), floating-point quantities are never compared with ==,
+// unit-suffixed identifiers are never mixed across units (the classic
+// kbps-vs-bps rate-control bug), and validated config structs are not
+// constructed in ways that bypass validation.
+//
+// The driver is built on go/parser and go/types only — no dependencies
+// outside the standard library, matching the module's zero-dependency
+// go.mod.
+//
+// Findings can be suppressed with an escape hatch comment on the flagged
+// line or the line directly above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare directive is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is the per-package view handed to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Internal reports whether the package lives under an internal/ tree —
+// the scope where the determinism invariants are enforced.
+func (p *Pass) Internal() bool {
+	return p.Path == "internal" ||
+		strings.HasPrefix(p.Path, "internal/") ||
+		strings.Contains(p.Path, "/internal/") ||
+		strings.HasSuffix(p.Path, "/internal")
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoWallClock,
+		SeededRand,
+		FloatEq,
+		UnitSuffix,
+		CtorValidate,
+	}
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// Runner applies a set of analyzers to loaded packages and filters the
+// findings through //lint:ignore directives.
+type Runner struct {
+	Analyzers []*Analyzer
+	// ReportUnusedIgnores adds a diagnostic for every directive that
+	// suppressed nothing. Enable only when running the full suite;
+	// under a partial suite a directive for an unselected analyzer
+	// would be falsely stale.
+	ReportUnusedIgnores bool
+}
+
+// Run analyzes the packages and returns surviving findings sorted by
+// position.
+func (r *Runner) Run(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	var directives []*ignoreDirective
+	for _, pkg := range pkgs {
+		directives = append(directives, collectDirectives(fset, pkg.Files, &diags)...)
+		for _, a := range r.Analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	diags = applyIgnores(diags, directives)
+	if r.ReportUnusedIgnores {
+		for _, d := range directives {
+			if !d.used {
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "lint",
+					Message:  fmt.Sprintf("unused //lint:ignore %s directive (nothing suppressed)", d.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectDirectives parses every //lint:ignore comment in the files.
+// Malformed directives (missing analyzer name or reason) are reported as
+// findings so the escape hatch cannot silently rot.
+func collectDirectives(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				out = append(out, &ignoreDirective{
+					pos:      fset.Position(c.Pos()),
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores drops findings covered by a directive on the same line or
+// the line directly above, in the same file.
+func applyIgnores(diags []Diagnostic, directives []*ignoreDirective) []Diagnostic {
+	if len(directives) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := make(map[key]*ignoreDirective)
+	for _, d := range directives {
+		index[key{d.pos.Filename, d.pos.Line, d.analyzer}] = d
+		index[key{d.pos.Filename, d.pos.Line + 1, d.analyzer}] = d
+	}
+	var kept []Diagnostic
+	for _, diag := range diags {
+		if diag.Analyzer != "lint" {
+			if d, ok := index[key{diag.Pos.Filename, diag.Pos.Line, diag.Analyzer}]; ok {
+				d.used = true
+				continue
+			}
+		}
+		kept = append(kept, diag)
+	}
+	return kept
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestSuffixUnit(t *testing.T) {
+	cases := []struct {
+		name   string
+		suffix string // "" means no unit suffix expected
+		pretty string
+	}{
+		{"targetKbps", "Kbps", "kilobits/s"},
+		{"estimateBps", "Bps", "bits/s"},
+		{"rate_kbps", "kbps", "kilobits/s"},
+		{"budgetMbps", "Mbps", "megabits/s"},
+		{"linkGbps", "Gbps", "gigabits/s"},
+		{"diskMBps", "MBps", "megabytes/s"},
+		{"delayMs", "Ms", "milliseconds"},
+		{"delay_ms", "ms", "milliseconds"},
+		{"timeoutSec", "Sec", "seconds"},
+		{"spanSeconds", "Seconds", "seconds"},
+		{"idleSecs", "Secs", "seconds"},
+		{"rttUs", "Us", "microseconds"},
+		{"tickNs", "Ns", "nanoseconds"},
+		{"totalBits", "Bits", "bits"},
+		{"total_bytes", "bytes", "bytes"},
+		{"ms", "ms", "milliseconds"}, // whole name is the suffix
+		{"Kbps", "Kbps", "kilobits/s"},
+
+		// No-unit names: ordinary words must never match.
+		{"alarms", "", ""},    // ends in "ms" but no boundary
+		{"orbits", "", ""},    // ends in "bits" but no boundary
+		{"status", "", ""},    // ends in "us" but no boundary
+		{"lens", "", ""},      // ends in "ns" but no boundary
+		{"parsec", "", ""},    // ends in "sec" but no boundary
+		{"kilobytes", "", ""}, /* ends in "bytes" but no boundary */
+		{"CMS", "", ""},       // uppercase before suffix is not a boundary
+		{"queue", "", ""},
+	}
+	for _, c := range cases {
+		u, suffix, ok := suffixUnit(c.name)
+		if c.suffix == "" {
+			if ok {
+				t.Errorf("suffixUnit(%q) matched suffix %q, want no match", c.name, suffix)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("suffixUnit(%q) found no unit, want suffix %q", c.name, c.suffix)
+			continue
+		}
+		if suffix != c.suffix || u.pretty != c.pretty {
+			t.Errorf("suffixUnit(%q) = (%q, %q), want (%q, %q)", c.name, suffix, u.pretty, c.suffix, c.pretty)
+		}
+	}
+}
+
+func TestSuffixUnitCompatibility(t *testing.T) {
+	// Same scale, different spelling: compatible.
+	a, _, _ := suffixUnit("timeoutSec")
+	b, _, _ := suffixUnit("spanSeconds")
+	if a != b {
+		t.Errorf("Sec and Seconds should be the same unit, got %+v vs %+v", a, b)
+	}
+	// Same dimension, different scale: incompatible.
+	c, _, _ := suffixUnit("delayMs")
+	if a == c {
+		t.Errorf("Sec and Ms should differ, both %+v", a)
+	}
+	// Different dimensions: incompatible.
+	d, _, _ := suffixUnit("rateBps")
+	if c == d {
+		t.Errorf("Ms and Bps should differ, both %+v", c)
+	}
+}
+
+func TestPassInternal(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"internal", true},
+		{"internal/codec", true},
+		{"rtcadapt/internal/codec", true},
+		{"rtcadapt/internal", true},
+		{"cmd/rtcsim", false},
+		{"fixture/scopecheck", false},
+		{"internally/not", false},
+	}
+	for _, c := range cases {
+		p := &Pass{Path: c.path}
+		if got := p.Internal(); got != c.want {
+			t.Errorf("Pass{Path: %q}.Internal() = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// parseOne parses a single source string for directive tests; the fake
+// analyzers below do not need type information.
+func parseOne(t *testing.T, src string) (*token.FileSet, *Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir/dirtest.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, &Package{Path: "dirtest", Files: []*ast.File{f}}
+}
+
+func TestMalformedIgnoreDirective(t *testing.T) {
+	fset, pkg := parseOne(t, `package dirtest
+
+//lint:ignore
+func a() {}
+
+//lint:ignore floateq
+func b() {}
+
+//lint:ignore floateq has a reason
+func c() {}
+`)
+	r := &Runner{Analyzers: nil, ReportUnusedIgnores: false}
+	diags := r.Run(fset, []*Package{pkg})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 malformed-directive findings: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lint" || !strings.Contains(d.Message, "malformed //lint:ignore") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if diags[0].Pos.Line != 3 || diags[1].Pos.Line != 6 {
+		t.Errorf("malformed directives reported at lines %d and %d, want 3 and 6",
+			diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+}
+
+func TestUnusedIgnoreDirective(t *testing.T) {
+	src := `package dirtest
+
+//lint:ignore fake suppresses the line below
+func a() {}
+
+//lint:ignore fake suppresses nothing
+func unused() {}
+`
+	fake := &Analyzer{
+		Name: "fake",
+		Doc:  "test analyzer reporting on every FuncDecl named a",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "a" {
+						pass.Reportf(fd.Pos(), "finding on a")
+					}
+				}
+			}
+		},
+	}
+
+	fset, pkg := parseOne(t, src)
+	r := &Runner{Analyzers: []*Analyzer{fake}, ReportUnusedIgnores: true}
+	diags := r.Run(fset, []*Package{pkg})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unused-directive finding: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "lint" || !strings.Contains(d.Message, "unused //lint:ignore fake") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	if d.Pos.Line != 6 {
+		t.Errorf("unused directive reported at line %d, want 6", d.Pos.Line)
+	}
+
+	// Without ReportUnusedIgnores the stale directive is tolerated.
+	fset2, pkg2 := parseOne(t, src)
+	r2 := &Runner{Analyzers: []*Analyzer{fake}}
+	if diags := r2.Run(fset2, []*Package{pkg2}); len(diags) != 0 {
+		t.Errorf("partial-suite run reported %v, want nothing", diags)
+	}
+}
+
+func TestIgnoreDoesNotSuppressOtherAnalyzer(t *testing.T) {
+	src := `package dirtest
+
+//lint:ignore other directive names a different analyzer
+func a() {}
+`
+	fake := &Analyzer{
+		Name: "fake",
+		Doc:  "test analyzer reporting on every FuncDecl",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "finding on %s", fd.Name.Name)
+					}
+				}
+			}
+		},
+	}
+	fset, pkg := parseOne(t, src)
+	r := &Runner{Analyzers: []*Analyzer{fake}}
+	diags := r.Run(fset, []*Package{pkg})
+	if len(diags) != 1 || diags[0].Analyzer != "fake" {
+		t.Fatalf("got %v, want the fake finding to survive the mismatched directive", diags)
+	}
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoWallClock forbids wall-clock time sources inside internal/ packages.
+// Simulations must be a pure function of configuration and seeds; every
+// timestamp has to come from the internal/simtime virtual clock. A single
+// time.Now in a hot path silently turns a reproducible run into a
+// machine-dependent one.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/Sleep/After/... in internal packages; " +
+		"use the internal/simtime virtual clock",
+	Run: runNoWallClock,
+}
+
+// wallClockFuncs are the "time" package functions that read or wait on the
+// real clock. time.Duration arithmetic and formatting stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func runNoWallClock(pass *Pass) {
+	if !pass.Internal() {
+		return
+	}
+	reportPkgFuncUses(pass, "time", wallClockFuncs, func(name string) string {
+		return "wall-clock time." + name + " in internal package; use the internal/simtime virtual clock"
+	})
+}
+
+// reportPkgFuncUses flags every use of a package-level function of pkgPath
+// whose name is in names. Matching goes through go/types, so import
+// renames and dot-imports are caught and same-named local identifiers are
+// not.
+func reportPkgFuncUses(pass *Pass, pkgPath string, names map[string]bool, msg func(name string) string) {
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+			continue
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue // method, not a package-level function
+		}
+		if names[fn.Name()] {
+			pass.Reportf(ident.Pos(), "%s", msg(fn.Name()))
+		}
+	}
+}
+
+// unparen strips redundant parentheses. Shared by analyzers that reason
+// about "bare" named operands.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

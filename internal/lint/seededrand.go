@@ -1,0 +1,57 @@
+package lint
+
+// SeededRand forbids the global-source convenience functions of math/rand
+// (and math/rand/v2) inside internal/ packages. The global source is
+// process-wide shared state: any component drawing from it perturbs every
+// other component's stream, and (pre-Go 1.20) is seeded from wall time.
+// Components must own a *stats.Rand derived from the session seed.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand top-level functions in internal packages; " +
+		"use the internal/stats seeded RNG",
+	Run: runSeededRand,
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw from
+// the shared global source. Constructors (New, NewSource, NewZipf) stay
+// allowed: internal/stats wraps them to build per-component streams.
+var globalRandFuncs = map[string]bool{
+	"Int":         true,
+	"Intn":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"IntN":        true, // math/rand/v2 spellings
+	"Int32":       true,
+	"Int32N":      true,
+	"Int64":       true,
+	"Int64N":      true,
+	"N":           true,
+	"Uint":        true,
+	"Uint32":      true,
+	"Uint32N":     true,
+	"Uint64":      true,
+	"Uint64N":     true,
+	"UintN":       true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+	"Seed":        true,
+}
+
+func runSeededRand(pass *Pass) {
+	if !pass.Internal() {
+		return
+	}
+	for _, pkgPath := range []string{"math/rand", "math/rand/v2"} {
+		reportPkgFuncUses(pass, pkgPath, globalRandFuncs, func(name string) string {
+			return "global " + pkgPath + "." + name +
+				" shares process-wide RNG state; use a seeded internal/stats.Rand"
+		})
+	}
+}

@@ -1,0 +1,47 @@
+// Package cfgpkg is a lint fixture: a config struct with a Validate
+// method and a validating constructor, as the real internal packages
+// (netem, session, codec, cc, video) provide.
+package cfgpkg
+
+import "errors"
+
+// Config parameterizes a Thing.
+type Config struct {
+	Rate float64
+}
+
+// Validate reports the first impossible parameterization.
+func (c *Config) Validate() error {
+	if c.Rate < 0 {
+		return errors.New("cfgpkg: negative Rate")
+	}
+	return nil
+}
+
+// Thing is the configured component.
+type Thing struct {
+	rate float64
+}
+
+// New validates and builds.
+func New(cfg Config) *Thing {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Thing{rate: cfg.Rate}
+}
+
+// OuterConfig embeds a Config; its Validate covers the nested one.
+type OuterConfig struct {
+	Inner Config
+}
+
+// Validate validates the nested config too.
+func (c *OuterConfig) Validate() error {
+	return c.Inner.Validate()
+}
+
+// PlainConfig has no Validate method: literals are fine anywhere.
+type PlainConfig struct {
+	N int
+}

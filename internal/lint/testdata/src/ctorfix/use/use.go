@@ -1,0 +1,52 @@
+// Package use is a lint fixture: cross-package config construction
+// patterns ctorvalidate must flag or allow.
+package use
+
+import "fixture/ctorfix/cfgpkg"
+
+func bad() cfgpkg.Config {
+	return cfgpkg.Config{Rate: -1} // want `cfgpkg\.Config literal is never validated`
+}
+
+func badPointer() *cfgpkg.Config {
+	return &cfgpkg.Config{Rate: -2} // want `cfgpkg\.Config literal is never validated`
+}
+
+func goodCtor() *cfgpkg.Thing {
+	return cfgpkg.New(cfgpkg.Config{Rate: 1}) // passed to the validating constructor
+}
+
+func goodValidated() cfgpkg.Config {
+	cfg := cfgpkg.Config{Rate: 2}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+func goodBuildThenPass() *cfgpkg.Thing {
+	cfg := cfgpkg.Config{Rate: 3} // reaches cfgpkg.New below
+	cfg.Rate *= 2
+	return cfgpkg.New(cfg)
+}
+
+func facade(cfg cfgpkg.Config) *cfgpkg.Thing {
+	return cfgpkg.New(cfg)
+}
+
+func goodFacade() *cfgpkg.Thing {
+	return facade(cfgpkg.Config{Rate: 4}) // parameter declares the config type
+}
+
+// nested shows only the outermost literal is reported: the inner Config
+// is the outer config's Validate's responsibility.
+func nested() cfgpkg.OuterConfig {
+	outer := cfgpkg.OuterConfig{ // want `cfgpkg\.OuterConfig literal is never validated`
+		Inner: cfgpkg.Config{Rate: 5},
+	}
+	return outer
+}
+
+func plain() cfgpkg.PlainConfig {
+	return cfgpkg.PlainConfig{N: 1} // no Validate method: no finding
+}

@@ -1,0 +1,43 @@
+// Package floateqfix is a lint fixture: float equality comparisons that
+// floateq must flag, plus the exact-by-construction forms it must not.
+package floateqfix
+
+type sample struct {
+	ssim float64
+}
+
+func bad(a, b float64) bool {
+	return a == b // want `== between floating-point operands`
+}
+
+func badNeqConst(x float64) bool {
+	return x != 0.85 // want `!= between floating-point operands`
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want `== between floating-point operands`
+}
+
+func badFields(p, q sample) bool {
+	return p.ssim == q.ssim // want `== between floating-point operands`
+}
+
+func zeroSentinel(x float64) bool {
+	return x == 0 // exact zero: the idiomatic "field unset" test
+}
+
+func zeroSentinelFlipped(x float64) bool {
+	return 0.0 != x // still exact zero
+}
+
+func nanCheck(x float64) bool {
+	return x != x // NaN idiom (prefer math.IsNaN, but well-defined)
+}
+
+func nanCheckField(p sample) bool {
+	return p.ssim != p.ssim
+}
+
+func ints(a, b int) bool {
+	return a == b // integer equality is exact
+}

@@ -1,0 +1,24 @@
+// Package ignorefix is a lint fixture for the //lint:ignore escape hatch:
+// suppressed findings must vanish, unsuppressed ones must survive, and a
+// directive for one analyzer must not silence another.
+package ignorefix
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:ignore nowallclock fixture exercises same-line suppression
+}
+
+func suppressedLineAbove() {
+	//lint:ignore nowallclock fixture exercises previous-line suppression
+	time.Sleep(time.Millisecond)
+}
+
+func unsuppressed() time.Time {
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+func wrongAnalyzer(a, b float64) bool {
+	//lint:ignore nowallclock directive names the wrong analyzer
+	return a == b // want `== between floating-point operands`
+}

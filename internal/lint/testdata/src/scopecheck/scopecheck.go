@@ -1,0 +1,20 @@
+// Package scopecheck is a lint fixture that lives OUTSIDE any internal/
+// tree: nowallclock and seededrand must stay silent here even though it
+// uses both the wall clock and the global RNG (cmd/ tools may legitimately
+// time themselves).
+package scopecheck
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockElapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+func globalDraw() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitSuffix flags assignments, comparisons, and additive arithmetic that
+// mix identifiers whose names carry different unit suffixes — the classic
+// rate-control reproduction killer (`targetKbps = estimateBps` is off by
+// 1000x and crashes nothing). Only *bare* named operands are checked: as
+// soon as an expression contains arithmetic (`sec * 1000`) it is presumed
+// to be an explicit conversion and is left alone.
+//
+// Recognized suffix families (repo convention: "Bps" means bits per
+// second, matching trace.Point.Bps; "KBps"/"MBps" mean bytes per second):
+//
+//	data rate: bps/Bps, Kbps/kbps, Mbps/mbps, Gbps/gbps, KBps, MBps
+//	data size: Bits/bits, Bytes/bytes
+//	time:      Ns/ns, Us/us, Ms/ms, Sec/Secs/Seconds (and _sec forms)
+//
+// Suffixes differing only in scale within one family (Ms vs Sec) and
+// suffixes from different families (Ms vs Kbps) are both mismatches.
+var UnitSuffix = &Analyzer{
+	Name: "unitsuffix",
+	Doc:  "flag assignments/comparisons mixing identifiers with mismatched unit suffixes",
+	Run:  runUnitSuffix,
+}
+
+// unit is a dimension plus a scale within that dimension (bits for data,
+// nanoseconds for time). Two units are compatible only if identical.
+type unit struct {
+	dim    string
+	scale  float64
+	pretty string
+}
+
+// unitSuffixes is ordered longest-first so "Kbps" wins over "bps" and
+// "MBps" over "Bps".
+var unitSuffixes = []struct {
+	text string
+	unit unit
+}{
+	{"Seconds", unit{"time", 1e9, "seconds"}},
+	{"seconds", unit{"time", 1e9, "seconds"}},
+	{"Bytes", unit{"size", 8, "bytes"}},
+	{"bytes", unit{"size", 8, "bytes"}},
+	{"Bits", unit{"size", 1, "bits"}},
+	{"bits", unit{"size", 1, "bits"}},
+	{"Secs", unit{"time", 1e9, "seconds"}},
+	{"secs", unit{"time", 1e9, "seconds"}},
+	{"Kbps", unit{"rate", 1e3, "kilobits/s"}},
+	{"kbps", unit{"rate", 1e3, "kilobits/s"}},
+	{"Mbps", unit{"rate", 1e6, "megabits/s"}},
+	{"mbps", unit{"rate", 1e6, "megabits/s"}},
+	{"Gbps", unit{"rate", 1e9, "gigabits/s"}},
+	{"gbps", unit{"rate", 1e9, "gigabits/s"}},
+	{"KBps", unit{"rate", 8e3, "kilobytes/s"}},
+	{"MBps", unit{"rate", 8e6, "megabytes/s"}},
+	{"Sec", unit{"time", 1e9, "seconds"}},
+	{"sec", unit{"time", 1e9, "seconds"}},
+	{"Bps", unit{"rate", 1, "bits/s"}},
+	{"bps", unit{"rate", 1, "bits/s"}},
+	{"Ns", unit{"time", 1, "nanoseconds"}},
+	{"ns", unit{"time", 1, "nanoseconds"}},
+	{"Us", unit{"time", 1e3, "microseconds"}},
+	{"us", unit{"time", 1e3, "microseconds"}},
+	{"Ms", unit{"time", 1e6, "milliseconds"}},
+	{"ms", unit{"time", 1e6, "milliseconds"}},
+}
+
+// suffixUnit extracts the unit suffix of an identifier name, if any. An
+// uppercase-initial suffix matches at a camelCase or snake_case boundary
+// ("delayMs", "delay_Ms"); a lowercase-initial suffix only after an
+// underscore ("delay_ms"), so ordinary words ("alarms", "orbits") never
+// match.
+func suffixUnit(name string) (unit, string, bool) {
+	for _, s := range unitSuffixes {
+		t := s.text
+		if len(name) < len(t) || name[len(name)-len(t):] != t {
+			continue
+		}
+		if len(name) == len(t) {
+			return s.unit, t, true
+		}
+		prev := name[len(name)-len(t)-1]
+		upperInitial := t[0] >= 'A' && t[0] <= 'Z'
+		if upperInitial {
+			if prev == '_' || (prev >= 'a' && prev <= 'z') || (prev >= '0' && prev <= '9') {
+				return s.unit, t, true
+			}
+		} else if prev == '_' {
+			return s.unit, t, true
+		}
+	}
+	return unit{}, "", false
+}
+
+// checkCallArgs compares each bare named argument against the callee's
+// declared parameter name — `NewRateMeter(windowMs)` with parameter
+// `windowSec` is almost certainly a 1000x bug. Parameter names survive in
+// go/types signatures for every function the loader checked from source,
+// so this works across the whole module.
+func checkCallArgs(pass *Pass, call *ast.CallExpr) {
+	var callee *types.Func
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee, _ = pass.Info.Uses[fn].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = pass.Info.Uses[fn.Sel].(*types.Func)
+	}
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pname := params.At(pi).Name()
+		up, _, okP := suffixUnit(pname)
+		ua, nameA, okA := exprUnit(arg)
+		if !okP || !okA || up == ua {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"unit mismatch in call to %s: argument %q is %s but parameter %q is %s; convert explicitly",
+			callee.Name(), nameA, ua.pretty, pname, up.pretty)
+	}
+}
+
+// exprUnit resolves the unit suffix of a bare named operand: an
+// identifier, or the field name of a selector chain.
+func exprUnit(e ast.Expr) (unit, string, bool) {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		u, _, ok := suffixUnit(v.Name)
+		return u, v.Name, ok
+	case *ast.SelectorExpr:
+		u, _, ok := suffixUnit(v.Sel.Name)
+		return u, v.Sel.Name, ok
+	}
+	return unit{}, "", false
+}
+
+func runUnitSuffix(pass *Pass) {
+	checkPair := func(pos token.Pos, context string, a, b ast.Expr) {
+		ua, nameA, okA := exprUnit(a)
+		ub, nameB, okB := exprUnit(b)
+		if !okA || !okB || ua == ub {
+			return
+		}
+		pass.Reportf(pos, "unit mismatch in %s: %q is %s but %q is %s; convert explicitly",
+			context, nameA, ua.pretty, nameB, ub.pretty)
+	}
+	checkIdentPair := func(pos token.Pos, context string, name *ast.Ident, v ast.Expr) {
+		ua, _, okA := suffixUnit(name.Name)
+		ub, nameB, okB := exprUnit(v)
+		if !okA || !okB || ua == ub {
+			return
+		}
+		pass.Reportf(pos, "unit mismatch in %s: %q is %s but %q is %s; convert explicitly",
+			context, name.Name, ua.pretty, nameB, ub.pretty)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				if len(v.Lhs) != len(v.Rhs) {
+					return true
+				}
+				switch v.Tok {
+				case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+					for i := range v.Lhs {
+						checkPair(v.Rhs[i].Pos(), "assignment", v.Lhs[i], v.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(v.Names) == len(v.Values) {
+					for i := range v.Names {
+						checkIdentPair(v.Values[i].Pos(), "declaration", v.Names[i], v.Values[i])
+					}
+				}
+			case *ast.BinaryExpr:
+				switch v.Op {
+				case token.ADD, token.SUB, token.EQL, token.NEQ,
+					token.LSS, token.LEQ, token.GTR, token.GEQ:
+					checkPair(v.OpPos, v.Op.String()+" expression", v.X, v.Y)
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := v.Key.(*ast.Ident); ok {
+					checkIdentPair(v.Value.Pos(), "composite literal field", key, v.Value)
+				}
+			case *ast.CallExpr:
+				checkCallArgs(pass, v)
+			}
+			return true
+		})
+	}
+}

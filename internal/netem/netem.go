@@ -7,6 +7,7 @@
 package netem
 
 import (
+	"fmt"
 	"time"
 
 	"rtcadapt/internal/simtime"
@@ -87,10 +88,32 @@ type Link struct {
 	stats       Stats
 }
 
-// NewLink creates a link on the given scheduler.
+// Validate checks the configuration for impossible parameterizations. It
+// reports the first problem found. NewLink validates what it accepts;
+// call Validate directly when building a Config that is stored or
+// forwarded rather than passed straight to the constructor.
+func (c *Config) Validate() error {
+	if c.Trace == nil {
+		return fmt.Errorf("netem: Config.Trace is required")
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("netem: Config.LossProb %v outside [0, 1]", c.LossProb)
+	}
+	if c.JitterAmp < 0 {
+		return fmt.Errorf("netem: negative Config.JitterAmp %v", c.JitterAmp)
+	}
+	if c.QueueLimitBytes < 0 {
+		return fmt.Errorf("netem: negative Config.QueueLimitBytes %d", c.QueueLimitBytes)
+	}
+	return nil
+}
+
+// NewLink creates a link on the given scheduler. It panics on an invalid
+// configuration (see Validate): a malformed link is a programming error,
+// not a runtime condition.
 func NewLink(sched *simtime.Scheduler, cfg Config) *Link {
-	if cfg.Trace == nil {
-		panic("netem: Config.Trace is required")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.PropDelay == 0 {
 		cfg.PropDelay = 25 * time.Millisecond

@@ -1,0 +1,45 @@
+package netem
+
+import (
+	"strings"
+	"testing"
+
+	"rtcadapt/internal/trace"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Trace: trace.Constant(1e6)}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"missing trace", Config{}, "Trace is required"},
+		{"loss above 1", Config{Trace: trace.Constant(1e6), LossProb: 1.5}, "LossProb"},
+		{"negative loss", Config{Trace: trace.Constant(1e6), LossProb: -0.1}, "LossProb"},
+		{"negative jitter", Config{Trace: trace.Constant(1e6), JitterAmp: -1}, "JitterAmp"},
+		{"negative queue", Config{Trace: trace.Constant(1e6), QueueLimitBytes: -1}, "QueueLimitBytes"},
+	}
+	for _, c := range bad {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted bad config", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNewLinkPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLink accepted LossProb 2")
+		}
+	}()
+	NewLink(nil, Config{Trace: trace.Constant(1e6), LossProb: 2})
+}

@@ -12,6 +12,7 @@
 package session
 
 import (
+	"fmt"
 	"time"
 
 	"rtcadapt/internal/audio"
@@ -209,16 +210,55 @@ type Session struct {
 	frameInterval     time.Duration
 }
 
+// Validate checks the configuration for impossible parameterizations and
+// reports the first problem found. New validates what it accepts; call
+// Validate directly when building a Config that is stored or forwarded
+// rather than passed straight to the constructor.
+func (c *Config) Validate() error {
+	if c.Trace == nil && c.ForwardLink == nil {
+		return fmt.Errorf("session: Config.Trace or Config.ForwardLink is required")
+	}
+	if c.Controller == nil {
+		return fmt.Errorf("session: Config.Controller is required")
+	}
+	if c.Duration < 0 {
+		return fmt.Errorf("session: negative Config.Duration %v", c.Duration)
+	}
+	if c.FPS < 0 {
+		return fmt.Errorf("session: negative Config.FPS %d", c.FPS)
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("session: Config.LossProb %v outside [0, 1]", c.LossProb)
+	}
+	if c.FeedbackLossProb < 0 || c.FeedbackLossProb > 1 {
+		return fmt.Errorf("session: Config.FeedbackLossProb %v outside [0, 1]", c.FeedbackLossProb)
+	}
+	if c.QueueLimitBytes < 0 {
+		return fmt.Errorf("session: negative Config.QueueLimitBytes %d", c.QueueLimitBytes)
+	}
+	if c.FECGroupSize < 0 {
+		return fmt.Errorf("session: negative Config.FECGroupSize %d", c.FECGroupSize)
+	}
+	if c.MTU < 0 {
+		return fmt.Errorf("session: negative Config.MTU %d", c.MTU)
+	}
+	if c.InitialRate < 0 {
+		return fmt.Errorf("session: negative Config.InitialRate %v", c.InitialRate)
+	}
+	if err := c.Encoder.Validate(); err != nil {
+		return fmt.Errorf("session: Config.Encoder: %w", err)
+	}
+	return nil
+}
+
 // New wires a session onto sched. When cfg.ForwardLink is nil the session
 // owns a private link driven by cfg.Trace and attaches itself as its
 // receiver; otherwise it sends into the shared link and the owner must
-// route deliveries back through Deliver.
+// route deliveries back through Deliver. It panics on an invalid
+// configuration (see Validate).
 func New(sched *simtime.Scheduler, cfg Config) *Session {
-	if cfg.Trace == nil && cfg.ForwardLink == nil {
-		panic("session: Config.Trace or Config.ForwardLink is required")
-	}
-	if cfg.Controller == nil {
-		panic("session: Config.Controller is required")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.Duration == 0 {
 		cfg.Duration = 30 * time.Second

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOscillatingPhaseRegression pins the high/low alternation across many
+// half-periods. The original implementation derived the next level by
+// float-comparing the previous level against hi, which floateq flagged;
+// the phase is now tracked with a boolean and this test guards the
+// rewrite.
+func TestOscillatingPhaseRegression(t *testing.T) {
+	const hi, lo = 3.7e6, 1.1e6
+	half := 250 * time.Millisecond
+	tr := Oscillating(hi, lo, half, 20*time.Second)
+	for i := 0; i < 80; i++ {
+		at := time.Duration(i)*half + half/2
+		want := hi
+		if i%2 == 1 {
+			want = lo
+		}
+		if bps, _ := tr.RateAt(at); bps != want {
+			t.Fatalf("half-period %d: RateAt(%v) = %v, want %v", i, at, bps, want)
+		}
+	}
+}
+
+// TestOscillatingEqualLevels covers the hi == lo edge case, where a
+// level-comparison phase toggle degenerates but an explicit phase bit
+// must still produce one breakpoint per half-period.
+func TestOscillatingEqualLevels(t *testing.T) {
+	tr := Oscillating(2e6, 2e6, time.Second, 4*time.Second)
+	pts := tr.Points()
+	if len(pts) != 4 {
+		t.Fatalf("got %d breakpoints, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if p.Bps != 2e6 {
+			t.Errorf("breakpoint %d: Bps = %v, want 2e6", i, p.Bps)
+		}
+	}
+}

@@ -229,14 +229,14 @@ func Staircase(hold time.Duration, rates ...float64) *Trace {
 // given half-period, for the given duration.
 func Oscillating(hi, lo float64, halfPeriod, dur time.Duration) *Trace {
 	var ps []Point
-	level := hi
+	atHi := true
 	for at := time.Duration(0); at < dur; at += halfPeriod {
-		ps = append(ps, Point{At: at, Bps: level})
-		if level == hi {
-			level = lo
-		} else {
+		level := lo
+		if atHi {
 			level = hi
 		}
+		ps = append(ps, Point{At: at, Bps: level})
+		atHi = !atHi
 	}
 	return MustNew("oscillating", ps...)
 }

@@ -1,0 +1,44 @@
+package video
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary CSV input never panics the frame-trace
+// parser, and accepted traces survive a WriteCSV/ReadCSV round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("spatial,temporal,scenecut\n1.00,2.00,0\n3.50,0.25,1\n")
+	f.Add("1,1,0\n")
+	f.Add("")
+	f.Add("spatial,temporal,scenecut\n")
+	f.Add("x,y,z\n")
+	f.Add("1,2\n")
+	f.Add("1e308,1e-308,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		frames, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(frames) == 0 {
+			t.Fatal("accepted csv with no frames")
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, frames); err != nil {
+			t.Fatalf("re-encoding accepted frames: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing encoded frames: %v", err)
+		}
+		if len(again) != len(frames) {
+			t.Fatalf("round trip changed frame count: %d -> %d", len(frames), len(again))
+		}
+		for i := range frames {
+			if again[i].SceneCut != frames[i].SceneCut {
+				t.Fatalf("round trip flipped scenecut at frame %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package video
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSourceConfigValidate(t *testing.T) {
+	if err := (&SourceConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config (all defaults) rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		cfg  SourceConfig
+		want string
+	}{
+		{"negative fps", SourceConfig{FPS: -1}, "FPS"},
+		{"unknown class", SourceConfig{Class: Class(99)}, "Class"},
+	}
+	for _, c := range bad {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted bad config", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNewSourcePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSource accepted FPS -1")
+		}
+	}()
+	NewSource(SourceConfig{FPS: -1})
+}

@@ -122,8 +122,26 @@ type Source struct {
 	motion float64 // AR(1) state: temporal/spatial ratio
 }
 
-// NewSource returns a source for the given configuration.
+// Validate checks the configuration and reports the first problem found.
+// NewSource validates what it accepts; call Validate directly when
+// building a SourceConfig that is stored or forwarded rather than passed
+// straight to the constructor.
+func (c *SourceConfig) Validate() error {
+	if c.FPS < 0 {
+		return fmt.Errorf("video: negative SourceConfig.FPS %d", c.FPS)
+	}
+	if c.Class < TalkingHead || c.Class > Sports {
+		return fmt.Errorf("video: unknown SourceConfig.Class %d", int(c.Class))
+	}
+	return nil
+}
+
+// NewSource returns a source for the given configuration. It panics on an
+// invalid configuration (see Validate).
 func NewSource(cfg SourceConfig) *Source {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if cfg.FPS <= 0 {
 		cfg.FPS = 30
 	}
