@@ -2,7 +2,7 @@ GO       ?= go
 PKGS     := ./...
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint fuzz-smoke bench check
+.PHONY: build test race lint fuzz-smoke bench bench-parallel check
 
 build:
 	$(GO) build $(PKGS)
@@ -28,5 +28,9 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x $(PKGS)
+
+# Sequential vs worker-pool experiment runner; compare the two ns/op.
+bench-parallel:
+	$(GO) test -run='^$$' -bench='BenchmarkRunner(Sequential|Parallel)' -benchtime=3x ./internal/experiments
 
 check: build lint test race

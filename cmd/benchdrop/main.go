@@ -3,25 +3,34 @@
 //	benchdrop -exp all
 //	benchdrop -exp table1 -seeds 10
 //	benchdrop -exp figure1
+//	benchdrop -exp all -parallel 8 -progress
 //
 // Experiment ids follow DESIGN.md: table1, table2, table3, figure1,
 // figure2, figure3, figure4.
+//
+// Every experiment cell — one (scenario, controller, seed) session — is a
+// pure function of its config, so cells run concurrently on -parallel
+// workers (default GOMAXPROCS) and merge in canonical cell order: the
+// output is byte-identical to -parallel 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"rtcadapt/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id: table1 | table2 | table3 | figure1..figure10 | all")
-		seeds  = flag.Int("seeds", 5, "number of seeds to average over")
-		seed   = flag.Int64("seed", 1, "seed for single-run figures")
-		format = flag.String("format", "text", "output format: text | csv")
+		exp      = flag.String("exp", "all", "experiment id: table1 | table2 | table3 | figure1..figure10 | all")
+		seeds    = flag.Int("seeds", 5, "number of seeds to average over")
+		seed     = flag.Int64("seed", 1, "seed for single-run figures")
+		format   = flag.String("format", "text", "output format: text | csv")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size; 1 runs fully sequentially")
+		progress = flag.Bool("progress", false, "log per-cell progress to stderr")
 	)
 	flag.Parse()
 
@@ -30,20 +39,27 @@ func main() {
 		seedList[i] = int64(i + 1)
 	}
 
+	r := &experiments.Runner{Workers: *parallel}
+	if *progress {
+		r.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
+		}
+	}
+
 	runners := map[string]func(){
-		"table1":   func() { fmt.Println(experiments.RenderTable1(experiments.Table1(seedList))) },
-		"table2":   func() { fmt.Println(experiments.RenderTable2(experiments.Table2(seedList))) },
-		"table3":   func() { fmt.Println(experiments.RenderTable3(experiments.Table3(seedList))) },
-		"figure1":  func() { fmt.Println(experiments.RenderFigure1(experiments.Figure1(*seed))) },
-		"figure2":  func() { fmt.Println(experiments.RenderFigure2(experiments.Figure2(seedList))) },
-		"figure3":  func() { fmt.Println(experiments.RenderFigure3(experiments.Figure3(seedList))) },
-		"figure4":  func() { fmt.Println(experiments.RenderFigure4(experiments.Figure4(seedList))) },
-		"figure5":  func() { fmt.Println(experiments.RenderFigure5(experiments.Figure5(seedList))) },
-		"figure6":  func() { fmt.Println(experiments.RenderFigure6(experiments.Figure6(seedList))) },
-		"figure7":  func() { fmt.Println(experiments.RenderFigure7(experiments.Figure7(seedList))) },
-		"figure8":  func() { fmt.Println(experiments.RenderFigure8(experiments.Figure8(seedList))) },
-		"figure9":  func() { fmt.Println(experiments.RenderFigure9(experiments.Figure9(seedList))) },
-		"figure10": func() { fmt.Println(experiments.RenderFigure10(experiments.Figure10(seedList))) },
+		"table1":   func() { fmt.Println(experiments.RenderTable1(r.Table1(seedList))) },
+		"table2":   func() { fmt.Println(experiments.RenderTable2(r.Table2(seedList))) },
+		"table3":   func() { fmt.Println(experiments.RenderTable3(r.Table3(seedList))) },
+		"figure1":  func() { fmt.Println(experiments.RenderFigure1(r.Figure1(*seed))) },
+		"figure2":  func() { fmt.Println(experiments.RenderFigure2(r.Figure2(seedList))) },
+		"figure3":  func() { fmt.Println(experiments.RenderFigure3(r.Figure3(seedList))) },
+		"figure4":  func() { fmt.Println(experiments.RenderFigure4(r.Figure4(seedList))) },
+		"figure5":  func() { fmt.Println(experiments.RenderFigure5(r.Figure5(seedList))) },
+		"figure6":  func() { fmt.Println(experiments.RenderFigure6(r.Figure6(seedList))) },
+		"figure7":  func() { fmt.Println(experiments.RenderFigure7(r.Figure7(seedList))) },
+		"figure8":  func() { fmt.Println(experiments.RenderFigure8(r.Figure8(seedList))) },
+		"figure9":  func() { fmt.Println(experiments.RenderFigure9(r.Figure9(seedList))) },
+		"figure10": func() { fmt.Println(experiments.RenderFigure10(r.Figure10(seedList))) },
 	}
 	order := []string{"figure1", "table1", "table2", "figure2", "figure3", "table3", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "figure10"}
 
@@ -53,7 +69,7 @@ func main() {
 			ids = []string{*exp}
 		}
 		for _, id := range ids {
-			out, err := experiments.CSV(id, seedList)
+			out, err := r.CSV(id, seedList)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchdrop:", err)
 				os.Exit(1)

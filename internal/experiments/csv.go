@@ -8,10 +8,13 @@ import (
 	"time"
 )
 
+// CSV runs the named experiment on the default parallel runner.
+func CSV(id string, seeds []int64) (string, error) { return (&Runner{}).CSV(id, seeds) }
+
 // CSV runs the named experiment and returns its rows in CSV form, for
 // piping into external plotting tools. Experiment ids match cmd/benchdrop
 // ("table1" .. "figure10").
-func CSV(id string, seeds []int64) (string, error) {
+func (r *Runner) CSV(id string, seeds []int64) (string, error) {
 	var b strings.Builder
 	w := csv.NewWriter(&b)
 	ms := func(d time.Duration) string { return strconv.FormatFloat(d.Seconds()*1000, 'f', 1, 64) }
@@ -27,26 +30,26 @@ func CSV(id string, seeds []int64) (string, error) {
 	switch id {
 	case "table1":
 		w.Write([]string{"scenario", "content", "baseline_p95_ms", "baseline_ci_ms", "adaptive_p95_ms", "adaptive_ci_ms", "reduction_pct", "significant"})
-		for _, r := range Table1(seeds) {
+		for _, r := range r.Table1(seeds) {
 			w.Write([]string{r.Scenario.Name, r.Scenario.Content.String(),
 				ms(r.BaselineP95), ms(r.BaselineCI), ms(r.AdaptiveP95), ms(r.AdaptiveCI),
 				f2(r.ReductionPct), strconv.FormatBool(r.Significant)})
 		}
 	case "table2":
 		w.Write([]string{"scenario", "content", "enc_base", "enc_adaptive", "enc_delta_pct", "disp_base", "disp_adaptive", "disp_delta_pct"})
-		for _, r := range Table2(seeds) {
+		for _, r := range r.Table2(seeds) {
 			w.Write([]string{r.Scenario.Name, r.Scenario.Content.String(),
 				f4(r.BaselineEnc), f4(r.AdaptiveEnc), f2(r.EncDeltaPct),
 				f4(r.BaselineDisp), f4(r.AdaptiveDisp), f2(r.DispDeltaPct)})
 		}
 	case "table3":
 		w.Write([]string{"variant", "p95_ms", "mean_ssim", "p95_vs_full_pct"})
-		for _, r := range Table3(seeds) {
+		for _, r := range r.Table3(seeds) {
 			w.Write([]string{r.Variant, ms(r.P95), f4(r.MeanSSIM), f2(r.DeltaVsFull)})
 		}
 	case "figure1":
 		w.Write([]string{"controller", "capture_s", "latency_ms"})
-		for _, s := range Figure1(seedOrOne(seeds)) {
+		for _, s := range r.Figure1(seedOrOne(seeds)) {
 			for i := range s.X {
 				w.Write([]string{string(s.Kind),
 					strconv.FormatFloat(s.X[i], 'f', 3, 64),
@@ -55,12 +58,12 @@ func CSV(id string, seeds []int64) (string, error) {
 		}
 	case "figure2":
 		w.Write([]string{"severity", "baseline_p95_ms", "adaptive_p95_ms", "reduction_pct"})
-		for _, p := range Figure2(seeds) {
+		for _, p := range r.Figure2(seeds) {
 			w.Write([]string{f2(p.Severity), ms(p.BaselineP95), ms(p.AdaptiveP95), f2(p.ReductionPct)})
 		}
 	case "figure3":
 		w.Write([]string{"controller", "latency_ms", "cdf"})
-		for _, s := range Figure3(seeds) {
+		for _, s := range r.Figure3(seeds) {
 			for i := range s.DelaysMs {
 				w.Write([]string{string(s.Kind),
 					strconv.FormatFloat(s.DelaysMs[i], 'f', 1, 64),
@@ -69,45 +72,45 @@ func CSV(id string, seeds []int64) (string, error) {
 		}
 	case "figure4":
 		w.Write([]string{"trace", "content", "controller", "p95_ms", "mean_ssim", "longest_freeze_ms", "mos"})
-		for _, r := range Figure4(seeds) {
+		for _, r := range r.Figure4(seeds) {
 			w.Write([]string{r.TraceName, r.Content.String(), string(r.Kind),
 				ms(r.P95), f4(r.MeanSSIM), ms(r.FreezeTime), f2(r.MOS)})
 		}
 	case "figure5":
 		w.Write([]string{"loss", "mode", "delivered_frac", "p95_ms", "mean_ssim", "pli", "rtx", "fec_recovered"})
-		for _, r := range Figure5(seeds) {
+		for _, r := range r.Figure5(seeds) {
 			w.Write([]string{r.Condition.Name, string(r.Mode),
 				f4(r.DeliveredFrac), ms(r.P95), f4(r.MeanSSIM),
 				strconv.Itoa(r.PLI), strconv.Itoa(r.Retransmitted), strconv.Itoa(r.FECRecovered)})
 		}
 	case "figure6":
 		w.Write([]string{"after_bps", "ladder", "post_ssim", "post_p95_ms", "mean_qp", "switches"})
-		for _, r := range Figure6(seeds) {
+		for _, r := range r.Figure6(seeds) {
 			w.Write([]string{strconv.FormatFloat(r.After, 'f', 0, 64), onoff(r.Resolution),
 				f4(r.PostSSIM), ms(r.PostP95), f2(r.MeanQP), strconv.Itoa(r.Switches)})
 		}
 	case "figure7":
 		w.Write([]string{"pairing", "rate_a_bps", "rate_b_bps", "jain", "a_post_join_p95_ms", "a_ssim"})
-		for _, r := range Figure7(seeds) {
+		for _, r := range r.Figure7(seeds) {
 			w.Write([]string{r.Pairing,
 				strconv.FormatFloat(r.RateA, 'f', 0, 64), strconv.FormatFloat(r.RateB, 'f', 0, 64),
 				f4(r.Jain), ms(r.P95A), f4(r.SSIMA)})
 		}
 	case "figure8":
 		w.Write([]string{"estimator", "post_p95_ms", "steady_rate_bps", "mean_ssim"})
-		for _, r := range Figure8(seeds) {
+		for _, r := range r.Figure8(seeds) {
 			w.Write([]string{r.Estimator, ms(r.PostP95),
 				strconv.FormatFloat(r.SteadyRate, 'f', 0, 64), f4(r.MeanSSIM)})
 		}
 	case "figure9":
 		w.Write([]string{"receiver", "layer_selection", "p95_ms", "delivered_frac", "mean_ssim", "mos"})
-		for _, r := range Figure9(seeds) {
+		for _, r := range r.Figure9(seeds) {
 			w.Write([]string{r.Receiver, onoff(r.LayerSelection),
 				ms(r.P95), f4(r.DeliveredFrac), f4(r.MeanSSIM), f2(r.MOS)})
 		}
 	case "figure10":
 		w.Write([]string{"controller", "probing", "reclaim_s", "post_restore_ssim"})
-		for _, r := range Figure10(seeds) {
+		for _, r := range r.Figure10(seeds) {
 			w.Write([]string{r.Controller, onoff(r.Probing),
 				f2(r.ReclaimTime.Seconds()), f4(r.PostRestoreSSIM)})
 		}

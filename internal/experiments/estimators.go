@@ -31,11 +31,14 @@ type Figure8Row struct {
 	MeanSSIM   float64
 }
 
+// Figure8 runs the estimator comparison on the default parallel runner.
+func Figure8(seeds []int64) []Figure8Row { return (&Runner{}).Figure8(seeds) }
+
 // Figure8 runs the 2.5->0.8 Mbps drop with the adaptive controller under
-// each estimator.
-func Figure8(seeds []int64) []Figure8Row {
+// each estimator. Cells are (estimator, seed).
+func (r *Runner) Figure8(seeds []int64) []Figure8Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
 	dropAt := 10 * time.Second
 	estimators := []struct {
@@ -47,28 +50,55 @@ func Figure8(seeds []int64) []Figure8Row {
 		{"loss-based", func(cc.CapacityFunc) cc.Estimator { return cc.NewLossBased(1e6) }},
 		{"oracle", func(capacity cc.CapacityFunc) cc.Estimator { return cc.NewOracle(capacity, 0.95) }},
 	}
+	type cell struct {
+		estimator int
+		seed      int64
+	}
+	cells := make([]cell, 0, len(estimators)*len(seeds))
+	for ei := range estimators {
+		for _, seed := range seeds {
+			cells = append(cells, cell{estimator: ei, seed: seed})
+		}
+	}
+	type sample struct{ p95, rate, ssim float64 }
+	samples := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("figure8 %s seed=%d", estimators[c.estimator].name, c.seed)
+	}, func(i int) sample {
+		c := cells[i]
+		e := estimators[c.estimator]
+		cfg := session.Config{
+			Duration:    30 * time.Second,
+			Seed:        c.seed,
+			Content:     video.TalkingHead,
+			Trace:       trace.StepDrop(2.5e6, 0.8e6, dropAt),
+			InitialRate: 1e6,
+			Controller:  core.NewAdaptive(core.AdaptiveConfig{}),
+		}
+		if e.mk != nil {
+			mk := e.mk
+			cfg.NewEstimator = func(capacity cc.CapacityFunc) cc.Estimator { return mk(capacity) }
+		}
+		res := session.Run(cfg)
+		post := metrics.Summarize(res.Records, dropAt, dropAt+5*time.Second, res.FrameInterval)
+		late := metrics.Summarize(res.Records, 20*time.Second, 30*time.Second, res.FrameInterval)
+		return sample{
+			p95:  post.P95NetDelay.Seconds(),
+			rate: late.Bitrate,
+			ssim: res.Report.MeanSSIM,
+		}
+	})
+
 	var rows []Figure8Row
+	i := 0
 	for _, e := range estimators {
 		var p95, rate, ssim float64
-		for _, seed := range seeds {
-			cfg := session.Config{
-				Duration:    30 * time.Second,
-				Seed:        seed,
-				Content:     video.TalkingHead,
-				Trace:       trace.StepDrop(2.5e6, 0.8e6, dropAt),
-				InitialRate: 1e6,
-				Controller:  core.NewAdaptive(core.AdaptiveConfig{}),
-			}
-			if e.mk != nil {
-				mk := e.mk
-				cfg.NewEstimator = func(capacity cc.CapacityFunc) cc.Estimator { return mk(capacity) }
-			}
-			res := session.Run(cfg)
-			post := metrics.Summarize(res.Records, dropAt, dropAt+5*time.Second, res.FrameInterval)
-			late := metrics.Summarize(res.Records, 20*time.Second, 30*time.Second, res.FrameInterval)
-			p95 += post.P95NetDelay.Seconds()
-			rate += late.Bitrate
-			ssim += res.Report.MeanSSIM
+		for range seeds {
+			s := samples[i]
+			i++
+			p95 += s.p95
+			rate += s.rate
+			ssim += s.ssim
 		}
 		n := float64(len(seeds))
 		rows = append(rows, Figure8Row{

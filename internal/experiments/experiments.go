@@ -39,8 +39,14 @@ func (s DropScenario) String() string {
 	return fmt.Sprintf("%s/%s", s.Name, s.Content)
 }
 
-// DefaultSeeds are the seeds experiments average over.
-var DefaultSeeds = []int64{1, 2, 3, 4, 5}
+// DefaultSeeds returns the seeds experiments average over. Every call
+// returns a fresh copy: callers may append, reorder, or truncate the
+// result without skewing any other experiment. (It was once a shared
+// package-level slice, which let one caller's sort/append leak into every
+// concurrent runner.)
+func DefaultSeeds() []int64 {
+	return []int64{1, 2, 3, 4, 5}
+}
 
 // DropMatrix is the scenario grid behind Table 1 and Table 2: five drop
 // magnitudes by two content classes.
@@ -140,15 +146,6 @@ func postDrop(sc DropScenario, res session.Result) metrics.Report {
 	return metrics.Summarize(res.Records, sc.DropAt, sc.DropAt+PostDropWindow, res.FrameInterval)
 }
 
-// meanOverSeeds averages f(seed) over the seed list.
-func meanOverSeeds(seeds []int64, f func(seed int64) float64) float64 {
-	var sum float64
-	for _, s := range seeds {
-		sum += f(s)
-	}
-	return sum / float64(len(seeds))
-}
-
 // ---------------------------------------------------------------------------
 // Table 1 — post-drop P95 latency, native vs adaptive (the headline).
 
@@ -163,17 +160,46 @@ type Table1Row struct {
 	Significant              bool
 }
 
-// Table1 runs the drop matrix and returns one row per scenario.
-func Table1(seeds []int64) []Table1Row {
+// Table1 runs the drop matrix on the default parallel runner.
+func Table1(seeds []int64) []Table1Row { return (&Runner{}).Table1(seeds) }
+
+// Table1 runs the drop matrix and returns one row per scenario. Cells are
+// (scenario, controller, seed); results merge in canonical cell order.
+func (r *Runner) Table1(seeds []int64) []Table1Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
-	var rows []Table1Row
-	for _, sc := range DropMatrix() {
-		var baseS, adptS []float64
+	scenarios := DropMatrix()
+	kinds := []ControllerKind{KindNative, KindAdaptive}
+	type cell struct {
+		sc   DropScenario
+		kind ControllerKind
+		seed int64
+	}
+	cells := make([]cell, 0, len(scenarios)*len(seeds)*len(kinds))
+	for _, sc := range scenarios {
 		for _, seed := range seeds {
-			baseS = append(baseS, postDrop(sc, runDrop(sc, KindNative, seed)).P95NetDelay.Seconds())
-			adptS = append(adptS, postDrop(sc, runDrop(sc, KindAdaptive, seed)).P95NetDelay.Seconds())
+			for _, kind := range kinds {
+				cells = append(cells, cell{sc: sc, kind: kind, seed: seed})
+			}
+		}
+	}
+	p95s := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("table1 %s %s seed=%d", c.sc, c.kind, c.seed)
+	}, func(i int) float64 {
+		c := cells[i]
+		return postDrop(c.sc, runDrop(c.sc, c.kind, c.seed)).P95NetDelay.Seconds()
+	})
+
+	var rows []Table1Row
+	i := 0
+	for _, sc := range scenarios {
+		var baseS, adptS []float64
+		for range seeds {
+			baseS = append(baseS, p95s[i])
+			adptS = append(adptS, p95s[i+1])
+			i += 2
 		}
 		base, _ := stats.MeanStd(baseS)
 		adpt, _ := stats.MeanStd(adptS)
@@ -231,22 +257,51 @@ type Table2Row struct {
 	DispDeltaPct               float64
 }
 
+// Table2 runs the drop matrix on the default parallel runner.
+func Table2(seeds []int64) []Table2Row { return (&Runner{}).Table2(seeds) }
+
 // Table2 runs the drop matrix and compares session mean SSIM in both the
-// encoded and displayed senses.
-func Table2(seeds []int64) []Table2Row {
+// encoded and displayed senses. Cells are (scenario, controller, seed).
+func (r *Runner) Table2(seeds []int64) []Table2Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
-	var rows []Table2Row
-	for _, sc := range DropMatrix() {
-		var bEnc, aEnc, bDisp, aDisp float64
+	scenarios := DropMatrix()
+	kinds := []ControllerKind{KindNative, KindAdaptive}
+	type cell struct {
+		sc   DropScenario
+		kind ControllerKind
+		seed int64
+	}
+	cells := make([]cell, 0, len(scenarios)*len(seeds)*len(kinds))
+	for _, sc := range scenarios {
 		for _, seed := range seeds {
-			b := runDrop(sc, KindNative, seed).Report
-			a := runDrop(sc, KindAdaptive, seed).Report
-			bEnc += b.EncodedSSIM
-			aEnc += a.EncodedSSIM
-			bDisp += b.MeanSSIM
-			aDisp += a.MeanSSIM
+			for _, kind := range kinds {
+				cells = append(cells, cell{sc: sc, kind: kind, seed: seed})
+			}
+		}
+	}
+	type ssims struct{ enc, disp float64 }
+	reports := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("table2 %s %s seed=%d", c.sc, c.kind, c.seed)
+	}, func(i int) ssims {
+		c := cells[i]
+		rep := runDrop(c.sc, c.kind, c.seed).Report
+		return ssims{enc: rep.EncodedSSIM, disp: rep.MeanSSIM}
+	})
+
+	var rows []Table2Row
+	i := 0
+	for _, sc := range scenarios {
+		var bEnc, aEnc, bDisp, aDisp float64
+		for range seeds {
+			b, a := reports[i], reports[i+1]
+			i += 2
+			bEnc += b.enc
+			aEnc += a.enc
+			bDisp += b.disp
+			aDisp += a.disp
 		}
 		n := float64(len(seeds))
 		bEnc, aEnc, bDisp, aDisp = bEnc/n, aEnc/n, bDisp/n, aDisp/n
@@ -298,20 +353,24 @@ type Figure1Series struct {
 	Timeline []session.TimelinePoint
 }
 
+// Figure1 runs the motivating scenario on the default parallel runner.
+func Figure1(seed int64) []Figure1Series { return (&Runner{}).Figure1(seed) }
+
 // Figure1 runs the motivating scenario (2.5 -> 0.8 Mbps at t=10 s,
 // talking-head) for the baseline and the adaptive controller.
-func Figure1(seed int64) []Figure1Series {
+func (r *Runner) Figure1(seed int64) []Figure1Series {
 	sc := DropScenario{
 		Name: "2.5->0.8", Before: 2.5e6, After: 0.8e6,
 		DropAt: 10 * time.Second, Content: video.TalkingHead,
 	}
-	var out []Figure1Series
-	for _, kind := range []ControllerKind{KindNative, KindAdaptive} {
-		res := runDrop(sc, kind, seed)
+	kinds := []ControllerKind{KindNative, KindAdaptive}
+	return mapCells(r, len(kinds), func(i int) string {
+		return fmt.Sprintf("figure1 %s seed=%d", kinds[i], seed)
+	}, func(i int) Figure1Series {
+		res := runDrop(sc, kinds[i], seed)
 		x, y := metrics.DelaySeries(res.Records)
-		out = append(out, Figure1Series{Kind: kind, X: x, Y: y, Timeline: res.Timeline})
-	}
-	return out
+		return Figure1Series{Kind: kinds[i], X: x, Y: y, Timeline: res.Timeline}
+	})
 }
 
 // RenderFigure1 renders both latency series on one ASCII chart around the

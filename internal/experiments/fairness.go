@@ -34,11 +34,15 @@ type Figure7Row struct {
 	SSIMA float64
 }
 
+// Figure7 runs the fairness pairings on the default parallel runner.
+func Figure7(seeds []int64) []Figure7Row { return (&Runner{}).Figure7(seeds) }
+
 // Figure7 runs the pairings {adaptive+adaptive, adaptive+native,
-// native+native} on a shared 3 Mbps link.
-func Figure7(seeds []int64) []Figure7Row {
+// native+native} on a shared 3 Mbps link. Cells are (pairing, seed); one
+// cell is one two-flow shared-link run.
+func (r *Runner) Figure7(seeds []int64) []Figure7Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
 	type pairing struct {
 		name string
@@ -57,33 +61,61 @@ func Figure7(seeds []int64) []Figure7Row {
 			func() core.Controller { return core.NewNativeRC() }},
 	}
 	joinAt := 10 * time.Second
+	type cell struct {
+		pairing pairing
+		seed    int64
+	}
+	cells := make([]cell, 0, len(pairings)*len(seeds))
+	for _, p := range pairings {
+		for _, seed := range seeds {
+			cells = append(cells, cell{pairing: p, seed: seed})
+		}
+	}
+	type sample struct{ rateA, rateB, jain, p95, ssim float64 }
+	samples := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("figure7 %s seed=%d", c.pairing.name, c.seed)
+	}, func(i int) sample {
+		c := cells[i]
+		results := session.RunShared(
+			session.SharedConfig{Trace: trace.Constant(3e6), Seed: c.seed + 500},
+			[]session.Config{
+				{
+					Duration: 30 * time.Second, Seed: c.seed,
+					Content: video.TalkingHead, InitialRate: 1e6,
+					Controller: c.pairing.mkA(),
+				},
+				{
+					Duration: 20 * time.Second, StartAt: joinAt, Seed: c.seed + 50,
+					Content: video.TalkingHead, InitialRate: 1e6,
+					Controller: c.pairing.mkB(),
+				},
+			},
+		)
+		a := metrics.Summarize(results[0].Records, 20*time.Second, 30*time.Second, results[0].FrameInterval)
+		b := metrics.Summarize(results[1].Records, 20*time.Second, 30*time.Second, results[1].FrameInterval)
+		post := metrics.Summarize(results[0].Records, joinAt, joinAt+5*time.Second, results[0].FrameInterval)
+		return sample{
+			rateA: a.Bitrate,
+			rateB: b.Bitrate,
+			jain:  jainIndex(a.Bitrate, b.Bitrate),
+			p95:   post.P95NetDelay.Seconds(),
+			ssim:  results[0].Report.MeanSSIM,
+		}
+	})
+
 	var rows []Figure7Row
+	i := 0
 	for _, p := range pairings {
 		var rateA, rateB, jain, p95, ssim float64
-		for _, seed := range seeds {
-			results := session.RunShared(
-				session.SharedConfig{Trace: trace.Constant(3e6), Seed: seed + 500},
-				[]session.Config{
-					{
-						Duration: 30 * time.Second, Seed: seed,
-						Content: video.TalkingHead, InitialRate: 1e6,
-						Controller: p.mkA(),
-					},
-					{
-						Duration: 20 * time.Second, StartAt: joinAt, Seed: seed + 50,
-						Content: video.TalkingHead, InitialRate: 1e6,
-						Controller: p.mkB(),
-					},
-				},
-			)
-			a := metrics.Summarize(results[0].Records, 20*time.Second, 30*time.Second, results[0].FrameInterval)
-			b := metrics.Summarize(results[1].Records, 20*time.Second, 30*time.Second, results[1].FrameInterval)
-			rateA += a.Bitrate
-			rateB += b.Bitrate
-			jain += jainIndex(a.Bitrate, b.Bitrate)
-			post := metrics.Summarize(results[0].Records, joinAt, joinAt+5*time.Second, results[0].FrameInterval)
-			p95 += post.P95NetDelay.Seconds()
-			ssim += results[0].Report.MeanSSIM
+		for range seeds {
+			s := samples[i]
+			i++
+			rateA += s.rateA
+			rateB += s.rateB
+			jain += s.jain
+			p95 += s.p95
+			ssim += s.ssim
 		}
 		n := float64(len(seeds))
 		rows = append(rows, Figure7Row{

@@ -73,47 +73,87 @@ type Figure5Row struct {
 	FECRecovered  int
 }
 
+// Figure5 runs the loss-robustness sweep on the default parallel runner.
+func Figure5(seeds []int64) []Figure5Row { return (&Runner{}).Figure5(seeds) }
+
 // Figure5 runs a 30 s session at constant 2 Mbps per condition under each
 // recovery mode, averaging over seeds. FEC uses one repair per 4 media
-// packets (25% overhead).
-func Figure5(seeds []int64) []Figure5Row {
+// packets (25% overhead). Cells are (condition, mode, seed).
+func (r *Runner) Figure5(seeds []int64) []Figure5Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
+	conds := Figure5Conditions()
+	modes := RecoveryModes()
+	type cell struct {
+		cond LossCondition
+		mode RecoveryMode
+		seed int64
+	}
+	cells := make([]cell, 0, len(conds)*len(modes)*len(seeds))
+	for _, cond := range conds {
+		for _, mode := range modes {
+			for _, seed := range seeds {
+				cells = append(cells, cell{cond: cond, mode: mode, seed: seed})
+			}
+		}
+	}
+	type sample struct {
+		frac, p95, ssim float64
+		pli, rtx, fec   int
+	}
+	samples := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("figure5 %s/%s seed=%d", c.cond.Name, c.mode, c.seed)
+	}, func(i int) sample {
+		c := cells[i]
+		cfg := session.Config{
+			Duration:    30 * time.Second,
+			Seed:        c.seed,
+			Content:     video.TalkingHead,
+			Trace:       trace.Constant(2e6),
+			InitialRate: 1e6,
+			LossProb:    c.cond.Random,
+			Controller:  core.NewAdaptive(core.AdaptiveConfig{}),
+		}
+		switch c.mode {
+		case ModeNACK:
+			cfg.NACK = true
+		case ModeFEC:
+			cfg.FECGroupSize = 4
+		case ModeFECNACK:
+			cfg.NACK = true
+			cfg.FECGroupSize = 4
+		}
+		if c.cond.BurstRate > 0 {
+			cfg.BurstLoss = netem.NewGilbertElliott(c.cond.BurstLen, c.cond.BurstRate)
+		}
+		res := session.Run(cfg)
+		return sample{
+			frac: float64(res.Report.DeliveredFrames) / float64(res.Report.Frames),
+			p95:  res.Report.P95NetDelay.Seconds(),
+			ssim: res.Report.MeanSSIM,
+			pli:  res.PLISent,
+			rtx:  res.Retransmitted,
+			fec:  res.FECRecovered,
+		}
+	})
+
 	var rows []Figure5Row
-	for _, cond := range Figure5Conditions() {
-		for _, mode := range RecoveryModes() {
+	i := 0
+	for _, cond := range conds {
+		for _, mode := range modes {
 			var frac, p95, ssim float64
 			var pli, rtx, fecRec int
-			for _, seed := range seeds {
-				cfg := session.Config{
-					Duration:    30 * time.Second,
-					Seed:        seed,
-					Content:     video.TalkingHead,
-					Trace:       trace.Constant(2e6),
-					InitialRate: 1e6,
-					LossProb:    cond.Random,
-					Controller:  core.NewAdaptive(core.AdaptiveConfig{}),
-				}
-				switch mode {
-				case ModeNACK:
-					cfg.NACK = true
-				case ModeFEC:
-					cfg.FECGroupSize = 4
-				case ModeFECNACK:
-					cfg.NACK = true
-					cfg.FECGroupSize = 4
-				}
-				if cond.BurstRate > 0 {
-					cfg.BurstLoss = netem.NewGilbertElliott(cond.BurstLen, cond.BurstRate)
-				}
-				res := session.Run(cfg)
-				frac += float64(res.Report.DeliveredFrames) / float64(res.Report.Frames)
-				p95 += res.Report.P95NetDelay.Seconds()
-				ssim += res.Report.MeanSSIM
-				pli += res.PLISent
-				rtx += res.Retransmitted
-				fecRec += res.FECRecovered
+			for range seeds {
+				s := samples[i]
+				i++
+				frac += s.frac
+				p95 += s.p95
+				ssim += s.ssim
+				pli += s.pli
+				rtx += s.rtx
+				fecRec += s.fec
 			}
 			n := float64(len(seeds))
 			rows = append(rows, Figure5Row{

@@ -30,44 +30,73 @@ type Figure10Row struct {
 	PostRestoreSSIM float64
 }
 
+// Figure10 runs the recovery comparison on the default parallel runner.
+func Figure10(seeds []int64) []Figure10Row { return (&Runner{}).Figure10(seeds) }
+
 // Figure10 runs the drop-and-recover trace under native/adaptive with and
-// without probing.
-func Figure10(seeds []int64) []Figure10Row {
+// without probing. Cells are (controller, probing, seed).
+func (r *Runner) Figure10(seeds []int64) []Figure10Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
 	dropAt, restoreAt := 10*time.Second, 20*time.Second
 	dur := 45 * time.Second
-	var rows []Figure10Row
-	for _, kind := range []ControllerKind{KindNative, KindAdaptive} {
-		for _, probing := range []bool{false, true} {
-			var reclaim, ssim float64
+	kinds := []ControllerKind{KindNative, KindAdaptive}
+	probings := []bool{false, true}
+	type cell struct {
+		kind    ControllerKind
+		probing bool
+		seed    int64
+	}
+	cells := make([]cell, 0, len(kinds)*len(probings)*len(seeds))
+	for _, kind := range kinds {
+		for _, probing := range probings {
 			for _, seed := range seeds {
-				cfg := session.Config{
-					Duration:    dur,
-					Seed:        seed,
-					Content:     video.TalkingHead,
-					Trace:       trace.StepDropRecover(2.5e6, 0.8e6, dropAt, restoreAt),
-					InitialRate: 1e6,
-					Probing:     probing,
-				}
-				switch kind {
-				case KindNative:
-					cfg.Controller = core.NewNativeRC()
-				default:
-					cfg.Controller = core.NewAdaptive(core.AdaptiveConfig{})
-				}
-				res := session.Run(cfg)
-				rt := dur - restoreAt // cap: never reclaimed
-				for _, p := range res.Timeline {
-					if p.At >= restoreAt && p.EncoderTarget >= 1.8e6 {
-						rt = p.At - restoreAt
-						break
-					}
-				}
-				reclaim += rt.Seconds()
-				post := metrics.Summarize(res.Records, restoreAt, restoreAt+15*time.Second, res.FrameInterval)
-				ssim += post.MeanSSIM
+				cells = append(cells, cell{kind: kind, probing: probing, seed: seed})
+			}
+		}
+	}
+	type sample struct{ reclaim, ssim float64 }
+	samples := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("figure10 %s probing=%t seed=%d", c.kind, c.probing, c.seed)
+	}, func(i int) sample {
+		c := cells[i]
+		cfg := session.Config{
+			Duration:    dur,
+			Seed:        c.seed,
+			Content:     video.TalkingHead,
+			Trace:       trace.StepDropRecover(2.5e6, 0.8e6, dropAt, restoreAt),
+			InitialRate: 1e6,
+			Probing:     c.probing,
+		}
+		switch c.kind {
+		case KindNative:
+			cfg.Controller = core.NewNativeRC()
+		default:
+			cfg.Controller = core.NewAdaptive(core.AdaptiveConfig{})
+		}
+		res := session.Run(cfg)
+		rt := dur - restoreAt // cap: never reclaimed
+		for _, p := range res.Timeline {
+			if p.At >= restoreAt && p.EncoderTarget >= 1.8e6 {
+				rt = p.At - restoreAt
+				break
+			}
+		}
+		post := metrics.Summarize(res.Records, restoreAt, restoreAt+15*time.Second, res.FrameInterval)
+		return sample{reclaim: rt.Seconds(), ssim: post.MeanSSIM}
+	})
+
+	var rows []Figure10Row
+	i := 0
+	for _, kind := range kinds {
+		for _, probing := range probings {
+			var reclaim, ssim float64
+			for range seeds {
+				reclaim += samples[i].reclaim
+				ssim += samples[i].ssim
+				i++
 			}
 			n := float64(len(seeds))
 			rows = append(rows, Figure10Row{

@@ -36,43 +36,83 @@ type Figure6Row struct {
 	MeanQP float64
 }
 
+// Figure6 sweeps the resolution ladder on the default parallel runner.
+func Figure6(seeds []int64) []Figure6Row { return (&Runner{}).Figure6(seeds) }
+
 // Figure6 sweeps post-drop capacity at a fixed 2.5 Mbps start, comparing
-// the adaptive controller with and without the resolution ladder.
-func Figure6(seeds []int64) []Figure6Row {
+// the adaptive controller with and without the resolution ladder. Cells
+// are (post-drop rate, ladder, seed).
+func (r *Runner) Figure6(seeds []int64) []Figure6Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
 	dropAt := 10 * time.Second
+	afters := []float64{1.0e6, 0.6e6, 0.4e6, 0.25e6}
+	ladders := []bool{false, true}
+	type cell struct {
+		after  float64
+		useRes bool
+		seed   int64
+	}
+	cells := make([]cell, 0, len(afters)*len(ladders)*len(seeds))
+	for _, after := range afters {
+		for _, useRes := range ladders {
+			for _, seed := range seeds {
+				cells = append(cells, cell{after: after, useRes: useRes, seed: seed})
+			}
+		}
+	}
+	type sample struct {
+		ssim, p95, qp float64
+		switches      int
+	}
+	samples := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("figure6 after=%.2fMbps ladder=%t seed=%d", c.after/1e6, c.useRes, c.seed)
+	}, func(i int) sample {
+		c := cells[i]
+		ctrl := core.NewAdaptive(core.AdaptiveConfig{EnableResolution: c.useRes})
+		res := session.Run(session.Config{
+			Duration:    dropAt + 20*time.Second,
+			Seed:        c.seed,
+			Content:     video.Gaming,
+			Trace:       trace.StepDrop(2.5e6, c.after, dropAt),
+			InitialRate: 1e6,
+			Controller:  ctrl,
+		})
+		post := metrics.Summarize(res.Records, dropAt, dropAt+10*time.Second, res.FrameInterval)
+		out := sample{
+			ssim:     post.MeanSSIM,
+			p95:      post.P95NetDelay.Seconds(),
+			switches: ctrl.ResolutionSwitches(),
+		}
+		var qpSum float64
+		var qpN int
+		for _, rec := range res.Records {
+			if rec.CaptureTS >= dropAt && rec.Outcome == metrics.Delivered && rec.QP > 0 {
+				qpSum += float64(rec.QP)
+				qpN++
+			}
+		}
+		if qpN > 0 {
+			out.qp = qpSum / float64(qpN)
+		}
+		return out
+	})
+
 	var rows []Figure6Row
-	for _, after := range []float64{1.0e6, 0.6e6, 0.4e6, 0.25e6} {
-		for _, useRes := range []bool{false, true} {
+	i := 0
+	for _, after := range afters {
+		for _, useRes := range ladders {
 			var ssim, p95, qp float64
 			var switches int
-			for _, seed := range seeds {
-				ctrl := core.NewAdaptive(core.AdaptiveConfig{EnableResolution: useRes})
-				res := session.Run(session.Config{
-					Duration:    dropAt + 20*time.Second,
-					Seed:        seed,
-					Content:     video.Gaming,
-					Trace:       trace.StepDrop(2.5e6, after, dropAt),
-					InitialRate: 1e6,
-					Controller:  ctrl,
-				})
-				post := metrics.Summarize(res.Records, dropAt, dropAt+10*time.Second, res.FrameInterval)
-				ssim += post.MeanSSIM
-				p95 += post.P95NetDelay.Seconds()
-				switches += ctrl.ResolutionSwitches()
-				var qpSum float64
-				var qpN int
-				for _, r := range res.Records {
-					if r.CaptureTS >= dropAt && r.Outcome == metrics.Delivered && r.QP > 0 {
-						qpSum += float64(r.QP)
-						qpN++
-					}
-				}
-				if qpN > 0 {
-					qp += qpSum / float64(qpN)
-				}
+			for range seeds {
+				s := samples[i]
+				i++
+				ssim += s.ssim
+				p95 += s.p95
+				qp += s.qp
+				switches += s.switches
 			}
 			n := float64(len(seeds))
 			rows = append(rows, Figure6Row{

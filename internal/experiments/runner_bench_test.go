@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+// benchSeeds gives the pool enough cells to spread across workers.
+var benchSeeds = []int64{1, 2}
+
+// BenchmarkRunnerSequential measures Figure 3 (len(Kinds())*2 drop
+// sessions) on a single worker — the pre-runner baseline.
+func BenchmarkRunnerSequential(b *testing.B) {
+	r := &Runner{Workers: 1}
+	for i := 0; i < b.N; i++ {
+		r.Figure3(benchSeeds)
+	}
+}
+
+// BenchmarkRunnerParallel measures the same workload on the default pool
+// (GOMAXPROCS workers). Compare ns/op against BenchmarkRunnerSequential
+// for the parallel speedup.
+func BenchmarkRunnerParallel(b *testing.B) {
+	r := &Runner{}
+	for i := 0; i < b.N; i++ {
+		r.Figure3(benchSeeds)
+	}
+}

@@ -34,62 +34,102 @@ type Figure9Row struct {
 	MOS            float64
 }
 
+// Figure9 runs the SFU comparison on the default parallel runner.
+func Figure9(seeds []int64) []Figure9Row { return (&Runner{}).Figure9(seeds) }
+
+// figure9Receivers is the fixed receiver order of the Figure 9 rows.
+var figure9Receivers = [...]string{"strong-3.0Mbps", "weak-1.5Mbps"}
+
 // Figure9 runs the two-receiver SFU call with layer selection off and on.
-func Figure9(seeds []int64) []Figure9Row {
+// Cells are (layer-selection mode, seed); one cell is one full SFU call
+// reporting both receivers.
+func (r *Runner) Figure9(seeds []int64) []Figure9Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
-	var rows []Figure9Row
-	for _, layerSel := range []bool{false, true} {
-		acc := map[string]*Figure9Row{}
+	modes := []bool{false, true}
+	type cell struct {
+		layerSel bool
+		seed     int64
+	}
+	cells := make([]cell, 0, len(modes)*len(seeds))
+	for _, layerSel := range modes {
 		for _, seed := range seeds {
-			sched := simtime.NewScheduler()
-			uplink := netem.NewLink(sched, netem.Config{Trace: trace.Constant(2.5e6), Seed: seed})
-			sender := session.New(sched, session.Config{
-				Duration:    30 * time.Second,
-				Seed:        seed,
-				Content:     video.TalkingHead,
-				ForwardLink: uplink,
-				InitialRate: 1e6,
-				Controller:  core.NewAdaptive(core.AdaptiveConfig{}),
-				Encoder:     codec.Config{TemporalLayers: 2},
-			})
-			node := sfu.NewNode(sched, sender, 0)
-			node.LayerSelection = layerSel
-			uplink.SetReceiver(node)
-			receivers := []*sfu.Receiver{
-				sfu.NewReceiver(sched, node, sfu.ReceiverConfig{
-					Name:     "strong-3.0Mbps",
-					Downlink: netem.NewLink(sched, netem.Config{Trace: trace.Constant(3e6), Seed: seed + 10}),
-				}),
-				sfu.NewReceiver(sched, node, sfu.ReceiverConfig{
-					Name:     "weak-1.5Mbps",
-					Downlink: netem.NewLink(sched, netem.Config{Trace: trace.Constant(1.5e6), Seed: seed + 20}),
-				}),
-			}
-			sched.RunUntil(32 * time.Second)
-			ledger := sender.CaptureLedger()
-			for _, r := range receivers {
-				rep := metrics.SummarizeAll(r.Records(ledger), 33*time.Millisecond)
-				row, ok := acc[r.Name()]
-				if !ok {
-					row = &Figure9Row{Receiver: r.Name(), LayerSelection: layerSel}
-					acc[r.Name()] = row
-				}
-				row.P95 += rep.P95NetDelay
-				row.DeliveredFrac += float64(rep.DeliveredFrames) / float64(rep.Frames)
-				row.MeanSSIM += rep.MeanSSIM
-				row.MOS += metrics.MOS(rep)
+			cells = append(cells, cell{layerSel: layerSel, seed: seed})
+		}
+	}
+	type recvSample struct {
+		p95            time.Duration
+		frac, ssim, mos float64
+	}
+	samples := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("figure9 layer-selection=%t seed=%d", c.layerSel, c.seed)
+	}, func(i int) [len(figure9Receivers)]recvSample {
+		c := cells[i]
+		sched := simtime.NewScheduler()
+		uplink := netem.NewLink(sched, netem.Config{Trace: trace.Constant(2.5e6), Seed: c.seed})
+		sender := session.New(sched, session.Config{
+			Duration:    30 * time.Second,
+			Seed:        c.seed,
+			Content:     video.TalkingHead,
+			ForwardLink: uplink,
+			InitialRate: 1e6,
+			Controller:  core.NewAdaptive(core.AdaptiveConfig{}),
+			Encoder:     codec.Config{TemporalLayers: 2},
+		})
+		node := sfu.NewNode(sched, sender, 0)
+		node.LayerSelection = c.layerSel
+		uplink.SetReceiver(node)
+		receivers := []*sfu.Receiver{
+			sfu.NewReceiver(sched, node, sfu.ReceiverConfig{
+				Name:     figure9Receivers[0],
+				Downlink: netem.NewLink(sched, netem.Config{Trace: trace.Constant(3e6), Seed: c.seed + 10}),
+			}),
+			sfu.NewReceiver(sched, node, sfu.ReceiverConfig{
+				Name:     figure9Receivers[1],
+				Downlink: netem.NewLink(sched, netem.Config{Trace: trace.Constant(1.5e6), Seed: c.seed + 20}),
+			}),
+		}
+		sched.RunUntil(32 * time.Second)
+		ledger := sender.CaptureLedger()
+		var out [len(figure9Receivers)]recvSample
+		for ri, recv := range receivers {
+			rep := metrics.SummarizeAll(recv.Records(ledger), 33*time.Millisecond)
+			out[ri] = recvSample{
+				p95:  rep.P95NetDelay,
+				frac: float64(rep.DeliveredFrames) / float64(rep.Frames),
+				ssim: rep.MeanSSIM,
+				mos:  metrics.MOS(rep),
 			}
 		}
+		return out
+	})
+
+	var rows []Figure9Row
+	i := 0
+	for _, layerSel := range modes {
+		acc := [len(figure9Receivers)]Figure9Row{}
+		for range seeds {
+			for ri := range figure9Receivers {
+				s := samples[i][ri]
+				acc[ri].P95 += s.p95
+				acc[ri].DeliveredFrac += s.frac
+				acc[ri].MeanSSIM += s.ssim
+				acc[ri].MOS += s.mos
+			}
+			i++
+		}
 		n := time.Duration(len(seeds))
-		for _, name := range []string{"strong-3.0Mbps", "weak-1.5Mbps"} {
-			row := acc[name]
+		for ri, name := range figure9Receivers {
+			row := acc[ri]
+			row.Receiver = name
+			row.LayerSelection = layerSel
 			row.P95 /= n
 			row.DeliveredFrac /= float64(len(seeds))
 			row.MeanSSIM /= float64(len(seeds))
 			row.MOS /= float64(len(seeds))
-			rows = append(rows, *row)
+			rows = append(rows, row)
 		}
 	}
 	return rows

@@ -23,13 +23,24 @@ type Figure2Point struct {
 	ReductionPct float64
 }
 
+// Figure2 sweeps drop severity on the default parallel runner.
+func Figure2(seeds []int64) []Figure2Point { return (&Runner{}).Figure2(seeds) }
+
 // Figure2 sweeps drop severity at a fixed 2.5 Mbps starting capacity.
-func Figure2(seeds []int64) []Figure2Point {
+// Cells are (severity, controller, seed).
+func (r *Runner) Figure2(seeds []int64) []Figure2Point {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
-	var out []Figure2Point
-	for _, sev := range []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+	severities := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	kinds := []ControllerKind{KindNative, KindAdaptive}
+	type cell struct {
+		sc   DropScenario
+		kind ControllerKind
+		seed int64
+	}
+	cells := make([]cell, 0, len(severities)*len(kinds)*len(seeds))
+	for _, sev := range severities {
 		sc := DropScenario{
 			Name:    fmt.Sprintf("sev-%.1f", sev),
 			Before:  2.5e6,
@@ -37,12 +48,33 @@ func Figure2(seeds []int64) []Figure2Point {
 			DropAt:  10 * time.Second,
 			Content: video.TalkingHead,
 		}
-		base := meanOverSeeds(seeds, func(seed int64) float64 {
-			return postDrop(sc, runDrop(sc, KindNative, seed)).P95NetDelay.Seconds()
-		})
-		adpt := meanOverSeeds(seeds, func(seed int64) float64 {
-			return postDrop(sc, runDrop(sc, KindAdaptive, seed)).P95NetDelay.Seconds()
-		})
+		for _, kind := range kinds {
+			for _, seed := range seeds {
+				cells = append(cells, cell{sc: sc, kind: kind, seed: seed})
+			}
+		}
+	}
+	p95s := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("figure2 %s %s seed=%d", c.sc.Name, c.kind, c.seed)
+	}, func(i int) float64 {
+		c := cells[i]
+		return postDrop(c.sc, runDrop(c.sc, c.kind, c.seed)).P95NetDelay.Seconds()
+	})
+
+	var out []Figure2Point
+	i := 0
+	meanNext := func() float64 {
+		var sum float64
+		for range seeds {
+			sum += p95s[i]
+			i++
+		}
+		return sum / float64(len(seeds))
+	}
+	for _, sev := range severities {
+		base := meanNext()
+		adpt := meanNext()
 		out = append(out, Figure2Point{
 			Severity:     sev,
 			BaselineP95:  time.Duration(base * float64(time.Second)),
@@ -76,22 +108,47 @@ type Figure3Series struct {
 	P50, P95 float64
 }
 
+// Figure3 runs the controller CDF comparison on the default parallel
+// runner.
+func Figure3(seeds []int64) []Figure3Series { return (&Runner{}).Figure3(seeds) }
+
 // Figure3 runs the canonical drop under every controller kind, pooling
-// post-drop frame latencies across seeds.
-func Figure3(seeds []int64) []Figure3Series {
+// post-drop frame latencies across seeds. Cells are (controller, seed);
+// each series pools its seeds' ledgers in seed order.
+func (r *Runner) Figure3(seeds []int64) []Figure3Series {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
 	sc := DropScenario{
 		Name: "2.5->0.8", Before: 2.5e6, After: 0.8e6,
 		DropAt: 10 * time.Second, Content: video.TalkingHead,
 	}
-	var out []Figure3Series
-	for _, kind := range Kinds() {
-		var pooled []metrics.FrameRecord
+	kinds := Kinds()
+	type cell struct {
+		kind ControllerKind
+		seed int64
+	}
+	cells := make([]cell, 0, len(kinds)*len(seeds))
+	for _, kind := range kinds {
 		for _, seed := range seeds {
-			res := runDrop(sc, kind, seed)
-			pooled = append(pooled, res.Records...)
+			cells = append(cells, cell{kind: kind, seed: seed})
+		}
+	}
+	ledgers := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("figure3 %s seed=%d", c.kind, c.seed)
+	}, func(i int) []metrics.FrameRecord {
+		c := cells[i]
+		return runDrop(sc, c.kind, c.seed).Records
+	})
+
+	var out []Figure3Series
+	i := 0
+	for _, kind := range kinds {
+		var pooled []metrics.FrameRecord
+		for range seeds {
+			pooled = append(pooled, ledgers[i]...)
+			i++
 		}
 		ds, fs := metrics.CDF(pooled, sc.DropAt, sc.DropAt+PostDropWindow)
 		s := Figure3Series{Kind: kind, DelaysMs: ds, Fractions: fs}
@@ -150,9 +207,13 @@ func allDisabled() core.AdaptiveConfig {
 // scheme (marginal contribution), "base +X" adds one mechanism to the
 // retarget-only base (standalone contribution). Mechanisms overlap, so the
 // two directions differ.
-func Table3(seeds []int64) []Table3Row {
+func Table3(seeds []int64) []Table3Row { return (&Runner{}).Table3(seeds) }
+
+// Table3 measures the mechanism ablation; see the package-level Table3.
+// Cells are (variant, seed).
+func (r *Runner) Table3(seeds []int64) []Table3Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
 	sc := DropScenario{
 		Name: "2.5->0.6", Before: 2.5e6, After: 0.6e6,
@@ -182,19 +243,37 @@ func Table3(seeds []int64) []Table3Row {
 		{"base +kf-suppress", enable(func(c *core.AdaptiveConfig) { c.DisableKFSuppress = false })},
 		{"base +margin", enable(func(c *core.AdaptiveConfig) { c.DisableDropMargin = false })},
 	}
-	run := func(cfg core.AdaptiveConfig, seed int64) session.Result {
-		tr := trace.StepDrop(sc.Before, sc.After, sc.DropAt)
-		c := buildConfig(tr, sc.Content, KindAdaptive, seed, sc.DropAt+20*time.Second, cfg)
-		return session.Run(c)
+	type cell struct {
+		variant int
+		seed    int64
 	}
+	cells := make([]cell, 0, len(variants)*len(seeds))
+	for vi := range variants {
+		for _, seed := range seeds {
+			cells = append(cells, cell{variant: vi, seed: seed})
+		}
+	}
+	type sample struct{ p95, ssim float64 }
+	samples := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("table3 %q seed=%d", variants[c.variant].name, c.seed)
+	}, func(i int) sample {
+		c := cells[i]
+		tr := trace.StepDrop(sc.Before, sc.After, sc.DropAt)
+		res := session.Run(buildConfig(tr, sc.Content, KindAdaptive, c.seed,
+			sc.DropAt+20*time.Second, variants[c.variant].cfg))
+		return sample{p95: postDrop(sc, res).P95NetDelay.Seconds(), ssim: res.Report.MeanSSIM}
+	})
+
 	var rows []Table3Row
 	var fullP95 float64
+	i := 0
 	for _, v := range variants {
 		var p95, ssim float64
-		for _, seed := range seeds {
-			res := run(v.cfg, seed)
-			p95 += postDrop(sc, res).P95NetDelay.Seconds()
-			ssim += res.Report.MeanSSIM
+		for range seeds {
+			p95 += samples[i].p95
+			ssim += samples[i].ssim
+			i++
 		}
 		p95 /= float64(len(seeds))
 		ssim /= float64(len(seeds))
@@ -240,11 +319,17 @@ type Figure4Row struct {
 	MOS float64
 }
 
+// Figure4 runs the trace-driven evaluation on the default parallel
+// runner.
+func Figure4(seeds []int64) []Figure4Row { return (&Runner{}).Figure4(seeds) }
+
 // Figure4 runs 60 s sessions on synthetic LTE and WiFi traces across all
-// content classes and controllers.
-func Figure4(seeds []int64) []Figure4Row {
+// content classes and controllers. Cells are (trace, content, controller,
+// seed); each cell generates its own private trace so concurrent sessions
+// never share one.
+func (r *Runner) Figure4(seeds []int64) []Figure4Row {
 	if len(seeds) == 0 {
-		seeds = DefaultSeeds
+		seeds = DefaultSeeds()
 	}
 	type traceGen struct {
 		name string
@@ -259,17 +344,51 @@ func Figure4(seeds []int64) []Figure4Row {
 		}},
 	}
 	contents := []video.Class{video.TalkingHead, video.ScreenShare, video.Gaming, video.Sports}
-	var rows []Figure4Row
+	kinds := []ControllerKind{KindNative, KindResetOnly, KindAdaptive}
+	type cell struct {
+		gen     traceGen
+		content video.Class
+		kind    ControllerKind
+		seed    int64
+	}
+	cells := make([]cell, 0, len(gens)*len(contents)*len(kinds)*len(seeds))
 	for _, g := range gens {
 		for _, content := range contents {
-			for _, kind := range []ControllerKind{KindNative, KindResetOnly, KindAdaptive} {
-				var p95, ssim, freeze, mos float64
+			for _, kind := range kinds {
 				for _, seed := range seeds {
-					res := session.Run(buildConfig(g.gen(seed), content, kind, seed, 60*time.Second, core.AdaptiveConfig{}))
-					p95 += res.Report.P95NetDelay.Seconds()
-					ssim += res.Report.MeanSSIM
-					freeze += res.Report.LongestFreeze.Seconds()
-					mos += metrics.MOS(res.Report)
+					cells = append(cells, cell{gen: g, content: content, kind: kind, seed: seed})
+				}
+			}
+		}
+	}
+	type sample struct{ p95, ssim, freeze, mos float64 }
+	samples := mapCells(r, len(cells), func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("figure4 %s/%s %s seed=%d", c.gen.name, c.content, c.kind, c.seed)
+	}, func(i int) sample {
+		c := cells[i]
+		res := session.Run(buildConfig(c.gen.gen(c.seed), c.content, c.kind, c.seed,
+			60*time.Second, core.AdaptiveConfig{}))
+		return sample{
+			p95:    res.Report.P95NetDelay.Seconds(),
+			ssim:   res.Report.MeanSSIM,
+			freeze: res.Report.LongestFreeze.Seconds(),
+			mos:    metrics.MOS(res.Report),
+		}
+	})
+
+	var rows []Figure4Row
+	i := 0
+	for _, g := range gens {
+		for _, content := range contents {
+			for _, kind := range kinds {
+				var p95, ssim, freeze, mos float64
+				for range seeds {
+					p95 += samples[i].p95
+					ssim += samples[i].ssim
+					freeze += samples[i].freeze
+					mos += samples[i].mos
+					i++
 				}
 				n := float64(len(seeds))
 				p95, ssim, freeze, mos = p95/n, ssim/n, freeze/n, mos/n

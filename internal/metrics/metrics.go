@@ -239,13 +239,17 @@ func DelaySeries(records []FrameRecord) (xs, ys []float64) {
 
 // CDF returns sorted per-frame network delays in milliseconds (over frames
 // that completed at the receiver) and the corresponding cumulative
-// fractions — the material for Figure 3.
+// fractions — the material for Figure 3. A window with no completed
+// frames returns both slices nil (never one nil and one empty).
 func CDF(records []FrameRecord, from, to time.Duration) (delaysMs, fractions []float64) {
 	for _, r := range records {
 		if !arrived(r) || r.CaptureTS < from || r.CaptureTS >= to {
 			continue
 		}
 		delaysMs = append(delaysMs, r.NetworkDelay().Seconds()*1000)
+	}
+	if len(delaysMs) == 0 {
+		return nil, nil
 	}
 	sort.Float64s(delaysMs)
 	n := len(delaysMs)

@@ -49,13 +49,20 @@ func Line(cfg Config, series ...Series) string {
 		return "(no data)\n"
 	}
 
-	// Shared x-range.
+	// Shared x-range. Empty series (e.g. a CDF over a window with no
+	// frames) contribute nothing; if every series is empty there is no
+	// chart to draw.
 	xlo, xhi := math.Inf(1), math.Inf(-1)
+	points := 0
 	for _, s := range series {
+		points += len(s.X)
 		for _, x := range s.X {
 			xlo = math.Min(xlo, x)
 			xhi = math.Max(xhi, x)
 		}
+	}
+	if points == 0 {
+		return "(no data)\n"
 	}
 	if !(xhi > xlo) {
 		return "(degenerate x-range)\n"

@@ -218,8 +218,11 @@ func (s *Summary) Min() float64 { return s.Quantile(0) }
 // Max returns the largest sample, or zero for an empty summary.
 func (s *Summary) Max() float64 { return s.Quantile(1) }
 
-// Samples returns a copy of the recorded samples in insertion order is NOT
-// guaranteed; the slice may be sorted. Use for CDF rendering.
+// Samples returns a copy of the recorded samples. The order is
+// unspecified: any preceding Quantile/Min/Max call sorts the backing
+// array in place, so callers that need insertion order must record it
+// themselves. Mutating the returned slice never affects the Summary.
+// Use for CDF rendering (sort the copy first).
 func (s *Summary) Samples() []float64 {
 	out := make([]float64, len(s.samples))
 	copy(out, s.samples)
