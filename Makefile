@@ -2,7 +2,7 @@ GO       ?= go
 PKGS     := ./...
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint fuzz-smoke bench bench-parallel check
+.PHONY: build test race lint lint-fix fuzz-smoke bench bench-parallel check
 
 build:
 	$(GO) build $(PKGS)
@@ -16,6 +16,11 @@ race:
 lint:
 	$(GO) vet $(PKGS)
 	$(GO) run ./cmd/rtclint $(PKGS)
+
+# Apply every suggested fix (sorted-keys rewrites, stale-directive
+# deletion), then report what remains.
+lint-fix:
+	$(GO) run ./cmd/rtclint -fix $(PKGS)
 
 # Each target is named explicitly: -fuzz=Fuzz is ambiguous in packages
 # with more than one fuzz test (internal/rtp has two).

@@ -4,19 +4,28 @@
 //
 // Usage:
 //
-//	rtclint [-C dir] [-list] [packages]
+//	rtclint [-C dir] [-list] [-json] [-fix] [packages]
 //
 // The only supported package pattern is "./..." (the default): the suite
 // always analyzes the whole module, because the invariants it enforces are
-// whole-tree properties. Exit status: 0 clean, 1 findings, 2 usage or load
-// error.
+// whole-tree properties. -json emits the findings as a JSON array for CI
+// tooling; -fix applies every suggested fix (sorted-keys rewrites for
+// maporder, stale //lint:ignore deletion), then re-analyzes and reports
+// what remains. Output is byte-deterministic: analyzers are listed sorted
+// by name and findings sorted by (file, line, col, analyzer).
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"rtcadapt/internal/lint"
@@ -26,56 +35,185 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdoutW, stderrW io.Writer) int {
+	stdout := &errWriter{w: stdoutW}
+	stderr := &errWriter{w: stderrW}
+
 	fs := flag.NewFlagSet("rtclint", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs.SetOutput(stderrW)
 	dir := fs.String("C", ".", "module root to analyze")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	fix := fs.Bool("fix", false, "apply suggested fixes, then report remaining findings")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: rtclint [-C dir] [-list] [./...]")
+		stderr.printf("usage: rtclint [-C dir] [-list] [-json] [-fix] [./...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
-		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		analyzers := append([]*lint.Analyzer(nil), lint.Analyzers()...)
+		sort.Slice(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
+		for _, a := range analyzers {
+			stdout.printf("%-14s %s\n", a.Name, a.Doc)
 		}
-		return 0
+		return exitStatus(0, stdout, stderrW)
 	}
 	for _, pat := range fs.Args() {
 		if pat != "./..." {
-			fmt.Fprintf(stderr, "rtclint: unsupported package pattern %q (only ./...)\n", pat)
+			stderr.printf("rtclint: unsupported package pattern %q (only ./...)\n", pat)
 			return 2
 		}
 	}
 
 	root, modPath, err := findModule(*dir)
 	if err != nil {
-		fmt.Fprintf(stderr, "rtclint: %v\n", err)
+		stderr.printf("rtclint: %v\n", err)
 		return 2
 	}
+	diags, sources, fset, err := analyze(root, modPath)
+	if err != nil {
+		stderr.printf("rtclint: %v\n", err)
+		return 2
+	}
+
+	if *fix {
+		fixed, err := lint.ApplyFixes(fset, diags, sources)
+		if err != nil {
+			stderr.printf("rtclint: %v\n", err)
+			return 2
+		}
+		names := make([]string, 0, len(fixed))
+		for name := range fixed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := os.WriteFile(name, fixed[name], 0o644); err != nil {
+				stderr.printf("rtclint: %v\n", err)
+				return 2
+			}
+			stderr.printf("rtclint: fixed %s\n", relTo(root, name))
+		}
+		if len(names) > 0 {
+			// Re-analyze so the report reflects the rewritten tree.
+			diags, _, fset, err = analyze(root, modPath)
+			if err != nil {
+				stderr.printf("rtclint: %v (after -fix)\n", err)
+				return 2
+			}
+		}
+	}
+
+	for i := range diags {
+		diags[i].Pos.Filename = relTo(root, diags[i].Pos.Filename)
+	}
+	if *jsonOut {
+		printJSON(stdout, diags)
+	} else {
+		for _, d := range diags {
+			stdout.printf("%s\n", d)
+		}
+	}
+	if len(diags) > 0 {
+		stderr.printf("rtclint: %d finding(s)\n", len(diags))
+		return exitStatus(1, stdout, stderrW)
+	}
+	return exitStatus(0, stdout, stderrW)
+}
+
+// analyze loads the module and runs the full suite, returning sorted
+// findings plus the sources and FileSet needed to apply fixes.
+func analyze(root, modPath string) ([]lint.Diagnostic, map[string][]byte, *token.FileSet, error) {
 	loader := lint.NewLoader()
 	pkgs, err := loader.LoadModule(root, modPath)
 	if err != nil {
-		fmt.Fprintf(stderr, "rtclint: %v\n", err)
-		return 2
+		return nil, nil, nil, err
+	}
+	sources := make(map[string][]byte)
+	for _, p := range pkgs {
+		for name, src := range p.Sources {
+			sources[name] = src
+		}
 	}
 	runner := &lint.Runner{Analyzers: lint.Analyzers(), ReportUnusedIgnores: true}
-	diags := runner.Run(loader.Fset, pkgs)
-	for _, d := range diags {
-		rel, err := filepath.Rel(root, d.Pos.Filename)
-		if err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+	return runner.Run(loader.Fset, pkgs), sources, loader.Fset, nil
+}
+
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
+}
+
+// printJSON renders findings as a JSON array, one finding per line, in
+// the same deterministic order as the text output.
+func printJSON(out *errWriter, diags []lint.Diagnostic) {
+	if len(diags) == 0 {
+		out.printf("[]\n")
+		return
+	}
+	out.printf("[\n")
+	for i, d := range diags {
+		f := jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Fixable:  d.Fix != nil,
 		}
-		fmt.Fprintln(stdout, d)
+		b, err := json.Marshal(f)
+		if err != nil {
+			out.err = err
+			return
+		}
+		sep := ","
+		if i == len(diags)-1 {
+			sep = ""
+		}
+		out.printf("  %s%s\n", b, sep)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "rtclint: %d finding(s)\n", len(diags))
-		return 1
+	out.printf("]\n")
+}
+
+// relTo rewrites name relative to root when it lies inside it.
+func relTo(root, name string) string {
+	rel, err := filepath.Rel(root, name)
+	if err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
 	}
-	return 0
+	return name
+}
+
+// errWriter tracks the first write error so the driver can fail loudly
+// when its output goes to a broken pipe or full disk, without checking
+// every print site.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// exitStatus folds any deferred write error into the exit code.
+func exitStatus(code int, stdout *errWriter, stderrW io.Writer) int {
+	if stdout.err != nil {
+		//lint:ignore errdrop stderr is the last resort; its own failure has nowhere to go
+		fmt.Fprintf(stderrW, "rtclint: writing output: %v\n", stdout.err)
+		return 2
+	}
+	return code
 }
 
 // findModule walks up from dir to the nearest go.mod and returns the

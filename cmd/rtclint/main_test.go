@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for driver tests. Package paths
+// reuse names from the production layer table so importlayer stays quiet.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tinymod\n\ngo 1.22\n"
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// dirtyMetrics is a package with one fixable maporder finding and one
+// stale directive.
+var dirtyMetrics = map[string]string{
+	"internal/metrics/m.go": `// Package metrics is a driver-test fixture with known findings.
+package metrics
+
+// Keys returns map keys in iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	"internal/metrics/stale.go": `package metrics
+
+//lint:ignore nowallclock stale by construction
+func version() int { return 1 }
+`,
+}
+
+func TestListByteDeterministic(t *testing.T) {
+	code1, out1, _ := runCLI(t, "-list")
+	code2, out2, _ := runCLI(t, "-list")
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("-list exit codes = %d, %d, want 0, 0", code1, code2)
+	}
+	if out1 != out2 {
+		t.Errorf("-list output differs between runs:\n%s\nvs\n%s", out1, out2)
+	}
+	lines := strings.Split(strings.TrimRight(out1, "\n"), "\n")
+	if len(lines) != 9 {
+		t.Errorf("-list printed %d analyzers, want 9:\n%s", len(lines), out1)
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("-list output is not sorted by name:\n%s", out1)
+	}
+	for _, name := range []string{
+		"nowallclock", "seededrand", "floateq", "unitsuffix", "ctorvalidate",
+		"maporder", "rawgo", "errdrop", "importlayer",
+	} {
+		if !strings.Contains(out1, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out1)
+		}
+	}
+}
+
+func TestFindingsByteDeterministic(t *testing.T) {
+	dir := writeModule(t, dirtyMetrics)
+	code1, out1, _ := runCLI(t, "-C", dir)
+	code2, out2, _ := runCLI(t, "-C", dir)
+	if code1 != 1 || code2 != 1 {
+		t.Fatalf("exit codes = %d, %d, want 1, 1", code1, code2)
+	}
+	if out1 == "" {
+		t.Fatal("no findings printed for a dirty module")
+	}
+	if out1 != out2 {
+		t.Errorf("finding output differs between runs:\n%s\nvs\n%s", out1, out2)
+	}
+
+	jcode1, jout1, _ := runCLI(t, "-C", dir, "-json")
+	jcode2, jout2, _ := runCLI(t, "-C", dir, "-json")
+	if jcode1 != 1 || jcode2 != 1 {
+		t.Fatalf("-json exit codes = %d, %d, want 1, 1", jcode1, jcode2)
+	}
+	if jout1 != jout2 {
+		t.Errorf("-json output differs between runs:\n%s\nvs\n%s", jout1, jout2)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(jout1), &findings); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, jout1)
+	}
+	if textLines := strings.Count(out1, "\n"); len(findings) != textLines {
+		t.Errorf("-json has %d findings, text output has %d lines", len(findings), textLines)
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path %q not relativized to the module root", f.File)
+		}
+	}
+}
+
+func TestJSONEmptyOnCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/metrics/m.go": `// Package metrics is a clean driver-test fixture.
+package metrics
+
+// Total sums integers.
+func Total(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+`,
+	})
+	code, out, _ := runCLI(t, "-C", dir, "-json")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if out != "[]\n" {
+		t.Errorf("clean -json output = %q, want %q", out, "[]\n")
+	}
+}
+
+func TestFixEndToEnd(t *testing.T) {
+	dir := writeModule(t, dirtyMetrics)
+	code, _, stderr := runCLI(t, "-C", dir, "-fix")
+	if code != 0 {
+		t.Fatalf("-fix exit code = %d, want 0 (everything fixable); stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "fixed") {
+		t.Errorf("-fix did not report rewritten files; stderr:\n%s", stderr)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "internal", "metrics", "m.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "sort.Slice(") {
+		t.Errorf("maporder fix not applied:\n%s", fixed)
+	}
+	stale, err := os.ReadFile(filepath.Join(dir, "internal", "metrics", "stale.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(stale), "lint:ignore") {
+		t.Errorf("stale directive not deleted:\n%s", stale)
+	}
+	if code, _, _ := runCLI(t, "-C", dir); code != 0 {
+		t.Errorf("module not clean after -fix (exit %d)", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit code %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "./foo"); code != 2 {
+		t.Errorf("unsupported pattern: exit code %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-C", t.TempDir()); code != 2 {
+		t.Errorf("no go.mod: exit code %d, want 2", code)
+	}
+}

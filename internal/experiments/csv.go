@@ -15,8 +15,8 @@ func CSV(id string, seeds []int64) (string, error) { return (&Runner{}).CSV(id, 
 // piping into external plotting tools. Experiment ids match cmd/benchdrop
 // ("table1" .. "figure10").
 func (r *Runner) CSV(id string, seeds []int64) (string, error) {
-	var b strings.Builder
-	w := csv.NewWriter(&b)
+	var rows [][]string
+	row := func(cells ...string) { rows = append(rows, cells) }
 	ms := func(d time.Duration) string { return strconv.FormatFloat(d.Seconds()*1000, 'f', 1, 64) }
 	f4 := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 	f2 := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
@@ -29,96 +29,97 @@ func (r *Runner) CSV(id string, seeds []int64) (string, error) {
 
 	switch id {
 	case "table1":
-		w.Write([]string{"scenario", "content", "baseline_p95_ms", "baseline_ci_ms", "adaptive_p95_ms", "adaptive_ci_ms", "reduction_pct", "significant"})
+		row("scenario", "content", "baseline_p95_ms", "baseline_ci_ms", "adaptive_p95_ms", "adaptive_ci_ms", "reduction_pct", "significant")
 		for _, r := range r.Table1(seeds) {
-			w.Write([]string{r.Scenario.Name, r.Scenario.Content.String(),
+			row(r.Scenario.Name, r.Scenario.Content.String(),
 				ms(r.BaselineP95), ms(r.BaselineCI), ms(r.AdaptiveP95), ms(r.AdaptiveCI),
-				f2(r.ReductionPct), strconv.FormatBool(r.Significant)})
+				f2(r.ReductionPct), strconv.FormatBool(r.Significant))
 		}
 	case "table2":
-		w.Write([]string{"scenario", "content", "enc_base", "enc_adaptive", "enc_delta_pct", "disp_base", "disp_adaptive", "disp_delta_pct"})
+		row("scenario", "content", "enc_base", "enc_adaptive", "enc_delta_pct", "disp_base", "disp_adaptive", "disp_delta_pct")
 		for _, r := range r.Table2(seeds) {
-			w.Write([]string{r.Scenario.Name, r.Scenario.Content.String(),
+			row(r.Scenario.Name, r.Scenario.Content.String(),
 				f4(r.BaselineEnc), f4(r.AdaptiveEnc), f2(r.EncDeltaPct),
-				f4(r.BaselineDisp), f4(r.AdaptiveDisp), f2(r.DispDeltaPct)})
+				f4(r.BaselineDisp), f4(r.AdaptiveDisp), f2(r.DispDeltaPct))
 		}
 	case "table3":
-		w.Write([]string{"variant", "p95_ms", "mean_ssim", "p95_vs_full_pct"})
+		row("variant", "p95_ms", "mean_ssim", "p95_vs_full_pct")
 		for _, r := range r.Table3(seeds) {
-			w.Write([]string{r.Variant, ms(r.P95), f4(r.MeanSSIM), f2(r.DeltaVsFull)})
+			row(r.Variant, ms(r.P95), f4(r.MeanSSIM), f2(r.DeltaVsFull))
 		}
 	case "figure1":
-		w.Write([]string{"controller", "capture_s", "latency_ms"})
+		row("controller", "capture_s", "latency_ms")
 		for _, s := range r.Figure1(seedOrOne(seeds)) {
 			for i := range s.X {
-				w.Write([]string{string(s.Kind),
+				row(string(s.Kind),
 					strconv.FormatFloat(s.X[i], 'f', 3, 64),
-					strconv.FormatFloat(s.Y[i], 'f', 1, 64)})
+					strconv.FormatFloat(s.Y[i], 'f', 1, 64))
 			}
 		}
 	case "figure2":
-		w.Write([]string{"severity", "baseline_p95_ms", "adaptive_p95_ms", "reduction_pct"})
+		row("severity", "baseline_p95_ms", "adaptive_p95_ms", "reduction_pct")
 		for _, p := range r.Figure2(seeds) {
-			w.Write([]string{f2(p.Severity), ms(p.BaselineP95), ms(p.AdaptiveP95), f2(p.ReductionPct)})
+			row(f2(p.Severity), ms(p.BaselineP95), ms(p.AdaptiveP95), f2(p.ReductionPct))
 		}
 	case "figure3":
-		w.Write([]string{"controller", "latency_ms", "cdf"})
+		row("controller", "latency_ms", "cdf")
 		for _, s := range r.Figure3(seeds) {
 			for i := range s.DelaysMs {
-				w.Write([]string{string(s.Kind),
+				row(string(s.Kind),
 					strconv.FormatFloat(s.DelaysMs[i], 'f', 1, 64),
-					strconv.FormatFloat(s.Fractions[i], 'f', 4, 64)})
+					strconv.FormatFloat(s.Fractions[i], 'f', 4, 64))
 			}
 		}
 	case "figure4":
-		w.Write([]string{"trace", "content", "controller", "p95_ms", "mean_ssim", "longest_freeze_ms", "mos"})
+		row("trace", "content", "controller", "p95_ms", "mean_ssim", "longest_freeze_ms", "mos")
 		for _, r := range r.Figure4(seeds) {
-			w.Write([]string{r.TraceName, r.Content.String(), string(r.Kind),
-				ms(r.P95), f4(r.MeanSSIM), ms(r.FreezeTime), f2(r.MOS)})
+			row(r.TraceName, r.Content.String(), string(r.Kind),
+				ms(r.P95), f4(r.MeanSSIM), ms(r.FreezeTime), f2(r.MOS))
 		}
 	case "figure5":
-		w.Write([]string{"loss", "mode", "delivered_frac", "p95_ms", "mean_ssim", "pli", "rtx", "fec_recovered"})
+		row("loss", "mode", "delivered_frac", "p95_ms", "mean_ssim", "pli", "rtx", "fec_recovered")
 		for _, r := range r.Figure5(seeds) {
-			w.Write([]string{r.Condition.Name, string(r.Mode),
+			row(r.Condition.Name, string(r.Mode),
 				f4(r.DeliveredFrac), ms(r.P95), f4(r.MeanSSIM),
-				strconv.Itoa(r.PLI), strconv.Itoa(r.Retransmitted), strconv.Itoa(r.FECRecovered)})
+				strconv.Itoa(r.PLI), strconv.Itoa(r.Retransmitted), strconv.Itoa(r.FECRecovered))
 		}
 	case "figure6":
-		w.Write([]string{"after_bps", "ladder", "post_ssim", "post_p95_ms", "mean_qp", "switches"})
+		row("after_bps", "ladder", "post_ssim", "post_p95_ms", "mean_qp", "switches")
 		for _, r := range r.Figure6(seeds) {
-			w.Write([]string{strconv.FormatFloat(r.After, 'f', 0, 64), onoff(r.Resolution),
-				f4(r.PostSSIM), ms(r.PostP95), f2(r.MeanQP), strconv.Itoa(r.Switches)})
+			row(strconv.FormatFloat(r.After, 'f', 0, 64), onoff(r.Resolution),
+				f4(r.PostSSIM), ms(r.PostP95), f2(r.MeanQP), strconv.Itoa(r.Switches))
 		}
 	case "figure7":
-		w.Write([]string{"pairing", "rate_a_bps", "rate_b_bps", "jain", "a_post_join_p95_ms", "a_ssim"})
+		row("pairing", "rate_a_bps", "rate_b_bps", "jain", "a_post_join_p95_ms", "a_ssim")
 		for _, r := range r.Figure7(seeds) {
-			w.Write([]string{r.Pairing,
+			row(r.Pairing,
 				strconv.FormatFloat(r.RateA, 'f', 0, 64), strconv.FormatFloat(r.RateB, 'f', 0, 64),
-				f4(r.Jain), ms(r.P95A), f4(r.SSIMA)})
+				f4(r.Jain), ms(r.P95A), f4(r.SSIMA))
 		}
 	case "figure8":
-		w.Write([]string{"estimator", "post_p95_ms", "steady_rate_bps", "mean_ssim"})
+		row("estimator", "post_p95_ms", "steady_rate_bps", "mean_ssim")
 		for _, r := range r.Figure8(seeds) {
-			w.Write([]string{r.Estimator, ms(r.PostP95),
-				strconv.FormatFloat(r.SteadyRate, 'f', 0, 64), f4(r.MeanSSIM)})
+			row(r.Estimator, ms(r.PostP95),
+				strconv.FormatFloat(r.SteadyRate, 'f', 0, 64), f4(r.MeanSSIM))
 		}
 	case "figure9":
-		w.Write([]string{"receiver", "layer_selection", "p95_ms", "delivered_frac", "mean_ssim", "mos"})
+		row("receiver", "layer_selection", "p95_ms", "delivered_frac", "mean_ssim", "mos")
 		for _, r := range r.Figure9(seeds) {
-			w.Write([]string{r.Receiver, onoff(r.LayerSelection),
-				ms(r.P95), f4(r.DeliveredFrac), f4(r.MeanSSIM), f2(r.MOS)})
+			row(r.Receiver, onoff(r.LayerSelection),
+				ms(r.P95), f4(r.DeliveredFrac), f4(r.MeanSSIM), f2(r.MOS))
 		}
 	case "figure10":
-		w.Write([]string{"controller", "probing", "reclaim_s", "post_restore_ssim"})
+		row("controller", "probing", "reclaim_s", "post_restore_ssim")
 		for _, r := range r.Figure10(seeds) {
-			w.Write([]string{r.Controller, onoff(r.Probing),
-				f2(r.ReclaimTime.Seconds()), f4(r.PostRestoreSSIM)})
+			row(r.Controller, onoff(r.Probing),
+				f2(r.ReclaimTime.Seconds()), f4(r.PostRestoreSSIM))
 		}
 	default:
 		return "", fmt.Errorf("experiments: unknown experiment %q", id)
 	}
-	w.Flush()
-	if err := w.Error(); err != nil {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.WriteAll(rows); err != nil {
 		return "", err
 	}
 	return b.String(), nil

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded error returns in internal/... and cmd/...:
+// bare call statements whose callee returns an error, and assignments
+// that send an error result to the blank identifier. A simulation that
+// swallows an I/O or encoding error reports results computed from
+// truncated data; if a drop is genuinely intentional, say so with
+// //lint:ignore errdrop <reason>.
+//
+// Conventionally infallible writes are exempt: the fmt.Print family to
+// stdout, fmt.Fprint* to os.Stdout/os.Stderr or to in-memory buffers
+// (*strings.Builder, *bytes.Buffer), and methods on those buffer types,
+// none of which can fail in a way the caller could act on. Deferred
+// calls (defer f.Close()) are conventional cleanup and out of scope.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "forbid silently discarded error returns in internal and cmd " +
+		"packages (bare calls and _ =); use //lint:ignore errdrop <reason> when intended",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	rel := pass.Rel()
+	if !pass.Internal() && rel != "cmd" && !strings.HasPrefix(rel, "cmd/") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok || errDropExempt(pass, call) {
+					return true
+				}
+				if pos, desc := errResult(pass, call); pos >= 0 {
+					pass.Reportf(call.Pos(),
+						"%s of %s is silently discarded; handle it or //lint:ignore errdrop <reason>",
+						desc, calleeName(pass, call))
+				}
+			case *ast.AssignStmt:
+				reportBlankErrAssigns(pass, st)
+			}
+			return true
+		})
+	}
+}
+
+// reportBlankErrAssigns flags every `_` on the left-hand side of an
+// assignment whose corresponding right-hand value has type error.
+func reportBlankErrAssigns(pass *Pass, st *ast.AssignStmt) {
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		var call *ast.CallExpr
+		if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+			// Multi-value call: pick result i.
+			tv, ok := pass.Info.Types[st.Rhs[0]]
+			if !ok {
+				continue
+			}
+			tuple, ok := tv.Type.(*types.Tuple)
+			if !ok || i >= tuple.Len() {
+				continue
+			}
+			t = tuple.At(i).Type()
+			call, _ = unparen(st.Rhs[0]).(*ast.CallExpr)
+		} else if i < len(st.Rhs) {
+			tv, ok := pass.Info.Types[st.Rhs[i]]
+			if !ok {
+				continue
+			}
+			t = tv.Type
+			call, _ = unparen(st.Rhs[i]).(*ast.CallExpr)
+		}
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if call != nil && errDropExempt(pass, call) {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"error result assigned to _; handle it or //lint:ignore errdrop <reason>")
+	}
+}
+
+// errResult returns the index of the first error in the call's result
+// type (and a description), or -1 when the call returns no error.
+func errResult(pass *Pass, call *ast.CallExpr) (int, string) {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return -1, ""
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i, "error result"
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return 0, "error return"
+		}
+	}
+	return -1, ""
+}
+
+// isErrorType reports whether t is exactly the predeclared error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeName renders the called expression for the message ("w.Flush",
+// "os.Remove").
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if x, ok := unparen(fn.X).(*ast.Ident); ok {
+			return x.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	}
+	return "call"
+}
+
+// errDropExempt reports whether the call's dropped error is
+// conventionally ignorable.
+func errDropExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && isExemptWriter(pass, call.Args[0])
+		}
+		return false
+	}
+	// Methods on in-memory buffers never return a meaningful error.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return isBufferType(sig.Recv().Type())
+	}
+	return false
+}
+
+// isExemptWriter recognizes writers whose failures cannot meaningfully
+// be handled: the process's own stdout/stderr, and in-memory buffers.
+func isExemptWriter(pass *Pass, w ast.Expr) bool {
+	if sel, ok := unparen(w).(*ast.SelectorExpr); ok {
+		if x, ok := unparen(sel.X).(*ast.Ident); ok {
+			if obj, ok := pass.Info.Uses[x].(*types.PkgName); ok &&
+				obj.Imported().Path() == "os" &&
+				(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+				return true
+			}
+		}
+	}
+	if tv, ok := pass.Info.Types[w]; ok && tv.Type != nil {
+		return isBufferType(tv.Type)
+	}
+	return false
+}
+
+// isBufferType matches *strings.Builder and *bytes.Buffer (and their
+// value forms).
+func isBufferType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}

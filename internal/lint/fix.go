@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// TextEdit replaces the source range [Pos, End) with NewText. A zero End
+// means a pure insertion at Pos.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+	// DropBlankLine widens a deletion to swallow the whole line when
+	// removing the range would leave only whitespace on it (used when
+	// deleting a directive comment that sits on its own line).
+	DropBlankLine bool
+}
+
+// SuggestedFix is a mechanical rewrite that resolves a finding.
+type SuggestedFix struct {
+	// Message describes the rewrite ("iterate sorted keys").
+	Message string
+	Edits   []TextEdit
+}
+
+// ApplyFixes splices every suggested fix in diags into the given sources
+// and returns the new content of each changed file. sources maps the
+// filenames recorded in fset (as produced by Loader) to raw bytes;
+// files without fixes are absent from the result. Identical edits from
+// different findings (e.g. two fixes both inserting the same import) are
+// deduplicated; genuinely overlapping edits are an error.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, sources map[string][]byte) (map[string][]byte, error) {
+	type offsetEdit struct {
+		start, end int
+		text       string
+		dropLine   bool
+	}
+	byFile := make(map[string][]offsetEdit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			pos := fset.Position(e.Pos)
+			oe := offsetEdit{start: pos.Offset, end: pos.Offset, text: e.NewText, dropLine: e.DropBlankLine}
+			if e.End.IsValid() {
+				oe.end = fset.Position(e.End).Offset
+			}
+			byFile[pos.Filename] = append(byFile[pos.Filename], oe)
+		}
+	}
+
+	files := make([]string, 0, len(byFile))
+	for name := range byFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+
+	out := make(map[string][]byte, len(files))
+	for _, name := range files {
+		src, ok := sources[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: fix targets unknown file %s", name)
+		}
+		edits := byFile[name]
+		// Dedupe identical edits, then order back-to-front so earlier
+		// offsets stay valid while splicing.
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start > edits[j].start
+			}
+			if edits[i].end != edits[j].end {
+				return edits[i].end > edits[j].end
+			}
+			return edits[i].text > edits[j].text
+		})
+		deduped := edits[:0]
+		for i, e := range edits {
+			if i > 0 && e == edits[i-1] {
+				continue
+			}
+			deduped = append(deduped, e)
+		}
+		buf := append([]byte(nil), src...)
+		prevStart := len(buf) + 1
+		for _, e := range deduped {
+			start, end := e.start, e.end
+			if start < 0 || end > len(buf) || start > end {
+				return nil, fmt.Errorf("lint: fix edit out of range in %s", name)
+			}
+			if end > prevStart {
+				return nil, fmt.Errorf("lint: overlapping fix edits in %s", name)
+			}
+			if e.dropLine && e.text == "" {
+				start, end = widenToBlankLine(buf, start, end)
+			}
+			buf = append(buf[:start], append([]byte(e.text), buf[end:]...)...)
+			prevStart = start
+		}
+		out[name] = buf
+	}
+	return out, nil
+}
+
+// widenToBlankLine extends a deletion range to cover the entire line when
+// everything else on that line is whitespace, so deleting a line-comment
+// directive does not leave a blank line behind.
+func widenToBlankLine(src []byte, start, end int) (int, int) {
+	ls := start
+	for ls > 0 && src[ls-1] != '\n' {
+		if c := src[ls-1]; c != ' ' && c != '\t' {
+			return start, end
+		}
+		ls--
+	}
+	le := end
+	for le < len(src) && src[le] != '\n' {
+		if c := src[le]; c != ' ' && c != '\t' {
+			return start, end
+		}
+		le++
+	}
+	if le < len(src) {
+		le++ // consume the newline
+	}
+	return ls, le
+}
+
+// Fixable reports whether any diagnostic carries a suggested fix.
+func Fixable(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Fix != nil {
+			return true
+		}
+	}
+	return false
+}

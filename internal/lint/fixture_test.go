@@ -138,11 +138,63 @@ func TestCtorValidateFixture(t *testing.T) {
 	runOn(t, loader, byPath, []*Analyzer{CtorValidate}, "ctorfix/cfgpkg", "ctorfix/use")
 }
 
+func TestMapOrderFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{MapOrder}, "internal/maporderfix")
+}
+
+func TestRawGoFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{RawGo}, "internal/experiments", "scopecheck")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{ErrDrop},
+		"internal/errdropfix", "cmd/errdropcmd", "scopecheck")
+}
+
+func TestImportLayerFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{ImportLayer},
+		"internal/codec", "internal/session", "internal/simtime",
+		"internal/stats", "internal/sfu", "internal/mystery", "cmd/lintdemo")
+}
+
 // TestIgnoreFixture runs the full suite so directives interact with every
-// analyzer the way they do in production.
+// analyzer the way they do in production (including importlayer's
+// package-level finding, suppressed on the package clause).
 func TestIgnoreFixture(t *testing.T) {
 	loader, byPath := loadFixtures(t)
 	runOn(t, loader, byPath, Analyzers(), "internal/ignorefix")
+}
+
+// TestRunByteDeterministic loads the fixture tree twice from scratch and
+// asserts the rendered findings of the full suite are byte-identical:
+// analyzer output must not depend on map iteration order anywhere in the
+// runner itself.
+func TestRunByteDeterministic(t *testing.T) {
+	render := func() string {
+		loader := NewLoader()
+		pkgs, err := loader.LoadModule(filepath.Join("testdata", "src"), fixturePrefix)
+		if err != nil {
+			t.Fatalf("loading fixtures: %v", err)
+		}
+		runner := &Runner{Analyzers: Analyzers(), ReportUnusedIgnores: true}
+		var b strings.Builder
+		for _, d := range runner.Run(loader.Fset, pkgs) {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("full suite produced no findings on the fixture tree")
+	}
+	if second := render(); second != first {
+		t.Errorf("two runs differ:\nrun 1:\n%srun 2:\n%s", first, second)
+	}
 }
 
 // TestFixtureWantsPresent guards against fixtures silently losing their
@@ -157,6 +209,14 @@ func TestFixtureWantsPresent(t *testing.T) {
 		"fixture/internal/clockfix",
 		"fixture/internal/randfix",
 		"fixture/internal/ignorefix",
+		"fixture/internal/maporderfix",
+		"fixture/internal/experiments",
+		"fixture/internal/errdropfix",
+		"fixture/internal/codec",
+		"fixture/internal/session",
+		"fixture/internal/simtime",
+		"fixture/internal/mystery",
+		"fixture/cmd/errdropcmd",
 		"fixture/floateqfix",
 		"fixture/unitfix",
 		"fixture/ctorfix/use",

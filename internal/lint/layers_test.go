@@ -1,0 +1,92 @@
+package lint
+
+import "testing"
+
+func TestLayerOf(t *testing.T) {
+	cases := []struct {
+		rel   string
+		layer string
+		ok    bool
+	}{
+		{"internal/simtime", "foundation", true},
+		{"internal/stats", "foundation", true},
+		{"internal/codec", "model", true},
+		{"internal/session", "harness", true},
+		{"internal/lint", "tooling", true},
+		{".", "api", true},
+		{"cmd", "main", true},
+		{"cmd/rtcsim", "main", true},
+		{"cmd/rtcsim/subpkg", "main", true},
+		{"examples/basic", "main", true},
+		{"cmdX", "", false},
+		{"internal/unknown", "", false},
+		{"internal", "", false},
+	}
+	for _, c := range cases {
+		idx, layer, ok := layerOf(c.rel)
+		if ok != c.ok {
+			t.Errorf("layerOf(%q) ok = %v, want %v", c.rel, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if layer.Name != c.layer {
+			t.Errorf("layerOf(%q) = layer %q, want %q", c.rel, layer.Name, c.layer)
+		}
+		if &LayerTable[idx] != layer {
+			t.Errorf("layerOf(%q) index %d does not point at returned layer", c.rel, idx)
+		}
+	}
+}
+
+// TestLayerTableRanks pins the relative order the analyzer depends on:
+// the layers named in diagnostics must keep their strict ranking even if
+// the table gains entries.
+func TestLayerTableRanks(t *testing.T) {
+	rank := func(rel string) int {
+		t.Helper()
+		idx, _, ok := layerOf(rel)
+		if !ok {
+			t.Fatalf("layerOf(%q) not placed", rel)
+		}
+		return idx
+	}
+	if !(rank("internal/simtime") < rank("internal/codec") &&
+		rank("internal/codec") < rank("internal/core") &&
+		rank("internal/core") < rank("internal/session") &&
+		rank("internal/session") < rank("internal/experiments") &&
+		rank("internal/experiments") < rank(".") &&
+		rank(".") < rank("cmd/rtcsim")) {
+		t.Error("layer table lost its foundation < model < engine < harness < measurement < api < main ordering")
+	}
+}
+
+// TestLayerTableNoDuplicates guards the "exactly one layer" table
+// invariant: a duplicated entry would silently shadow its later layer.
+func TestLayerTableNoDuplicates(t *testing.T) {
+	seen := map[string]string{}
+	for _, l := range LayerTable {
+		for _, p := range l.Pkgs {
+			if prev, dup := seen[p]; dup {
+				t.Errorf("package %q placed in both %q and %q", p, prev, l.Name)
+			}
+			seen[p] = l.Name
+		}
+	}
+}
+
+func TestRelPath(t *testing.T) {
+	cases := []struct{ module, path, want string }{
+		{"rtcadapt", "rtcadapt", "."},
+		{"rtcadapt", "rtcadapt/internal/cc", "internal/cc"},
+		{"rtcadapt", "rtcadapt/cmd/rtcsim", "cmd/rtcsim"},
+		{"rtcadapt", "rtcadaptx/internal/cc", "rtcadaptx/internal/cc"},
+		{"rtcadapt", "fmt", "fmt"},
+	}
+	for _, c := range cases {
+		if got := relPath(c.module, c.path); got != c.want {
+			t.Errorf("relPath(%q, %q) = %q, want %q", c.module, c.path, got, c.want)
+		}
+	}
+}

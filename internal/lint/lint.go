@@ -32,6 +32,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// finding. rtclint -fix applies it.
+	Fix *SuggestedFix
 }
 
 // String renders the finding in file:line:col form.
@@ -44,7 +47,9 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Path     string
+	Module   string
 	Files    []*ast.File
+	Sources  map[string][]byte
 	Pkg      *types.Package
 	Info     *types.Info
 
@@ -60,12 +65,48 @@ func (p *Pass) Internal() bool {
 		strings.HasSuffix(p.Path, "/internal")
 }
 
+// Rel returns the package path relative to the module root: "." for the
+// root package, "internal/cc" for rtcadapt/internal/cc. It is the key
+// the layer table and path-scoped analyzers match on.
+func (p *Pass) Rel() string {
+	return relPath(p.Module, p.Path)
+}
+
+// relPath maps an import path inside module to its module-relative form.
+// Paths outside the module are returned unchanged.
+func relPath(module, path string) string {
+	if path == module {
+		return "."
+	}
+	if rest, ok := strings.CutPrefix(path, module+"/"); ok {
+		return rest
+	}
+	return path
+}
+
+// Command reports whether the package lives under the module's cmd/ tree.
+func (p *Pass) Command() bool {
+	rel := p.Rel()
+	return rel == "cmd" || strings.HasPrefix(rel, "cmd/")
+}
+
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Report records a fully built finding (used by analyzers that attach
+// suggested fixes). The position is resolved from pos.
+func (p *Pass) Report(pos token.Pos, message string, fix *SuggestedFix) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  message,
+		Fix:      fix,
 	})
 }
 
@@ -76,7 +117,9 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the five file-local
+// analyzers from the original suite followed by the four cross-package
+// ones.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoWallClock,
@@ -84,12 +127,18 @@ func Analyzers() []*Analyzer {
 		FloatEq,
 		UnitSuffix,
 		CtorValidate,
+		MapOrder,
+		RawGo,
+		ErrDrop,
+		ImportLayer,
 	}
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
 	pos      token.Position
+	start    token.Pos
+	end      token.Pos
 	analyzer string
 	reason   string
 	used     bool
@@ -118,7 +167,9 @@ func (r *Runner) Run(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 				Analyzer: a,
 				Fset:     fset,
 				Path:     pkg.Path,
+				Module:   pkg.Module,
 				Files:    pkg.Files,
+				Sources:  pkg.Sources,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				diags:    &diags,
@@ -134,6 +185,10 @@ func (r *Runner) Run(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 					Pos:      d.pos,
 					Analyzer: "lint",
 					Message:  fmt.Sprintf("unused //lint:ignore %s directive (nothing suppressed)", d.analyzer),
+					Fix: &SuggestedFix{
+						Message: "delete the stale directive",
+						Edits:   []TextEdit{{Pos: d.start, End: d.end, DropBlankLine: true}},
+					},
 				})
 			}
 		}
@@ -179,6 +234,8 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, diags *[]Diagnost
 				}
 				out = append(out, &ignoreDirective{
 					pos:      fset.Position(c.Pos()),
+					start:    c.Pos(),
+					end:      c.End(),
 					analyzer: fields[0],
 					reason:   strings.Join(fields[1:], " "),
 				})

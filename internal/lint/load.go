@@ -18,10 +18,17 @@ import (
 type Package struct {
 	// Path is the import path ("rtcadapt/internal/cc").
 	Path string
+	// Module is the module path the package was loaded under
+	// ("rtcadapt"); Path relative to Module names the package's place
+	// in the layer table.
+	Module string
 	// Dir is the directory the sources were read from.
 	Dir string
 	// Files are the parsed non-test sources, sorted by filename.
 	Files []*ast.File
+	// Sources holds the raw bytes of each parsed file, keyed by the
+	// filename recorded in the FileSet. Suggested fixes splice these.
+	Sources map[string][]byte
 	// Types and Info carry the go/types results.
 	Types *types.Package
 	Info  *types.Info
@@ -80,7 +87,7 @@ func (l *Loader) LoadModule(root, importPrefix string) ([]*Package, error) {
 		if rel != "." {
 			path = importPrefix + "/" + filepath.ToSlash(rel)
 		}
-		if err := l.parseDir(dir, path); err != nil {
+		if err := l.parseDir(dir, path, importPrefix); err != nil {
 			return nil, err
 		}
 		if _, ok := l.pkgs[path]; ok {
@@ -122,28 +129,35 @@ func packageDirs(root string) ([]string, error) {
 
 // parseDir parses the non-test sources of dir into a pending Package under
 // the given import path. Directories without Go files are skipped silently.
-func (l *Loader) parseDir(dir, path string) error {
+func (l *Loader) parseDir(dir, path, module string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
 	}
 	var files []*ast.File
+	sources := make(map[string][]byte)
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
 		if err != nil {
-			return fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+			return fmt.Errorf("lint: read %s: %w", full, err)
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %w", full, err)
 		}
 		files = append(files, f)
+		sources[full] = src
 	}
 	if len(files) == 0 {
 		return nil
 	}
-	l.pkgs[path] = &Package{Path: path, Dir: dir, Files: files}
+	l.pkgs[path] = &Package{Path: path, Module: module, Dir: dir, Files: files, Sources: sources}
 	return nil
 }
 

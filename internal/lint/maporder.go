@@ -1,0 +1,438 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body is order-sensitive:
+// appending to a slice declared outside the loop, writing to a writer
+// declared outside the loop (fmt.Fprint*, Write*/Print* methods),
+// accumulating floating-point values, or sending on an outer channel.
+// Go randomizes map iteration order, so any such loop makes output
+// depend on the run — the classic way parallel-vs-sequential
+// byte-equality dies.
+//
+// The sanctioned pattern is exempt: a loop that only collects values
+// into a slice which is subsequently sorted (sort.Strings/Ints/Slice/...
+// or slices.Sort*) later in the same function. Order-insensitive bodies
+// — min/max scans, integer counting, keyed writes into another map,
+// deletes — are never flagged.
+//
+// Findings whose range key is a plain identifier of an ordered type
+// carry a suggested fix (applied by rtclint -fix) that rewrites the loop
+// to iterate sorted keys.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-sensitive bodies under range-over-map " +
+		"(append/write/float-accumulate/send); iterate sorted keys instead",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, f, fd.Body)
+		}
+	}
+}
+
+// checkMapRanges walks fn (a function body) and reports every
+// order-sensitive range-over-map inside it. Function literals are
+// checked with their own body as the "sorted later" search scope.
+func checkMapRanges(pass *Pass, file *ast.File, fn *ast.BlockStmt) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != fn {
+			checkMapRanges(pass, file, lit.Body)
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		mt, ok := tv.Type.Underlying().(*types.Map)
+		if !ok {
+			return true
+		}
+		ops := orderSensitiveOps(pass, rs)
+		if len(ops) == 0 {
+			return true
+		}
+		if appendsAllSortedLater(pass, fn, rs, ops) {
+			return true
+		}
+		msg := fmt.Sprintf(
+			"iteration over map %s has an order-sensitive body (%s); map order is randomized — iterate sorted keys",
+			render(pass, rs.X), ops[0].desc)
+		pass.Report(rs.For, msg, buildMapOrderFix(pass, file, rs, mt))
+		return true
+	})
+}
+
+// sensitiveOp is one order-sensitive operation found in a range body.
+type sensitiveOp struct {
+	desc string
+	// appendTo is the outer object an append targets, nil for other
+	// operation kinds. Used by the sorted-later exemption.
+	appendTo types.Object
+}
+
+// orderSensitiveOps collects the operations inside rs's body whose
+// results depend on iteration order.
+func orderSensitiveOps(pass *Pass, rs *ast.RangeStmt) []sensitiveOp {
+	var ops []sensitiveOp
+	outer := func(e ast.Expr) types.Object {
+		obj := rootObject(pass, e)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return nil
+		}
+		if obj.Pos() < rs.Pos() || obj.Pos() > rs.End() {
+			return obj
+		}
+		return nil
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if call, ok := unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(pass, call) && i < len(st.Lhs) {
+					if obj := outer(st.Lhs[i]); obj != nil {
+						ops = append(ops, sensitiveOp{
+							desc:     "appends to " + render(pass, st.Lhs[i]) + " declared outside the loop",
+							appendTo: obj,
+						})
+					}
+				}
+			}
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range st.Lhs {
+					if obj := outer(lhs); obj != nil && isFloatExpr(pass, lhs) {
+						ops = append(ops, sensitiveOp{
+							desc: "accumulates floating-point " + render(pass, lhs) + " (FP addition is not associative)",
+						})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if desc, ok := writerCall(pass, st, outer); ok {
+				ops = append(ops, sensitiveOp{desc: desc})
+			}
+		case *ast.SendStmt:
+			if obj := outer(st.Chan); obj != nil {
+				ops = append(ops, sensitiveOp{desc: "sends on channel " + render(pass, st.Chan)})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// writerCall reports whether call writes to a writer rooted outside the
+// loop: fmt.Fprint* with an outer writer argument, or a Write*/Print*
+// method on an outer receiver.
+func writerCall(pass *Pass, call *ast.CallExpr, outer func(ast.Expr) types.Object) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		if len(call.Args) > 0 {
+			if obj := outer(call.Args[0]); obj != nil {
+				return "writes to " + render(pass, call.Args[0]) + " via fmt." + fn.Name(), true
+			}
+		}
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Write") && !strings.HasPrefix(name, "Print") {
+		return "", false
+	}
+	if obj := outer(sel.X); obj != nil {
+		return "writes to " + render(pass, sel.X) + "." + name, true
+	}
+	return "", false
+}
+
+// appendsAllSortedLater implements the sanctioned collect-then-sort
+// exemption: every order-sensitive op is an append, and each append
+// target is passed to a recognized sort call after the loop within fn.
+func appendsAllSortedLater(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, ops []sensitiveOp) bool {
+	targets := map[types.Object]bool{}
+	for _, op := range ops {
+		if op.appendTo == nil {
+			return false
+		}
+		targets[op.appendTo] = true
+	}
+	sorted := map[types.Object]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn2, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn2.Pkg() == nil {
+			return true
+		}
+		pkg := fn2.Pkg().Path()
+		if (pkg != "sort" && pkg != "slices") || len(call.Args) == 0 {
+			return true
+		}
+		if !strings.HasPrefix(fn2.Name(), "Sort") && !sortPkgSorters[fn2.Name()] {
+			return true
+		}
+		if obj := rootObject(pass, call.Args[0]); obj != nil {
+			sorted[obj] = true
+		}
+		return true
+	})
+	for obj := range targets {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortPkgSorters are the sort-package entry points that order a slice
+// passed as the first argument.
+var sortPkgSorters = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true, "Sort": true,
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isFloatExpr reports whether e has floating-point (or complex) type.
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// rootObject resolves the base identifier of an expression (x in x,
+// x.f, x[i], *x) to its object.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[v]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// render returns the source text of an expression for messages.
+func render(pass *Pass, e ast.Expr) string {
+	pos, end := pass.Fset.Position(e.Pos()), pass.Fset.Position(e.End())
+	src := pass.Sources[pos.Filename]
+	if src == nil || end.Offset > len(src) || pos.Offset > end.Offset {
+		return "?"
+	}
+	return string(src[pos.Offset:end.Offset])
+}
+
+// buildMapOrderFix constructs the sorted-keys rewrite, or nil when the
+// loop is not mechanically fixable (blank or non-identifier key,
+// unordered key type, side-effecting map expression, or a dot-imported
+// sort package).
+func buildMapOrderFix(pass *Pass, file *ast.File, rs *ast.RangeStmt, mt *types.Map) *SuggestedFix {
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok || keyIdent.Name == "_" {
+		return nil
+	}
+	if !orderedKeyType(pass, mt.Key()) {
+		return nil
+	}
+	switch unparen(rs.X).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return nil // re-evaluating the map expression may not be safe
+	}
+	sortName, importEdit, ok := sortPackageName(pass, file)
+	if !ok {
+		return nil
+	}
+
+	pos := pass.Fset.Position(rs.For)
+	src := pass.Sources[pos.Filename]
+	if src == nil {
+		return nil
+	}
+	indent := lineIndent(src, pos.Offset)
+	mapText := render(pass, rs.X)
+	keysName := freshName(pass, file, "keys")
+	keyType := types.TypeString(mt.Key(), types.RelativeTo(pass.Pkg))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keysName, keyType, mapText)
+	fmt.Fprintf(&b, "%sfor %s := range %s {\n", indent, keyIdent.Name, mapText)
+	fmt.Fprintf(&b, "%s\t%s = append(%s, %s)\n", indent, keysName, keysName, keyIdent.Name)
+	fmt.Fprintf(&b, "%s}\n", indent)
+	fmt.Fprintf(&b, "%s%s.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })\n",
+		indent, sortName, keysName, keysName, keysName)
+	fmt.Fprintf(&b, "%sfor _, %s := range %s {", indent, keyIdent.Name, keysName)
+
+	// Reuse the original body text; bind the value variable to m[k] as
+	// its first statement when the range declared one.
+	lbrace := pass.Fset.Position(rs.Body.Lbrace).Offset
+	rbrace := pass.Fset.Position(rs.Body.Rbrace).Offset
+	if lbrace < 0 || rbrace > len(src) || lbrace >= rbrace {
+		return nil
+	}
+	inner := string(src[lbrace+1 : rbrace])
+	if val, ok := rs.Value.(*ast.Ident); ok && val.Name != "_" {
+		bind := fmt.Sprintf("%s := %s[%s]", val.Name, mapText, keyIdent.Name)
+		if nl := strings.IndexByte(inner, '\n'); nl >= 0 && strings.TrimSpace(inner[:nl]) == "" {
+			inner = inner[:nl+1] + indent + "\t" + bind + inner[nl:]
+		} else {
+			inner = " " + bind + ";" + inner
+		}
+	}
+	b.WriteString(inner)
+	b.WriteString("}")
+
+	fix := &SuggestedFix{
+		Message: "iterate the map's sorted keys",
+		Edits:   []TextEdit{{Pos: rs.For, End: rs.End(), NewText: b.String()}},
+	}
+	if importEdit != nil {
+		fix.Edits = append(fix.Edits, *importEdit)
+	}
+	return fix
+}
+
+// orderedKeyType reports whether < is defined for the key type and the
+// generated code can name it: a basic ordered type, or a named type with
+// ordered underlying declared in the package under analysis.
+func orderedKeyType(pass *Pass, t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsOrdered == 0 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Pkg() == pass.Pkg
+	}
+	_, isBasic := t.(*types.Basic)
+	return isBasic
+}
+
+// sortPackageName returns the name the sort package is (or will be)
+// referred to by in file, plus an edit adding the import when missing.
+func sortPackageName(pass *Pass, file *ast.File) (string, *TextEdit, bool) {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "sort" {
+			continue
+		}
+		if imp.Name == nil {
+			return "sort", nil, true
+		}
+		if imp.Name.Name == "." || imp.Name.Name == "_" {
+			return "", nil, false
+		}
+		return imp.Name.Name, nil, true
+	}
+	// Insert `"sort"` into the first parenthesized import block, keeping
+	// the block sorted; fall back to a standalone import declaration.
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if !gd.Lparen.IsValid() {
+			return "sort", &TextEdit{Pos: gd.Pos(), NewText: "import \"sort\"\n"}, true
+		}
+		for _, spec := range gd.Specs {
+			is := spec.(*ast.ImportSpec)
+			if path, err := strconv.Unquote(is.Path.Value); err == nil && path > "sort" {
+				return "sort", &TextEdit{Pos: is.Pos(), NewText: "\"sort\"\n\t"}, true
+			}
+		}
+		last := gd.Specs[len(gd.Specs)-1]
+		return "sort", &TextEdit{Pos: last.End(), NewText: "\n\t\"sort\""}, true
+	}
+	return "sort", &TextEdit{Pos: file.Name.End(), NewText: "\n\nimport \"sort\""}, true
+}
+
+// lineIndent returns the whitespace prefix of the line containing offset.
+func lineIndent(src []byte, offset int) string {
+	start := offset
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	end := start
+	for end < len(src) && (src[end] == ' ' || src[end] == '\t') {
+		end++
+	}
+	return string(src[start:end])
+}
+
+// freshName returns base if it is unused in file, else base2, base3, ...
+func freshName(pass *Pass, file *ast.File, base string) string {
+	used := map[string]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	if !used[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		name := fmt.Sprintf("%s%d", base, i)
+		if !used[name] {
+			return name
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// RawGo forbids `go` statements in internal/... outside the experiments
+// worker pool (internal/experiments/runner.go). Byte-identical
+// parallel-vs-sequential output depends on every concurrent cell being
+// fanned out and merged by experiments.Runner, which keys results by
+// cell index; an ad-hoc goroutine anywhere else reintroduces
+// completion-order nondeterminism the runner was built to eliminate.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc: "forbid go statements in internal packages outside " +
+		"internal/experiments/runner.go; concurrency flows through experiments.Runner",
+	Run: runRawGo,
+}
+
+// rawGoExemptFile is the one file allowed to spawn goroutines: the
+// deterministic worker pool itself.
+const rawGoExemptFile = "runner.go"
+
+// rawGoExemptPkg is the module-relative package holding the worker pool.
+const rawGoExemptPkg = "internal/experiments"
+
+func runRawGo(pass *Pass) {
+	if !pass.Internal() {
+		return
+	}
+	exemptPkg := pass.Rel() == rawGoExemptPkg
+	for _, f := range pass.Files {
+		if exemptPkg {
+			name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+			if name == rawGoExemptFile {
+				continue
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"raw go statement in internal package; route concurrency through the deterministic experiments.Runner worker pool (%s/%s)",
+					rawGoExemptPkg, rawGoExemptFile)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,21 @@
+// Package fixme holds fixable findings for the -fix round-trip test:
+// applying every suggested fix must leave a tree that compiles, matches
+// the golden corpus byte-for-byte, and re-lints clean.
+package fixme
+
+import "sort"
+
+// Keys collects map keys in iteration order; -fix rewrites the loop to
+// iterate sorted keys and inserts the missing sort import.
+func Keys(m map[string]int) []string {
+	var out []string
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}

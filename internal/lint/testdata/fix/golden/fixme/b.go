@@ -1,0 +1,34 @@
+package fixme
+
+import "sort"
+
+// WeightedTotal accumulates floats in iteration order; -fix rewrites it
+// to key order, binding the value from the map inside the loop. The file
+// already imports sort and already uses the identifier keys, so the fix
+// must reuse the import and pick a fresh slice name.
+func WeightedTotal(weights map[string]float64) float64 {
+	var sum float64
+	keys2 := make([]string, 0, len(weights))
+	for name := range weights {
+		keys2 = append(keys2, name)
+	}
+	sort.Slice(keys2, func(i, j int) bool { return keys2[i] < keys2[j] })
+	for _, name := range keys2 {
+		w := weights[name]
+		if name != "" {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// Sorted is the sanctioned collect-then-sort idiom and must survive the
+// round trip untouched.
+func Sorted(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

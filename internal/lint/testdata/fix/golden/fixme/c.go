@@ -1,0 +1,5 @@
+package fixme
+
+func version() int {
+	return 3
+}

@@ -1,0 +1,14 @@
+// Package fixme holds fixable findings for the -fix round-trip test:
+// applying every suggested fix must leave a tree that compiles, matches
+// the golden corpus byte-for-byte, and re-lints clean.
+package fixme
+
+// Keys collects map keys in iteration order; -fix rewrites the loop to
+// iterate sorted keys and inserts the missing sort import.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package fixme
+
+import "sort"
+
+// WeightedTotal accumulates floats in iteration order; -fix rewrites it
+// to key order, binding the value from the map inside the loop. The file
+// already imports sort and already uses the identifier keys, so the fix
+// must reuse the import and pick a fresh slice name.
+func WeightedTotal(weights map[string]float64) float64 {
+	var sum float64
+	for name, w := range weights {
+		if name != "" {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// Sorted is the sanctioned collect-then-sort idiom and must survive the
+// round trip untouched.
+func Sorted(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,11 @@
+// Command errdropcmd is a lint fixture: errdrop applies under cmd/...
+// exactly as it does under internal/.
+package main
+
+import "errors"
+
+func persist() error { return errors.New("boom") }
+
+func main() {
+	persist() // want `error return of persist is silently discarded`
+}

@@ -1,0 +1,3 @@
+// Package lintdemo lives under cmd/ so the main layer has an importable
+// member for the upward-import fixture; kept findings-free.
+package lintdemo

@@ -1,0 +1,9 @@
+// Package codec sits in the model layer: importing the foundation layer
+// is a downward edge and allowed; importing the session harness is an
+// upward edge and a finding.
+package codec
+
+import (
+	_ "fixture/internal/session" // want `package internal/codec \(layer model\) must not import internal/session \(layer harness\)`
+	_ "fixture/internal/stats"
+)

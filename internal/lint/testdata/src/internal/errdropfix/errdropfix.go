@@ -1,0 +1,65 @@
+// Package errdropfix exercises the errdrop analyzer: bare calls and
+// blank assignments that discard errors are findings; handled errors,
+// error-free calls, deferred cleanup, and conventionally infallible
+// writes are not.
+package errdropfix
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func flush() error { return errors.New("boom") }
+
+func lookup() (int, error) { return 0, errors.New("boom") }
+
+func count() int { return 1 }
+
+func bareCall() {
+	flush() // want `error return of flush is silently discarded`
+}
+
+func blankAssign() {
+	_ = flush() // want `error result assigned to _`
+}
+
+func tupleBlank() int {
+	v, _ := lookup() // want `error result assigned to _`
+	return v
+}
+
+func handled() error {
+	if err := flush(); err != nil {
+		return err
+	}
+	v, err := lookup()
+	if err != nil {
+		return err
+	}
+	_ = v // not an error: blank of a non-error value is fine
+	return nil
+}
+
+func noError() {
+	count() // no error in the result type: silent
+}
+
+func exemptWrites(b *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("hi")
+	fmt.Fprintf(os.Stderr, "hi")
+	fmt.Fprintf(b, "hi")
+	b.WriteString("hi")
+	buf.WriteByte('x')
+}
+
+func deferredCleanup(f *os.File) {
+	defer f.Close() // deferred cleanup is out of scope
+}
+
+func suppressed() {
+	//lint:ignore errdrop fixture demonstrates an intentional drop
+	flush()
+}

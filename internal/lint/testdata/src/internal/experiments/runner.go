@@ -1,0 +1,14 @@
+// Package experiments mirrors the production worker pool's location:
+// runner.go is the one file in internal/... where rawgo permits go
+// statements.
+package experiments
+
+func fanOut(jobs []func(), done chan struct{}) {
+	for _, job := range jobs {
+		job := job
+		go func() { // exempt: this file is the sanctioned worker pool
+			job()
+			done <- struct{}{}
+		}()
+	}
+}

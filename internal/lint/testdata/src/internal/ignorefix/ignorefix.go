@@ -1,6 +1,10 @@
 // Package ignorefix is a lint fixture for the //lint:ignore escape hatch:
 // suppressed findings must vanish, unsuppressed ones must survive, and a
-// directive for one analyzer must not silence another.
+// directive for one analyzer must not silence another. The directive on
+// the package clause suppresses importlayer's unplaced-package finding,
+// exercising the directive-above-line path for package-level findings.
+//
+//lint:ignore importlayer fixture tree is deliberately outside the production layer table
 package ignorefix
 
 import "time"

@@ -1,0 +1,122 @@
+// Package maporderfix exercises the maporder analyzer: order-sensitive
+// bodies under range-over-map are findings; the collect-then-sort idiom
+// and order-insensitive bodies are not.
+package maporderfix
+
+import (
+	"sort"
+	"strings"
+)
+
+// appendDirect appends map values in iteration order: flagged.
+func appendDirect(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `iteration over map m has an order-sensitive body \(appends to out declared outside the loop\)`
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// floatAccumulate sums floats in iteration order: flagged (FP addition
+// is not associative).
+func floatAccumulate(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates floating-point sum`
+		sum += v
+	}
+	return sum
+}
+
+// writeBuilder writes to an outer builder in iteration order: flagged.
+func writeBuilder(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m { // want `writes to b.WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// sendChannel sends map elements on an outer channel: flagged.
+func sendChannel(m map[int]int, ch chan int) {
+	for k := range m { // want `sends on channel ch`
+		ch <- k
+	}
+}
+
+// collectThenSort is the sanctioned pattern: the only order-sensitive op
+// is an append whose target is sorted before use.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// maxScan reads every element but produces an order-independent result.
+func maxScan(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// intCount accumulates integers: exact arithmetic, order-independent.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keyedRewrite writes into another map keyed by the loop variable:
+// order-independent.
+func keyedRewrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// sliceRange iterates a slice, not a map: never flagged.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// localAppend appends to a slice declared inside the loop body: each
+// iteration is independent, so order cannot leak out.
+func localAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		total += len(evens)
+	}
+	return total
+}
+
+// suppressed shows the escape hatch.
+func suppressed(m map[string]int) []string {
+	var out []string
+	//lint:ignore maporder demo of the escape hatch; order feeds a set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,4 @@
+// Package mystery is deliberately missing from the layer table: the
+// importlayer analyzer reports unplaced packages so the table cannot
+// drift from the tree.
+package mystery // want `package internal/mystery is not assigned to a layer in internal/lint/layers\.go`

@@ -1,0 +1,8 @@
+// Package session sits in the harness layer, which is intra-permissive:
+// a sibling harness import is allowed, importing cmd/... never is.
+package session
+
+import (
+	_ "fixture/cmd/lintdemo" // want `package internal/session \(layer harness\) must not import cmd/lintdemo \(layer main\)`
+	_ "fixture/internal/sfu"
+)

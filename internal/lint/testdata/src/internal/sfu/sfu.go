@@ -1,0 +1,3 @@
+// Package sfu is session's sibling in the intra-permissive harness
+// layer; importing it from session is allowed.
+package sfu

@@ -1,0 +1,5 @@
+// Package simtime sits in the foundation layer, which is not
+// intra-permissive: even a sibling foundation import is a finding.
+package simtime
+
+import _ "fixture/internal/stats" // want `package internal/simtime \(layer foundation\) must not import internal/stats \(layer foundation\)`

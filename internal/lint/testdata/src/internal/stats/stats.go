@@ -1,0 +1,3 @@
+// Package stats anchors the foundation layer of the importlayer
+// fixtures: a valid downward-import target, itself findings-free.
+package stats

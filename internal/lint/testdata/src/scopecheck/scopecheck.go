@@ -1,10 +1,11 @@
 // Package scopecheck is a lint fixture that lives OUTSIDE any internal/
-// tree: nowallclock and seededrand must stay silent here even though it
-// uses both the wall clock and the global RNG (cmd/ tools may legitimately
-// time themselves).
+// or cmd/ tree: nowallclock, seededrand, rawgo, and errdrop must stay
+// silent here even though it uses the wall clock, the global RNG, a raw
+// goroutine, and a discarded error.
 package scopecheck
 
 import (
+	"errors"
 	"math/rand"
 	"time"
 )
@@ -17,4 +18,14 @@ func wallClockElapsed() time.Duration {
 
 func globalDraw() float64 {
 	return rand.Float64()
+}
+
+func spawn(done chan struct{}) {
+	go func() { done <- struct{}{} }()
+}
+
+func mayFail() error { return errors.New("boom") }
+
+func ignoresError() {
+	mayFail()
 }

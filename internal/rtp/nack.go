@@ -95,13 +95,22 @@ func (g *NackGenerator) abandonOldest() {
 }
 
 // Collect returns the sequences to NACK at time now, respecting retry
-// limits. Sequences that exhausted their retries are abandoned.
+// limits. Sequences that exhausted their retries are abandoned. Missing
+// sequences are visited in wrap-aware order so retry bookkeeping and
+// abandonment are independent of map iteration order.
 func (g *NackGenerator) Collect(now time.Duration) []uint16 {
+	seqs := make([]uint16, 0, len(g.missing))
+	for s := range g.missing {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return SeqLess(seqs[i], seqs[j]) })
+
 	var out []uint16
-	var exhausted []uint16
-	for s, e := range g.missing {
+	for _, s := range seqs {
+		e := g.missing[s]
 		if e.asks >= g.MaxRetries {
-			exhausted = append(exhausted, s)
+			delete(g.missing, s)
+			g.abandoned++
 			continue
 		}
 		if e.everAsked && now-e.lastAsked < g.RetryInterval {
@@ -112,11 +121,6 @@ func (g *NackGenerator) Collect(now time.Duration) []uint16 {
 		e.everAsked = true
 		out = append(out, s)
 	}
-	for _, s := range exhausted {
-		delete(g.missing, s)
-		g.abandoned++
-	}
-	sort.Slice(out, func(i, j int) bool { return SeqLess(out[i], out[j]) })
 	return out
 }
 

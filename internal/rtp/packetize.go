@@ -1,6 +1,7 @@
 package rtp
 
 import (
+	"sort"
 	"time"
 
 	"rtcadapt/internal/codec"
@@ -192,16 +193,23 @@ func (r *Reassembler) Push(pkt *Packet, arrival time.Duration) (CompleteFrame, b
 	return pf.frame, true
 }
 
-// expire abandons pending frames that fell behind the horizon.
+// expire abandons pending frames that fell behind the horizon. Expired
+// ids are recorded in ascending order so the Lost() report does not
+// depend on map iteration order.
 func (r *Reassembler) expire() {
 	if !r.hasNewest {
 		return
 	}
+	var expired []uint32
 	for id := range r.pending {
 		if id+r.Horizon < r.newestID {
-			delete(r.pending, id)
-			r.lost = append(r.lost, id)
+			expired = append(expired, id)
 		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		delete(r.pending, id)
+		r.lost = append(r.lost, id)
 	}
 }
 
