@@ -2,7 +2,7 @@ GO       ?= go
 PKGS     := ./...
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint lint-fix fuzz-smoke bench bench-parallel check
+.PHONY: build test race lint lint-fix fuzz-smoke bench bench-parallel trace-smoke check
 
 build:
 	$(GO) build $(PKGS)
@@ -30,6 +30,19 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReassembler -fuzztime=$(FUZZTIME) ./internal/rtp
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/video
+	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/obs
+
+# Record a short figure-1 session in all three export formats, then diff
+# a same-seed re-run against the first recording: any divergence is a
+# determinism regression. The Chrome JSON is the CI build artifact.
+trace-smoke:
+	mkdir -p build/trace-smoke
+	$(GO) run ./cmd/rtctrace -exp figure1 -duration 5s -out build/trace-smoke/figure1.json
+	$(GO) run ./cmd/rtctrace -exp figure1 -duration 5s -out build/trace-smoke/figure1.csv
+	$(GO) run ./cmd/rtctrace -exp figure1 -duration 5s -out build/trace-smoke/figure1.txt
+	$(GO) run ./cmd/rtctrace -exp figure1 -duration 5s -out build/trace-smoke/rerun.csv
+	$(GO) run ./cmd/rtctrace -diff build/trace-smoke/figure1.csv build/trace-smoke/rerun.csv
+	$(GO) run ./cmd/rtctrace -diff build/trace-smoke/figure1.json build/trace-smoke/figure1.csv
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x $(PKGS)

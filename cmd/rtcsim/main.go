@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,44 +22,82 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+// Every flag problem is diagnosed on stderr before the session runs.
+func run(args []string, stdoutW, stderrW io.Writer) int {
+	stdout := &cli.Printer{W: stdoutW}
+	stderr := &cli.Printer{W: stderrW}
+	code := runCmd(args, stdout, stderr, stderrW)
+	if code == 0 && stdout.Err != nil {
+		//lint:ignore errdrop stderr is the last resort; its own failure has nowhere to go
+		fmt.Fprintf(stderrW, "rtcsim: writing output: %v\n", stdout.Err)
+		return 1
+	}
+	return code
+}
+
+func runCmd(args []string, stdout, stderr *cli.Printer, stderrW io.Writer) int {
+	fs := flag.NewFlagSet("rtcsim", flag.ContinueOnError)
+	fs.SetOutput(stderrW)
 	var (
-		traceKind  = flag.String("trace", "drop", "capacity trace: const | drop | lte | wifi")
-		traceFile  = flag.String("tracefile", "", "CSV capacity trace (overrides -trace)")
-		before     = flag.Float64("before", 2.5e6, "capacity before the drop, bits/s")
-		after      = flag.Float64("after", 0.8e6, "capacity after the drop, bits/s")
-		dropAt     = flag.Duration("dropat", 10*time.Second, "drop instant")
-		controller = flag.String("controller", "adaptive", "controller: native-rc | reset-only | adaptive")
-		estimator  = flag.String("estimator", "gcc", "estimator: gcc | oracle")
-		content    = flag.String("content", "talking-head", "content: talking-head | screen-share | gaming | sports")
-		duration   = flag.Duration("duration", 30*time.Second, "session length")
-		seed       = flag.Int64("seed", 1, "random seed")
-		loss       = flag.Float64("loss", 0, "random loss probability")
-		burstLoss  = flag.Float64("burstloss", 0, "bursty loss rate (Gilbert-Elliott, mean burst 8 pkts)")
-		fbLoss     = flag.Float64("feedbackloss", 0, "reverse-path (feedback) loss probability")
-		nack       = flag.Bool("nack", false, "enable NACK retransmission")
-		fecK       = flag.Int("fec", 0, "FEC group size (0 = off; e.g. 4 = 25% overhead)")
-		resolution = flag.Bool("resolution", false, "enable the adaptive resolution ladder")
-		audioOn    = flag.Bool("audio", false, "add an Opus-like 32 kbps audio stream")
-		tlayers    = flag.Int("tl", 1, "temporal layers (2 = SVC base + droppable enhancement)")
-		probing    = flag.Bool("probe", false, "enable padding probe clusters for fast capacity rediscovery")
-		out        = flag.String("out", "summary", "output: summary | frames | timeline")
+		traceKind  = fs.String("trace", "drop", "capacity trace: const | drop | lte | wifi")
+		traceFile  = fs.String("tracefile", "", "CSV capacity trace (overrides -trace)")
+		before     = fs.Float64("before", 2.5e6, "capacity before the drop, bits/s")
+		after      = fs.Float64("after", 0.8e6, "capacity after the drop, bits/s")
+		dropAt     = fs.Duration("dropat", 10*time.Second, "drop instant")
+		controller = fs.String("controller", "adaptive", "controller: native-rc | reset-only | adaptive")
+		estimator  = fs.String("estimator", "gcc", "estimator: gcc | oracle")
+		content    = fs.String("content", "talking-head", "content: talking-head | screen-share | gaming | sports")
+		duration   = fs.Duration("duration", 30*time.Second, "session length")
+		seed       = fs.Int64("seed", 1, "random seed")
+		loss       = fs.Float64("loss", 0, "random loss probability")
+		burstLoss  = fs.Float64("burstloss", 0, "bursty loss rate (Gilbert-Elliott, mean burst 8 pkts)")
+		fbLoss     = fs.Float64("feedbackloss", 0, "reverse-path (feedback) loss probability")
+		nack       = fs.Bool("nack", false, "enable NACK retransmission")
+		fecK       = fs.Int("fec", 0, "FEC group size (0 = off; e.g. 4 = 25% overhead)")
+		resolution = fs.Bool("resolution", false, "enable the adaptive resolution ladder")
+		audioOn    = fs.Bool("audio", false, "add an Opus-like 32 kbps audio stream")
+		tlayers    = fs.Int("tl", 1, "temporal layers (2 = SVC base + droppable enhancement)")
+		probing    = fs.Bool("probe", false, "enable padding probe clusters for fast capacity rediscovery")
+		out        = fs.String("out", "summary", "output: summary | frames | timeline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		stderr.Printf("rtcsim: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	switch *out {
+	case "summary", "frames", "timeline":
+	default:
+		stderr.Printf("rtcsim: unknown -out %q (want summary | frames | timeline)\n", *out)
+		return 2
+	}
+	switch *estimator {
+	case "gcc", "oracle":
+	default:
+		stderr.Printf("rtcsim: unknown -estimator %q (want gcc | oracle)\n", *estimator)
+		return 2
+	}
 
 	tr, err := cli.BuildTrace(*traceKind, *traceFile, *before, *after, *dropAt, *seed, *duration)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rtcsim:", err)
-		os.Exit(1)
+		stderr.Printf("rtcsim: %v\n", err)
+		return 2
 	}
 	ctrl, err := cli.BuildController(*controller, *resolution)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rtcsim:", err)
-		os.Exit(1)
+		stderr.Printf("rtcsim: %v\n", err)
+		return 2
 	}
 	cls, err := cli.ParseContent(*content)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rtcsim:", err)
-		os.Exit(1)
+		stderr.Printf("rtcsim: %v\n", err)
+		return 2
 	}
 
 	cfg := session.Config{
@@ -83,49 +122,53 @@ func main() {
 			return cc.NewOracle(capacity, 0.95)
 		}
 	}
+	// Surface bad numeric combinations (negative durations, out-of-range
+	// probabilities, ...) as diagnostics, not as a panic out of New.
+	if err := cfg.Validate(); err != nil {
+		stderr.Printf("rtcsim: %v\n", err)
+		return 2
+	}
 	res := session.Run(cfg)
 
 	switch *out {
 	case "summary":
-		printSummary(res)
+		printSummary(stdout, res)
 	case "frames":
-		printFrames(res)
+		printFrames(stdout, res)
 	case "timeline":
-		printTimeline(res)
-	default:
-		fmt.Fprintf(os.Stderr, "rtcsim: unknown -out %q\n", *out)
-		os.Exit(1)
+		printTimeline(stdout, res)
 	}
+	return 0
 }
 
-func printSummary(res session.Result) {
+func printSummary(w *cli.Printer, res session.Result) {
 	r := res.Report
-	fmt.Printf("controller: %s   estimator: %s\n", res.ControllerName, res.EstimatorName)
-	fmt.Printf("frames: %d (delivered %d, skipped %d, dropped %d)\n",
+	w.Printf("controller: %s   estimator: %s\n", res.ControllerName, res.EstimatorName)
+	w.Printf("frames: %d (delivered %d, skipped %d, dropped %d)\n",
 		r.Frames, r.DeliveredFrames, r.SkippedFrames, r.DroppedFrames)
-	fmt.Printf("latency  mean %s ms  P50 %s ms  P95 %s ms  P99 %s ms  max %s ms\n",
+	w.Printf("latency  mean %s ms  P50 %s ms  P95 %s ms  P99 %s ms  max %s ms\n",
 		metrics.Ms(r.MeanNetDelay), metrics.Ms(r.P50NetDelay),
 		metrics.Ms(r.P95NetDelay), metrics.Ms(r.P99NetDelay), metrics.Ms(r.MaxNetDelay))
-	fmt.Printf("display  mean %s ms  P95 %s ms\n",
+	w.Printf("display  mean %s ms  P95 %s ms\n",
 		metrics.Ms(r.MeanDisplayDelay), metrics.Ms(r.P95DisplayDelay))
-	fmt.Printf("quality  displayed SSIM %.4f  encoded SSIM %.4f\n", r.MeanSSIM, r.EncodedSSIM)
-	fmt.Printf("bitrate  %.2f Mbps   freezes %d (longest %s ms)   MOS %.2f\n",
+	w.Printf("quality  displayed SSIM %.4f  encoded SSIM %.4f\n", r.MeanSSIM, r.EncodedSSIM)
+	w.Printf("bitrate  %.2f Mbps   freezes %d (longest %s ms)   MOS %.2f\n",
 		r.Bitrate/1e6, r.FreezeCount, metrics.Ms(r.LongestFreeze), metrics.MOS(r))
-	fmt.Printf("link     delivered %d, queue-dropped %d, loss-dropped %d   PLI %d\n",
+	w.Printf("link     delivered %d, queue-dropped %d, loss-dropped %d   PLI %d\n",
 		res.LinkStats.Delivered, res.LinkStats.DroppedQueue, res.LinkStats.DroppedLoss, res.PLISent)
 	if res.NacksSent > 0 || res.FECRepairs > 0 {
-		fmt.Printf("repair   nacks %d, retransmitted %d, fec repairs %d, fec recovered %d\n",
+		w.Printf("repair   nacks %d, retransmitted %d, fec repairs %d, fec recovered %d\n",
 			res.NacksSent, res.Retransmitted, res.FECRepairs, res.FECRecovered)
 	}
 	if res.Audio != nil {
 		a := res.Audio
-		fmt.Printf("audio    MOS %.2f   loss %.1f%%   mean delay %s ms (sent %d, concealed %d)\n",
+		w.Printf("audio    MOS %.2f   loss %.1f%%   mean delay %s ms (sent %d, concealed %d)\n",
 			a.MOS, a.LossFrac*100, metrics.Ms(a.MeanDelay), a.Sent, a.Concealed)
 	}
 }
 
-func printFrames(res session.Result) {
-	fmt.Println("index,capture_s,outcome,latency_ms,display_ms,bytes,qp,keyframe,ssim")
+func printFrames(w *cli.Printer, res session.Result) {
+	w.Printf("index,capture_s,outcome,latency_ms,display_ms,bytes,qp,keyframe,ssim\n")
 	for _, r := range res.Records {
 		lat, disp := 0.0, 0.0
 		if r.Arrival > 0 {
@@ -134,15 +177,15 @@ func printFrames(res session.Result) {
 		if r.DisplayAt > 0 {
 			disp = r.DisplayDelay().Seconds() * 1000
 		}
-		fmt.Printf("%d,%.3f,%s,%.1f,%.1f,%d,%d,%t,%.4f\n",
+		w.Printf("%d,%.3f,%s,%.1f,%.1f,%d,%d,%t,%.4f\n",
 			r.Index, r.CaptureTS.Seconds(), r.Outcome, lat, disp, r.Bytes, r.QP, r.Keyframe, r.SSIM)
 	}
 }
 
-func printTimeline(res session.Result) {
-	fmt.Println("t_s,capacity_bps,estimate_bps,encoder_bps,linkq_ms,pacerq_ms")
+func printTimeline(w *cli.Printer, res session.Result) {
+	w.Printf("t_s,capacity_bps,estimate_bps,encoder_bps,linkq_ms,pacerq_ms\n")
 	for _, p := range res.Timeline {
-		fmt.Printf("%.1f,%.0f,%.0f,%.0f,%.1f,%.1f\n",
+		w.Printf("%.1f,%.0f,%.0f,%.0f,%.1f,%.1f\n",
 			p.At.Seconds(), p.Capacity, p.Estimate, p.EncoderTarget,
 			p.LinkQueue.Seconds()*1000, p.PacerQueue.Seconds()*1000)
 	}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSummaryRuns(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-duration", "2s", "-trace", "const"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"controller: adaptive", "frames:", "latency"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestBadInvocations: every malformed flag combination must print a
+// diagnostic to stderr and exit nonzero — never panic, never run the
+// session.
+func TestBadInvocations(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such-trace.csv")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"undefined flag", []string{"-frobnicate"}},
+		{"unknown trace kind", []string{"-trace", "carrier-pigeon"}},
+		{"missing trace file", []string{"-tracefile", missing}},
+		{"unknown controller", []string{"-controller", "psychic"}},
+		{"unknown estimator", []string{"-estimator", "astrology"}},
+		{"unknown content", []string{"-content", "cats"}},
+		{"unknown out kind", []string{"-out", "hologram"}},
+		{"loss above one", []string{"-loss", "2"}},
+		{"negative loss", []string{"-loss", "-0.1"}},
+		{"feedback loss above one", []string{"-feedbackloss", "1.5"}},
+		{"negative duration", []string{"-duration", "-5s"}},
+		{"negative fec group", []string{"-fec", "-3"}},
+		{"oversized temporal layers", []string{"-tl", "3"}},
+		{"non-numeric seed", []string{"-seed", "banana"}},
+		{"stray positional", []string{"extra-arg"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("run(%v) succeeded, want nonzero exit", tc.args)
+			}
+			if stderr.Len() == 0 {
+				t.Errorf("run(%v): no diagnostic on stderr", tc.args)
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("run(%v): wrote to stdout despite failing: %s", tc.args, stdout.String())
+			}
+		})
+	}
+}

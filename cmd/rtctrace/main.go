@@ -1,0 +1,264 @@
+// Command rtctrace drives the flight recorder: it runs one session with
+// recording enabled and exports the trace, inspects a trace file, or
+// diffs two traces event by event.
+//
+// Examples:
+//
+//	rtctrace -exp figure1 -out trace.json   # Chrome trace JSON (load in Perfetto)
+//	rtctrace -exp figure1 -out trace.csv    # canonical CSV
+//	rtctrace -exp figure1                   # ASCII timeline on stdout
+//	rtctrace -inspect trace.json            # counters + timeline of a saved trace
+//	rtctrace -diff a.csv b.json             # exit 1 at the first divergent event
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rtcadapt/internal/cli"
+	"rtcadapt/internal/obs"
+	"rtcadapt/internal/plot"
+	"rtcadapt/internal/session"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdoutW, stderrW io.Writer) int {
+	stdout := &cli.Printer{W: stdoutW}
+	stderr := &cli.Printer{W: stderrW}
+	code := runCmd(args, stdout, stderr, stderrW)
+	if code == 0 && stdout.Err != nil {
+		//lint:ignore errdrop stderr is the last resort; its own failure has nowhere to go
+		fmt.Fprintf(stderrW, "rtctrace: writing output: %v\n", stdout.Err)
+		return 1
+	}
+	return code
+}
+
+func runCmd(args []string, stdout, stderr *cli.Printer, stderrW io.Writer) int {
+	fs := flag.NewFlagSet("rtctrace", flag.ContinueOnError)
+	fs.SetOutput(stderrW)
+	var (
+		exp        = fs.String("exp", "", "experiment preset: figure1 (2.5->0.8 Mbps drop at 10s, talking-head, adaptive)")
+		traceKind  = fs.String("trace", "drop", "capacity trace: const | drop | lte | wifi")
+		traceFile  = fs.String("tracefile", "", "CSV capacity trace (overrides -trace)")
+		before     = fs.Float64("before", 2.5e6, "capacity before the drop, bits/s")
+		after      = fs.Float64("after", 0.8e6, "capacity after the drop, bits/s")
+		dropAt     = fs.Duration("dropat", 10*time.Second, "drop instant")
+		controller = fs.String("controller", "adaptive", "controller: native-rc | reset-only | adaptive")
+		content    = fs.String("content", "talking-head", "content: talking-head | screen-share | gaming | sports")
+		duration   = fs.Duration("duration", 30*time.Second, "session length")
+		seed       = fs.Int64("seed", 1, "random seed")
+		loss       = fs.Float64("loss", 0, "random loss probability")
+		capacity   = fs.Int("capacity", 0, "recorder ring capacity in events (0 = default)")
+		out        = fs.String("out", "", "output file; empty renders the ASCII timeline to stdout")
+		format     = fs.String("format", "", "export format: chrome | csv | ascii (default: by -out extension)")
+		width      = fs.Int("width", 64, "ASCII timeline width in buckets")
+		inspect    = fs.Bool("inspect", false, "inspect the trace file given as the positional argument")
+		diff       = fs.Bool("diff", false, "diff the two trace files given as positional arguments")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *inspect && *diff:
+		stderr.Printf("rtctrace: -inspect and -diff are mutually exclusive\n")
+		return 2
+	case *inspect:
+		if fs.NArg() != 1 {
+			stderr.Printf("rtctrace: -inspect needs exactly one trace file\n")
+			return 2
+		}
+		return runInspect(fs.Arg(0), *width, stdout, stderr)
+	case *diff:
+		if fs.NArg() != 2 {
+			stderr.Printf("rtctrace: -diff needs exactly two trace files\n")
+			return 2
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), stdout, stderr)
+	case fs.NArg() != 0:
+		stderr.Printf("rtctrace: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	return runRecord(recordOpts{
+		exp: *exp, traceKind: *traceKind, traceFile: *traceFile,
+		before: *before, after: *after, dropAt: *dropAt,
+		controller: *controller, content: *content,
+		duration: *duration, seed: *seed, loss: *loss,
+		capacity: *capacity, out: *out, format: *format, width: *width,
+	}, stdout, stderr)
+}
+
+// recordOpts carries the record-mode flag values.
+type recordOpts struct {
+	exp, traceKind, traceFile string
+	before, after, loss       float64
+	dropAt, duration          time.Duration
+	controller, content, out  string
+	format                    string
+	seed                      int64
+	capacity, width           int
+}
+
+// exportFormat resolves the output format from the -format override or
+// the -out extension.
+func exportFormat(out, format string) (string, error) {
+	if format != "" {
+		switch format {
+		case "chrome", "csv", "ascii":
+			return format, nil
+		}
+		return "", fmt.Errorf("unknown -format %q (want chrome | csv | ascii)", format)
+	}
+	switch filepath.Ext(out) {
+	case ".json":
+		return "chrome", nil
+	case ".csv":
+		return "csv", nil
+	default:
+		return "ascii", nil
+	}
+}
+
+// runRecord runs one recorded session and exports the trace.
+func runRecord(o recordOpts, stdout, stderr *cli.Printer) int {
+	if o.exp != "" {
+		switch o.exp {
+		case "figure1":
+			o.traceKind, o.traceFile = "drop", ""
+			o.before, o.after, o.dropAt = 2.5e6, 0.8e6, 10*time.Second
+			o.content, o.controller, o.loss = "talking-head", "adaptive", 0
+		default:
+			stderr.Printf("rtctrace: unknown -exp %q (want figure1)\n", o.exp)
+			return 2
+		}
+	}
+	fmtName, err := exportFormat(o.out, o.format)
+	if err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 2
+	}
+	tr, err := cli.BuildTrace(o.traceKind, o.traceFile, o.before, o.after, o.dropAt, o.seed, o.duration)
+	if err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 2
+	}
+	ctrl, err := cli.BuildController(o.controller, false)
+	if err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 2
+	}
+	cls, err := cli.ParseContent(o.content)
+	if err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 2
+	}
+	rec := obs.NewRecorder(o.capacity)
+	cfg := session.Config{
+		Duration:   o.duration,
+		Seed:       o.seed,
+		Content:    cls,
+		Trace:      tr,
+		LossProb:   o.loss,
+		Controller: ctrl,
+		Recorder:   rec,
+	}
+	if err := cfg.Validate(); err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 2
+	}
+	session.Run(cfg)
+	snap := rec.Snapshot()
+
+	if o.out == "" {
+		stdout.Printf("%s", plot.ObsTimeline(snap, o.width))
+		return 0
+	}
+	f, err := os.Create(o.out)
+	if err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 1
+	}
+	switch fmtName {
+	case "chrome":
+		err = obs.WriteChromeJSON(f, snap)
+	case "csv":
+		err = obs.WriteCSV(f, snap)
+	case "ascii":
+		_, err = io.WriteString(f, plot.ObsTimeline(snap, o.width))
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 1
+	}
+	stdout.Printf("recorded %d events (%d dropped), %d counters; wrote %s (%s)\n",
+		len(snap.Events), snap.DroppedEvents, len(snap.Counters), o.out, fmtName)
+	return 0
+}
+
+// readTraceFile loads one trace file through the format-sniffing reader.
+func readTraceFile(path string) (*obs.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := obs.ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// runInspect prints a summary, the counters, and the ASCII timeline of a
+// saved trace.
+func runInspect(path string, width int, stdout, stderr *cli.Printer) int {
+	t, err := readTraceFile(path)
+	if err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 1
+	}
+	var span time.Duration
+	if n := len(t.Events); n > 0 {
+		span = t.Events[n-1].At - t.Events[0].At
+	}
+	stdout.Printf("%s: %d events over %.3fs, %d dropped\n",
+		path, len(t.Events), span.Seconds(), t.DroppedEvents)
+	for _, c := range t.Counters {
+		stdout.Printf("  %-36s %g\n", c.Name, c.Value)
+	}
+	stdout.Printf("%s", plot.ObsTimeline(t, width))
+	return 0
+}
+
+// runDiff reports the first divergence between two traces; exit 0 means
+// identical.
+func runDiff(pathA, pathB string, stdout, stderr *cli.Printer) int {
+	a, err := readTraceFile(pathA)
+	if err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 1
+	}
+	b, err := readTraceFile(pathB)
+	if err != nil {
+		stderr.Printf("rtctrace: %v\n", err)
+		return 1
+	}
+	if d := obs.Diff(a, b); d != nil {
+		stdout.Printf("traces diverge: %s\n", d)
+		return 1
+	}
+	stdout.Printf("traces identical: %d events, %d counters\n", len(a.Events), len(a.Counters))
+	return 0
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rtcadapt/internal/fb"
+	"rtcadapt/internal/obs"
 	"rtcadapt/internal/stats"
 )
 
@@ -31,6 +32,10 @@ type GCCConfig struct {
 	// IncreaseFactor is the multiplicative increase rate per second in
 	// the Increase state. Default 1.08.
 	IncreaseFactor float64
+	// Recorder, when non-nil, receives an EstimateUpdated event after
+	// every feedback batch (the flight recorder's cc track). Nil
+	// disables recording at zero cost.
+	Recorder *obs.Recorder
 }
 
 // Validate checks the configuration for impossible parameterizations and
@@ -198,6 +203,11 @@ func (g *GCC) OnPacketResults(now time.Duration, results []fb.PacketResult) {
 		g.lossEWMA.Update(float64(lost) / float64(total))
 	}
 	g.updateRate(now)
+	if g.cfg.Recorder != nil {
+		snap := g.Snapshot(now)
+		g.cfg.Recorder.EstimateUpdated(snap.Target, snap.Usage.String(),
+			snap.QueueDelay, snap.LossFraction, snap.AckRate)
+	}
 }
 
 // onArrival runs inter-group delay-gradient accounting for one delivered

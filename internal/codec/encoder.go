@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"rtcadapt/internal/obs"
 	"rtcadapt/internal/stats"
 	"rtcadapt/internal/video"
 )
@@ -73,6 +74,10 @@ type Config struct {
 	NoiseCV float64
 	// Seed seeds the encoder's private PRNG.
 	Seed int64
+	// Recorder receives a FrameEncoded and VBVState event per encode
+	// (the flight recorder's codec track). Nil disables recording at
+	// zero cost.
+	Recorder *obs.Recorder
 }
 
 // Validate checks the configuration for impossible parameterizations and
@@ -319,6 +324,8 @@ func (e *Encoder) Encode(f video.Frame, d Directives) EncodedFrame {
 		e.sinceIDR++
 		// Skips do not accrue wanted bits: the controller chose not to
 		// spend this frame's budget.
+		e.cfg.Recorder.FrameEncoded(f.Index, TypeSkip.String(), 0, 0, e.lastSSIM, e.scale)
+		e.cfg.Recorder.VBVState(e.vbvFill, e.vbvSize)
 		return EncodedFrame{
 			Index:       f.Index,
 			PTS:         f.PTS,
@@ -405,6 +412,10 @@ func (e *Encoder) Encode(f video.Frame, d Directives) EncodedFrame {
 
 	encTime := time.Duration((200 + cplx*0.25) * float64(time.Microsecond))
 	encTime = time.Duration(e.rng.Jitter(float64(encTime), 0.1))
+
+	e.cfg.Recorder.FrameEncoded(f.Index, ftype.String(), (int(math.Round(bits))+7)/8,
+		int(math.Round(qp)), ssim, e.scale)
+	e.cfg.Recorder.VBVState(e.vbvFill, e.vbvSize)
 
 	return EncodedFrame{
 		Index:         f.Index,

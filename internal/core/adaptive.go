@@ -6,6 +6,7 @@ import (
 
 	"rtcadapt/internal/cc"
 	"rtcadapt/internal/codec"
+	"rtcadapt/internal/obs"
 	"rtcadapt/internal/stats"
 )
 
@@ -124,6 +125,10 @@ type Adaptive struct {
 	// Counters exposed for tests and experiment output.
 	drops, skips, suppressedKF int
 	resolutionSwitches         int
+
+	// rec is the optional flight recorder (nil = off); session.New
+	// threads it through via obs.Instrumentable.
+	rec *obs.Recorder
 }
 
 // resolutionLadder maps a target bitrate to the encode scale that keeps
@@ -167,6 +172,11 @@ func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
 
 // Name implements Controller.
 func (a *Adaptive) Name() string { return "adaptive" }
+
+// SetRecorder implements obs.Instrumentable: controller decisions
+// (drop entries, mode transitions, skips, keyframe suppressions) become
+// trace events. A nil recorder disables recording.
+func (a *Adaptive) SetRecorder(r *obs.Recorder) { a.rec = r }
 
 // Mode returns the controller's current state name (for tracing).
 func (a *Adaptive) Mode() string { return a.mode.String() }
@@ -212,6 +222,7 @@ func (a *Adaptive) OnFeedback(now time.Duration, snap cc.Snapshot) {
 			if a.drainedFor >= 3 {
 				a.mode = modeRecovery
 				a.skipping = false
+				a.rec.ControllerAction("enter-recovery", a.target)
 			}
 		} else {
 			a.drainedFor = 0
@@ -227,6 +238,7 @@ func (a *Adaptive) OnFeedback(now time.Duration, snap cc.Snapshot) {
 		if a.target >= snap.Target {
 			a.target = snap.Target
 			a.mode = modeNormal
+			a.rec.ControllerAction("enter-normal", a.target)
 		}
 	}
 }
@@ -246,6 +258,7 @@ func (a *Adaptive) enterDrop(now time.Duration) {
 	a.drainedFor = 0
 	a.drops++
 	a.target = a.dropTarget(a.latest.Target)
+	a.rec.DropDetected(a.target, a.fast.Value(), a.slow.Value())
 	// Reset the slow tracker so a sustained lower rate becomes the new
 	// normal instead of re-triggering forever.
 	a.slow.Set(a.latest.Target)
@@ -292,6 +305,7 @@ func (a *Adaptive) BeforeEncode(ctx FrameContext) codec.Directives {
 				a.skipRun++
 				a.skips++
 				d.Skip = true
+				a.rec.FrameSkipped(ctx.Frame.Index, backlog)
 				return d
 			}
 			// Probe frame: keep feedback flowing so the backlog
@@ -327,6 +341,7 @@ func (a *Adaptive) BeforeEncode(ctx FrameContext) codec.Directives {
 	if !a.cfg.DisableKFSuppress && !d.ForceKeyframe && backlog > 100*time.Millisecond {
 		if ctx.Frame.SceneCut {
 			a.suppressedKF++
+			a.rec.KeyframeSuppressed(ctx.Frame.Index)
 		}
 		d.ForbidKeyframe = true
 	}

@@ -59,7 +59,7 @@ func (r *Runner) Figure9(seeds []int64) []Figure9Row {
 		}
 	}
 	type recvSample struct {
-		p95            time.Duration
+		p95             time.Duration
 		frac, ssim, mos float64
 	}
 	samples := mapCells(r, len(cells), func(i int) string {

@@ -23,7 +23,7 @@ import "strings"
 //	  |          internal/video
 //	  |
 //	data         internal/audio  internal/fb  internal/metrics
-//	  |          internal/trace
+//	  |          internal/obs  internal/trace
 //	  |
 //	foundation   internal/simtime  internal/stats
 //
@@ -52,7 +52,7 @@ type Layer struct {
 // packages the table does not place.
 var LayerTable = []Layer{
 	{Name: "foundation", Pkgs: []string{"internal/simtime", "internal/stats"}},
-	{Name: "data", Pkgs: []string{"internal/audio", "internal/fb", "internal/metrics", "internal/trace"}},
+	{Name: "data", Pkgs: []string{"internal/audio", "internal/fb", "internal/metrics", "internal/obs", "internal/trace"}},
 	{Name: "model", AllowIntra: true, Pkgs: []string{"internal/cc", "internal/codec", "internal/fec", "internal/netem", "internal/pacer", "internal/rtp", "internal/video"}},
 	{Name: "engine", Pkgs: []string{"internal/core"}},
 	{Name: "harness", AllowIntra: true, Pkgs: []string{"internal/session", "internal/sfu"}},

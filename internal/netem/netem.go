@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"rtcadapt/internal/obs"
 	"rtcadapt/internal/simtime"
 	"rtcadapt/internal/stats"
 	"rtcadapt/internal/trace"
@@ -58,6 +59,10 @@ type Config struct {
 	QueueLimitBytes int
 	// Seed seeds the link's private PRNG (jitter, loss).
 	Seed int64
+	// Recorder receives PacketLost and PacketDelivered events (the
+	// flight recorder's netem track). Nil disables recording at zero
+	// cost.
+	Recorder *obs.Recorder
 }
 
 // Stats are the link's lifetime counters.
@@ -157,6 +162,7 @@ func (l *Link) Capacity() float64 {
 func (l *Link) Send(pkt Packet) bool {
 	if l.queuedBytes+pkt.Size > l.cfg.QueueLimitBytes {
 		l.stats.DroppedQueue++
+		l.cfg.Recorder.PacketLost(obs.TrackNetem, pkt.Size, "queue")
 		return false
 	}
 	pkt.EnqueuedAt = l.sched.Now()
@@ -215,6 +221,7 @@ func (l *Link) finishTx(pkt Packet) {
 	}
 	if lost {
 		l.stats.DroppedLoss++
+		l.cfg.Recorder.PacketLost(obs.TrackNetem, pkt.Size, "loss")
 	} else {
 		delay := l.cfg.PropDelay
 		if l.cfg.JitterAmp > 0 {
@@ -223,6 +230,7 @@ func (l *Link) finishTx(pkt Packet) {
 		l.sched.After(delay, func() {
 			l.stats.Delivered++
 			l.stats.BytesDelivered += int64(pkt.Size)
+			l.cfg.Recorder.PacketDelivered(pkt.Size)
 			if l.recv != nil {
 				l.recv.Deliver(pkt, l.sched.Now())
 			}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence describes the first point where two traces disagree. The
+// differ turns "parallel output changed" or "seed purity broke" from a
+// byte-diff mystery into a pinpointed event: the first estimator update,
+// controller action, or packet fate where two runs took different paths.
+type Divergence struct {
+	// Index is the event index at which the traces diverge, or -1 when
+	// the events agree and only counters/meta differ.
+	Index int
+	// Field names what disagrees (e.g. "attr target", "kind", "length").
+	Field string
+	// A and B render the diverging values from each trace.
+	A, B string
+}
+
+// String formats the divergence for humans.
+func (d *Divergence) String() string {
+	if d.Index >= 0 {
+		return fmt.Sprintf("first divergence at event %d (%s):\n  a: %s\n  b: %s",
+			d.Index, d.Field, d.A, d.B)
+	}
+	return fmt.Sprintf("events identical; %s diverges:\n  a: %s\n  b: %s", d.Field, d.A, d.B)
+}
+
+// FormatEvent renders one event as a single diff-friendly line.
+func FormatEvent(ev Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq=%d at=%v %s/%s", ev.Seq, ev.At, ev.Track, ev.Kind)
+	for _, a := range ev.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value())
+	}
+	return b.String()
+}
+
+// diffEvents reports how two events differ, or "" when identical.
+func diffEvents(a, b Event) string {
+	switch {
+	case a.Seq != b.Seq:
+		return "seq"
+	case a.At != b.At:
+		return "timestamp"
+	case a.Track != b.Track:
+		return "track"
+	case a.Kind != b.Kind:
+		return "kind"
+	case len(a.Attrs) != len(b.Attrs):
+		return "attr count"
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i].Key != b.Attrs[i].Key {
+			return fmt.Sprintf("attr %d key", i)
+		}
+		if a.Attrs[i].Value() != b.Attrs[i].Value() {
+			return "attr " + a.Attrs[i].Key
+		}
+	}
+	return ""
+}
+
+// Diff compares two traces and returns the first divergence, or nil when
+// they are identical. Events are compared in order on every field;
+// counters and the dropped-event count are compared after the events.
+func Diff(a, b *Trace) *Divergence {
+	n := len(a.Events)
+	if len(b.Events) < n {
+		n = len(b.Events)
+	}
+	for i := 0; i < n; i++ {
+		if field := diffEvents(a.Events[i], b.Events[i]); field != "" {
+			return &Divergence{
+				Index: i, Field: field,
+				A: FormatEvent(a.Events[i]), B: FormatEvent(b.Events[i]),
+			}
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		d := &Divergence{
+			Index: n, Field: "length",
+			A: fmt.Sprintf("%d events", len(a.Events)),
+			B: fmt.Sprintf("%d events", len(b.Events)),
+		}
+		if len(a.Events) > n {
+			d.A = FormatEvent(a.Events[n])
+			d.Field = "extra event in a"
+		} else {
+			d.B = FormatEvent(b.Events[n])
+			d.Field = "extra event in b"
+		}
+		return d
+	}
+	cn := len(a.Counters)
+	if len(b.Counters) < cn {
+		cn = len(b.Counters)
+	}
+	for i := 0; i < cn; i++ {
+		ca, cb := a.Counters[i], b.Counters[i]
+		// Compare canonical renderings: trace files store the shortest
+		// round-trip form, so string equality is the file-level contract.
+		if ca.Name != cb.Name || formatNum(ca.Value) != formatNum(cb.Value) {
+			return &Divergence{
+				Index: -1, Field: "counter " + ca.Name,
+				A: fmt.Sprintf("%s=%s", ca.Name, formatNum(ca.Value)),
+				B: fmt.Sprintf("%s=%s", cb.Name, formatNum(cb.Value)),
+			}
+		}
+	}
+	if len(a.Counters) != len(b.Counters) {
+		return &Divergence{
+			Index: -1, Field: "counter count",
+			A: fmt.Sprintf("%d counters", len(a.Counters)),
+			B: fmt.Sprintf("%d counters", len(b.Counters)),
+		}
+	}
+	if a.DroppedEvents != b.DroppedEvents {
+		return &Divergence{
+			Index: -1, Field: "dropped events",
+			A: fmt.Sprintf("%d", a.DroppedEvents),
+			B: fmt.Sprintf("%d", b.DroppedEvents),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(seq uint64, at time.Duration, track string, kind Kind, attrs ...Attr) Event {
+	return Event{Seq: seq, At: at, Track: track, Kind: kind, Attrs: attrs}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := sampleTrace()
+	b := sampleTrace()
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("identical traces diverge: %s", d)
+	}
+}
+
+func TestDiffPinpointsFirstDivergentEvent(t *testing.T) {
+	mk := func(target float64) *Trace {
+		return &Trace{Events: []Event{
+			ev(0, 0, TrackSession, KindPLISent),
+			ev(1, time.Second, TrackCC, KindEstimateUpdated, num("target", target)),
+			ev(2, 2*time.Second, TrackSession, KindPLISent),
+		}}
+	}
+	d := Diff(mk(1e6), mk(9e5))
+	if d == nil {
+		t.Fatal("divergent traces compared equal")
+	}
+	if d.Index != 1 {
+		t.Fatalf("divergence at index %d, want 1", d.Index)
+	}
+	if d.Field != "attr target" {
+		t.Fatalf("field = %q, want attr target", d.Field)
+	}
+	if !strings.Contains(d.A, "target=1e+06") || !strings.Contains(d.B, "target=900000") {
+		t.Fatalf("rendered values wrong:\n%s", d)
+	}
+}
+
+func TestDiffTimestampAndKind(t *testing.T) {
+	a := &Trace{Events: []Event{ev(0, time.Second, TrackCC, KindEstimateUpdated)}}
+	b := &Trace{Events: []Event{ev(0, 2*time.Second, TrackCC, KindEstimateUpdated)}}
+	if d := Diff(a, b); d == nil || d.Field != "timestamp" {
+		t.Fatalf("timestamp divergence not detected: %v", d)
+	}
+	c := &Trace{Events: []Event{ev(0, time.Second, TrackCC, KindDropDetected)}}
+	if d := Diff(a, c); d == nil || d.Field != "kind" {
+		t.Fatalf("kind divergence not detected: %v", d)
+	}
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	a := &Trace{Events: []Event{ev(0, 0, TrackSession, KindPLISent)}}
+	b := &Trace{Events: []Event{
+		ev(0, 0, TrackSession, KindPLISent),
+		ev(1, time.Second, TrackSession, KindPLISent),
+	}}
+	d := Diff(a, b)
+	if d == nil || d.Index != 1 || !strings.Contains(d.Field, "extra event in b") {
+		t.Fatalf("length divergence = %v", d)
+	}
+}
+
+func TestDiffCounters(t *testing.T) {
+	base := func() *Trace {
+		return &Trace{Counters: []Counter{{"codec.frames", 900}, {"session.pli_sent", 2}}}
+	}
+	a, b := base(), base()
+	b.Counters[1].Value = 3
+	d := Diff(a, b)
+	if d == nil || d.Index != -1 || d.Field != "counter session.pli_sent" {
+		t.Fatalf("counter divergence = %v", d)
+	}
+	c := base()
+	c.DroppedEvents = 5
+	if d := Diff(base(), c); d == nil || d.Field != "dropped events" {
+		t.Fatalf("dropped-events divergence = %v", d)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"rtcadapt/internal/simtime"
+)
+
+// sampleTrace builds a small trace exercising every attribute shape.
+func sampleTrace() *Trace {
+	sched := simtime.NewScheduler()
+	r := NewRecorder(0)
+	r.SetClock(sched)
+	sched.At(50*time.Millisecond, func() {
+		r.EstimateUpdated(1.25e6, "normal", 3*time.Millisecond, 0.004, 1.1e6)
+		r.FrameEncoded(0, "I", 5400, 28, 0.981, 1)
+	})
+	sched.At(100*time.Millisecond, func() {
+		r.DropDetected(0.8e6, 0.8e6, 1.1e6)
+		r.FrameSkipped(3, 260*time.Millisecond)
+		r.PacketLost(TrackNetem, 1200, "queue")
+		r.QueueDepth("link", 42000, 130*time.Millisecond)
+		r.PLISent()
+	})
+	sched.Run()
+	return r.Snapshot()
+}
+
+// tracesEqual compares via the differ, failing with the divergence.
+func tracesEqual(t *testing.T, a, b *Trace) {
+	t.Helper()
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("traces differ: %s", d)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v\n%s", err, buf.String())
+	}
+	tracesEqual(t, tr, got)
+}
+
+func TestChromeJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// The export must be well-formed JSON (Perfetto/chrome://tracing
+	// loads a plain array of event objects).
+	var generic []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &generic); err != nil {
+		t.Fatalf("chrome export is not a JSON array: %v", err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got)
+}
+
+func TestExportsAreByteDeterministic(t *testing.T) {
+	a, b := sampleTrace(), sampleTrace()
+	for _, write := range []struct {
+		name string
+		fn   func(*bytes.Buffer, *Trace) error
+	}{
+		{"csv", func(buf *bytes.Buffer, tr *Trace) error { return WriteCSV(buf, tr) }},
+		{"chrome", func(buf *bytes.Buffer, tr *Trace) error { return WriteChromeJSON(buf, tr) }},
+	} {
+		var bufA, bufB bytes.Buffer
+		if err := write.fn(&bufA, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := write.fn(&bufB, b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Fatalf("%s export of two identical recordings differs", write.name)
+		}
+	}
+}
+
+func TestFormatsAgree(t *testing.T) {
+	// Reading the CSV and the Chrome JSON of one trace must produce
+	// identical traces: the differ works across formats.
+	tr := sampleTrace()
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeJSON(&jsonBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadTrace(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadTrace(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, fromCSV, fromJSON)
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"empty", ""},
+		{"whitespace", "  \n\t"},
+		{"bad header", "a,b,c\n1,2,3\n"},
+		{"bad seq", "type,seq,at_ns,track,kind,attrs\nevent,x,0,cc,E,\n"},
+		{"bad at_ns", "type,seq,at_ns,track,kind,attrs\nevent,0,x,cc,E,\n"},
+		{"empty kind", "type,seq,at_ns,track,kind,attrs\nevent,0,0,cc,,\n"},
+		{"bad attr", "type,seq,at_ns,track,kind,attrs\nevent,0,0,cc,E,noequals\n"},
+		{"bad row type", "type,seq,at_ns,track,kind,attrs\nbogus,0,0,cc,E,\n"},
+		{"bad counter", "type,seq,at_ns,track,kind,attrs\ncounter,,,,x,notanumber\n"},
+		{"truncated json", `[{"name":"x","ph":"i"`},
+		{"json not array", `{"name":"x"}`},
+		{"json missing seq", `[{"name":"x","cat":"cc","ph":"i","args":{"at_ns":1}}]`},
+		{"json missing at_ns", `[{"name":"x","cat":"cc","ph":"i","args":{"seq":0}}]`},
+		{"json bad phase", `[{"name":"x","cat":"cc","ph":"X","args":{}}]`},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTrace(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: ReadTrace accepted malformed input", tc.name)
+		}
+	}
+}

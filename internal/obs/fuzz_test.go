@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace ensures arbitrary trace-file input never panics the
+// reader: malformed CSV or JSON must return an error, and accepted input
+// must survive a write/read round trip through the canonical CSV format.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with both well-formed formats plus near-miss corruptions.
+	var csvBuf, jsonBuf bytes.Buffer
+	tr := sampleTrace()
+	if err := WriteCSV(&csvBuf, tr); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteChromeJSON(&jsonBuf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(csvBuf.String())
+	f.Add(jsonBuf.String())
+	f.Add("type,seq,at_ns,track,kind,attrs\nevent,0,0,cc,E,k=v\n")
+	f.Add(`[{"name":"E","cat":"cc","ph":"i","args":{"seq":0,"at_ns":0}}]`)
+	f.Add("")
+	f.Add("[")
+	f.Add("{}")
+	f.Add("type,seq,at_ns,track,kind,attrs\nevent,9999999999999999999999,0,cc,E,\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted traces must re-export and re-read cleanly and
+		// identically: the canonical CSV form is a fixed point.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, got); err != nil {
+			t.Fatalf("re-export of accepted trace failed: %v", err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-read of re-exported trace failed: %v", err)
+		}
+		if d := Diff(got, again); d != nil {
+			t.Fatalf("canonical round trip not a fixed point: %s", d)
+		}
+	})
+}

@@ -8,6 +8,7 @@ package pacer
 import (
 	"time"
 
+	"rtcadapt/internal/obs"
 	"rtcadapt/internal/simtime"
 )
 
@@ -25,6 +26,10 @@ type Config struct {
 	// MaxQueueBytes bounds the pacer queue; excess packets are dropped
 	// and counted. Default 1 MB.
 	MaxQueueBytes int
+	// Recorder receives a PacketLost event per queue-overflow drop (the
+	// flight recorder's pacer track). Nil disables recording at zero
+	// cost.
+	Recorder *obs.Recorder
 }
 
 // Pacer spaces queued packets onto the network at Factor x Rate. Not safe
@@ -94,6 +99,7 @@ func (p *Pacer) Sent() (packets int, bytes int64) { return p.sentPkts, p.sentByt
 func (p *Pacer) Enqueue(payload any, wireSize int) {
 	if p.queuedBytes+wireSize > p.cfg.MaxQueueBytes {
 		p.dropped++
+		p.cfg.Recorder.PacketLost(obs.TrackPacer, wireSize, "overflow")
 		return
 	}
 	p.queue = append(p.queue, item{payload: payload, size: wireSize})

@@ -1,0 +1,132 @@
+package plot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rtcadapt/internal/obs"
+)
+
+// densityRamp maps bucket occupancy (relative to the busiest bucket of
+// the same track) to a character, light to dark.
+var densityRamp = []byte{'.', ':', '-', '=', '+', '*', '#', '@'}
+
+// obsTrackOrder pins the canonical subsystems to their pipeline order;
+// unknown tracks sort after them alphabetically.
+var obsTrackOrder = map[string]int{
+	obs.TrackCC:         0,
+	obs.TrackController: 1,
+	obs.TrackCodec:      2,
+	obs.TrackPacer:      3,
+	obs.TrackSession:    4,
+	obs.TrackNetem:      5,
+}
+
+// ObsTimeline renders a recorded trace as one ASCII density row per
+// track: each cell is a time bucket shaded by how many events that
+// subsystem emitted in it, with drop-state entries overlaid as 'D' — a
+// terminal-sized view of the causal chain (estimate falls, controller
+// acts, queue drains). width is the bucket count; <= 0 takes 64.
+func ObsTimeline(t *obs.Trace, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if t == nil || len(t.Events) == 0 {
+		return "(empty trace)\n"
+	}
+
+	span := t.Events[len(t.Events)-1].At
+	if span <= 0 {
+		span = time.Nanosecond
+	}
+	bucket := func(at time.Duration) int {
+		i := int(int64(at) * int64(width) / (int64(span) + 1))
+		if i >= width {
+			i = width - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+
+	counts := make(map[string][]int)
+	drops := make(map[string][]bool)
+	for _, ev := range t.Events {
+		row := counts[ev.Track]
+		if row == nil {
+			row = make([]int, width)
+			counts[ev.Track] = row
+			drops[ev.Track] = make([]bool, width)
+		}
+		b := bucket(ev.At)
+		row[b]++
+		if ev.Kind == obs.KindDropDetected {
+			drops[ev.Track][b] = true
+		}
+	}
+
+	tracks := make([]string, 0, len(counts))
+	for track := range counts {
+		tracks = append(tracks, track)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		oi, iOK := obsTrackOrder[tracks[i]]
+		oj, jOK := obsTrackOrder[tracks[j]]
+		switch {
+		case iOK && jOK:
+			return oi < oj
+		case iOK != jOK:
+			return iOK // canonical tracks first
+		default:
+			return tracks[i] < tracks[j]
+		}
+	})
+
+	nameWidth := 0
+	for _, track := range tracks {
+		if len(track) > nameWidth {
+			nameWidth = len(track)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "obs timeline: %d events over %.3fs, %d buckets of %.1fms\n",
+		len(t.Events), span.Seconds(), width, span.Seconds()*1000/float64(width))
+	hasDrop := false
+	for _, track := range tracks {
+		row := counts[track]
+		maxCount := 0
+		for _, c := range row {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		cells := make([]byte, width)
+		for i, c := range row {
+			switch {
+			case drops[track][i]:
+				cells[i] = 'D'
+				hasDrop = true
+			case c == 0:
+				cells[i] = ' '
+			default:
+				idx := (c*len(densityRamp) - 1) / maxCount
+				if idx >= len(densityRamp) {
+					idx = len(densityRamp) - 1
+				}
+				cells[i] = densityRamp[idx]
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameWidth, track, cells)
+	}
+	fmt.Fprintf(&b, "%-*s  0s%*s\n", nameWidth, "", width-1, fmt.Sprintf("%.3fs", span.Seconds()))
+	fmt.Fprintf(&b, "density %s = events per bucket (per-track scale)", densityRamp)
+	if hasDrop {
+		b.WriteString("   D = DropDetected")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rtcadapt/internal/obs"
+	"rtcadapt/internal/simtime"
+)
+
+func timelineTrace(t *testing.T) *obs.Trace {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	r := obs.NewRecorder(0)
+	r.SetClock(sched)
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		sched.At(at, func() { r.EstimateUpdated(1e6, "normal", 0, 0, 9e5) })
+	}
+	sched.At(2500*time.Millisecond, func() { r.DropDetected(8e5, 8e5, 1e6) })
+	sched.Run()
+	return r.Snapshot()
+}
+
+func TestObsTimeline(t *testing.T) {
+	out := ObsTimeline(timelineTrace(t), 40)
+	if !strings.Contains(out, "cc ") {
+		t.Fatalf("missing cc track row:\n%s", out)
+	}
+	if !strings.Contains(out, "controller") {
+		t.Fatalf("missing controller track row:\n%s", out)
+	}
+	if !strings.Contains(out, "D") || !strings.Contains(out, "D = DropDetected") {
+		t.Fatalf("drop marker missing:\n%s", out)
+	}
+	// cc (pipeline order 0) renders above controller.
+	if strings.Index(out, "cc ") > strings.Index(out, "controller") {
+		t.Fatalf("tracks out of canonical order:\n%s", out)
+	}
+}
+
+func TestObsTimelineEmpty(t *testing.T) {
+	if got := ObsTimeline(&obs.Trace{}, 0); got != "(empty trace)\n" {
+		t.Fatalf("empty trace rendered %q", got)
+	}
+	if got := ObsTimeline(nil, 10); got != "(empty trace)\n" {
+		t.Fatalf("nil trace rendered %q", got)
+	}
+}
+
+func TestObsTimelineDeterministic(t *testing.T) {
+	a := ObsTimeline(timelineTrace(t), 64)
+	b := ObsTimeline(timelineTrace(t), 64)
+	if a != b {
+		t.Fatal("timeline render is nondeterministic")
+	}
+}

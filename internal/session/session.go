@@ -23,6 +23,7 @@ import (
 	"rtcadapt/internal/fec"
 	"rtcadapt/internal/metrics"
 	"rtcadapt/internal/netem"
+	"rtcadapt/internal/obs"
 	"rtcadapt/internal/pacer"
 	"rtcadapt/internal/rtp"
 	"rtcadapt/internal/simtime"
@@ -120,6 +121,13 @@ type Config struct {
 	// the codec defaults; TargetBitrate, FPS and Seed are always set by
 	// the session.
 	Encoder codec.Config
+
+	// Recorder is the flight recorder. New binds it to the scheduler
+	// clock and threads it through every subsystem (estimator, codec,
+	// pacer, forward link, and — via obs.Instrumentable — the
+	// controller). Nil disables recording; results are bit-identical
+	// either way.
+	Recorder *obs.Recorder
 }
 
 // TimelinePoint is a periodic sample of the control plane, for plotting.
@@ -275,6 +283,10 @@ func New(sched *simtime.Scheduler, cfg Config) *Session {
 	if cfg.SSRC == 0 {
 		cfg.SSRC = uint32(cfg.Seed) + 100
 	}
+	cfg.Recorder.SetClock(sched)
+	if in, ok := cfg.Controller.(obs.Instrumentable); ok {
+		in.SetRecorder(cfg.Recorder)
+	}
 
 	s := &Session{
 		cfg:     cfg,
@@ -296,6 +308,7 @@ func New(sched *simtime.Scheduler, cfg Config) *Session {
 	encCfg.TargetBitrate = cfg.InitialRate
 	encCfg.FPS = cfg.FPS
 	encCfg.Seed = cfg.Seed + 1
+	encCfg.Recorder = cfg.Recorder
 	s.enc = codec.NewEncoder(encCfg)
 
 	if cfg.ForwardLink != nil {
@@ -309,6 +322,7 @@ func New(sched *simtime.Scheduler, cfg Config) *Session {
 			BurstLoss:       cfg.BurstLoss,
 			QueueLimitBytes: cfg.QueueLimitBytes,
 			Seed:            cfg.Seed + 2,
+			Recorder:        cfg.Recorder,
 		})
 		s.forward.SetReceiver(netem.ReceiverFunc(s.Deliver))
 	}
@@ -317,7 +331,7 @@ func New(sched *simtime.Scheduler, cfg Config) *Session {
 	if cfg.NewEstimator != nil {
 		s.est = cfg.NewEstimator(s.capacityFn)
 	} else {
-		s.est = cc.NewGCC(cc.GCCConfig{InitialRate: cfg.InitialRate})
+		s.est = cc.NewGCC(cc.GCCConfig{InitialRate: cfg.InitialRate, Recorder: cfg.Recorder})
 	}
 
 	// The reverse path carries only small feedback packets; a generous
@@ -358,7 +372,7 @@ func New(sched *simtime.Scheduler, cfg Config) *Session {
 		s.jbuf.LatenessBudget = cfg.LatenessBudget
 	}
 
-	s.pc = pacer.New(sched, pacer.Config{Rate: cfg.InitialRate}, s.sendPacket)
+	s.pc = pacer.New(sched, pacer.Config{Rate: cfg.InitialRate, Recorder: cfg.Recorder}, s.sendPacket)
 
 	// Timers all start at StartAt.
 	sched.At(cfg.StartAt, func() {
@@ -391,12 +405,14 @@ func (s *Session) sendPacket(payload any, wireSize int) {
 	switch pkt := payload.(type) {
 	case *rtp.Packet:
 		s.history.Add(pkt.Ext.TransportSeq, s.sched.Now(), wireSize)
+		s.cfg.Recorder.PacketSent(pkt.Ext.TransportSeq, wireSize)
 		if s.rtxBuf != nil {
 			s.rtxBuf.Store(pkt)
 		}
 		s.forward.Send(netem.Packet{Size: wireSize, Payload: pkt})
 	case *fec.Repair:
 		s.history.Add(pkt.TransportSeq, s.sched.Now(), wireSize)
+		s.cfg.Recorder.PacketSent(pkt.TransportSeq, wireSize)
 		s.forward.Send(netem.Packet{Size: wireSize, Payload: pkt})
 	default:
 		panic("session: unknown pacer payload")
@@ -411,6 +427,7 @@ func (s *Session) requestPLI() {
 	s.lastPLI = s.sched.Now()
 	s.recorder.RequestPLI()
 	s.pliSent++
+	s.cfg.Recorder.PLISent()
 }
 
 // markDropped resolves a frame the receiver gave up on.
@@ -418,6 +435,7 @@ func (s *Session) markDropped(frameID uint32) {
 	if fi, ok := s.ledger[int(frameID)]; ok && !fi.resolved {
 		fi.rec.Outcome = metrics.Dropped
 		fi.resolved = true
+		s.cfg.Recorder.FrameDropped(int(frameID))
 	}
 	s.requestPLI()
 }
@@ -484,6 +502,15 @@ func (s *Session) handleMedia(pkt *rtp.Packet, at time.Duration) {
 func (s *Session) onFeedback(np netem.Packet, at time.Duration) {
 	rep := np.Payload.(fb.Report)
 	results := s.history.OnReport(rep)
+	if s.cfg.Recorder.Enabled() {
+		lost := 0
+		for _, r := range results {
+			if r.Lost {
+				lost++
+			}
+		}
+		s.cfg.Recorder.FeedbackReceived(len(results)-lost, lost)
+	}
 	s.est.OnPacketResults(at, results)
 	if s.probe != nil {
 		s.probe.onResults(results)
@@ -645,6 +672,8 @@ func (s *Session) sampleTimeline() {
 		LinkQueue:     s.forward.QueueDelay(),
 		PacerQueue:    s.pc.QueueDelay(),
 	})
+	s.cfg.Recorder.QueueDepth("pacer", s.pc.QueueBytes(), s.pc.QueueDelay())
+	s.cfg.Recorder.QueueDepth("link", s.forward.QueueBytes(), s.forward.QueueDelay())
 }
 
 // CaptureLedger returns the sender-side view of every captured frame —

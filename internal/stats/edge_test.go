@@ -1,0 +1,51 @@
+package stats
+
+import "testing"
+
+// TestQuantileSingleSample: with one sample every quantile is that sample
+// — interpolation must not index past the ends or blend with zero.
+func TestQuantileSingleSample(t *testing.T) {
+	var s Summary
+	s.Add(42.5)
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.95, 1, 2} {
+		if got := s.Quantile(q); got != 42.5 {
+			t.Errorf("Quantile(%v) = %v, want 42.5", q, got)
+		}
+	}
+	if s.Min() != 42.5 || s.Max() != 42.5 {
+		t.Errorf("Min/Max = %v/%v, want 42.5/42.5", s.Min(), s.Max())
+	}
+	if s.Mean() != 42.5 {
+		t.Errorf("Mean = %v, want 42.5", s.Mean())
+	}
+}
+
+// TestQuantileEmpty: an empty summary yields zero everywhere, never NaN
+// or a panic.
+func TestQuantileEmpty(t *testing.T) {
+	var s Summary
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", s.Mean())
+	}
+	if s.Stddev() != 0 {
+		t.Errorf("empty Stddev = %v, want 0", s.Stddev())
+	}
+}
+
+// TestQuantileTwoSamples pins the interpolation endpoints and midpoint.
+func TestQuantileTwoSamples(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	s.Add(20)
+	cases := []struct{ q, want float64 }{{0, 10}, {0.5, 15}, {1, 20}}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
