@@ -2,7 +2,7 @@ GO       ?= go
 PKGS     := ./...
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint lint-fix fuzz-smoke bench bench-parallel trace-smoke check
+.PHONY: build test race lint lint-fix fuzz-smoke bench bench-parallel bench-json bench-smoke trace-smoke check
 
 build:
 	$(GO) build $(PKGS)
@@ -50,5 +50,24 @@ bench:
 # Sequential vs worker-pool experiment runner; compare the two ns/op.
 bench-parallel:
 	$(GO) test -run='^$$' -bench='BenchmarkRunner(Sequential|Parallel)' -benchtime=3x ./internal/experiments
+
+# BENCHJSON_OUT is the committed baseline for the hot-path packages; see
+# EXPERIMENTS.md for the before/after history.
+BENCHJSON_OUT ?= BENCH_5.json
+
+# Re-measure the hot-path benchmark suite with allocation columns and
+# write the canonical JSON baseline. Run on a quiet machine; commit the
+# result when the numbers move for a good reason.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=0.3s \
+		. ./internal/simtime ./internal/netem ./internal/rtp \
+		| $(GO) run ./cmd/benchjson -o $(BENCHJSON_OUT)
+
+# Fast allocation-regression gate for CI: run the AllocsPerRun budget
+# tests and compile-check the micro-benchmarks at one iteration each.
+bench-smoke:
+	$(GO) test -run='AllocBudget|ZeroAlloc' -v ./internal/simtime ./internal/netem ./internal/rtp
+	$(GO) test -run='^$$' -bench='BenchmarkSchedulerStep|BenchmarkLinkSaturated|BenchmarkPacketizeReuse' \
+		-benchtime=1x -benchmem ./internal/simtime ./internal/netem ./internal/rtp
 
 check: build lint test race

@@ -1,0 +1,205 @@
+// Package benchjson parses `go test -bench` text output into a canonical,
+// sorted JSON document so benchmark runs can be committed, diffed, and
+// gated in CI without external tooling. It understands the standard
+// ns/op, B/op, and allocs/op columns plus arbitrary custom metrics
+// reported via testing.B.ReportMetric (e.g. "9052 virtual-s/s").
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	// Pkg is the import path from the preceding "pkg:" header line.
+	Pkg string `json:"pkg"`
+	// Name is the benchmark name with the -GOMAXPROCS suffix trimmed,
+	// e.g. "BenchmarkSchedulerStep".
+	Name string `json:"name"`
+	// Runs is the iteration count (b.N).
+	Runs int64 `json:"runs"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem; negative when the
+	// columns were absent.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds any custom ReportMetric columns, keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads `go test -bench` output. Non-benchmark lines (headers,
+// PASS/ok trailers, test logs) are ignored. Lines that look like benchmark
+// results but fail to parse are reported as errors so a malformed run is
+// not silently committed as a baseline.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			e, err := parseLine(pkg, line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading input: %w", err)
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// parseLine decodes one result line:
+//
+//	BenchmarkName-8   12345   95.2 ns/op   3 custom-unit   0 B/op   0 allocs/op
+func parseLine(pkg, line string) (Entry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Entry{}, fmt.Errorf("benchjson: malformed benchmark line %q", line)
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("benchjson: bad run count in %q: %w", line, err)
+	}
+	e := Entry{Pkg: pkg, Name: name, Runs: runs, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("benchjson: bad value in %q: %w", line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+		case "B/op":
+			e.BytesPerOp = val
+		case "allocs/op":
+			e.AllocsPerOp = val
+		default:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	return e, nil
+}
+
+// sortEntries orders by (Pkg, Name) so output is canonical regardless of
+// package test-execution order.
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Pkg != es[j].Pkg {
+			return es[i].Pkg < es[j].Pkg
+		}
+		return es[i].Name < es[j].Name
+	})
+}
+
+// WriteJSON emits the entries as indented, canonically sorted JSON with a
+// trailing newline (git-friendly).
+func WriteJSON(w io.Writer, es []Entry) error {
+	sorted := make([]Entry, len(es))
+	copy(sorted, es)
+	sortEntries(sorted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sorted)
+}
+
+// ReadFile loads entries from a JSON file written by WriteJSON.
+func ReadFile(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	var es []Entry
+	if err := json.Unmarshal(data, &es); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	sortEntries(es)
+	return es, nil
+}
+
+// Delta is one benchmark compared across two runs.
+type Delta struct {
+	Pkg, Name string
+	// Old and New are nil when the benchmark exists on only one side.
+	Old, New *Entry
+}
+
+// NsRatio returns new/old ns/op, or 0 when either side is missing.
+func (d Delta) NsRatio() float64 {
+	if d.Old == nil || d.New == nil || d.Old.NsPerOp == 0 {
+		return 0
+	}
+	return d.New.NsPerOp / d.Old.NsPerOp
+}
+
+// AllocsRatio returns new/old allocs/op, or 0 when either side is missing
+// or lacks -benchmem columns. A zero old-side count with a non-zero new
+// side returns +1 per alloc so regressions from zero are still visible.
+func (d Delta) AllocsRatio() float64 {
+	if d.Old == nil || d.New == nil || d.Old.AllocsPerOp < 0 || d.New.AllocsPerOp < 0 {
+		return 0
+	}
+	if d.Old.AllocsPerOp == 0 {
+		if d.New.AllocsPerOp == 0 {
+			return 1
+		}
+		return 1 + d.New.AllocsPerOp
+	}
+	return d.New.AllocsPerOp / d.Old.AllocsPerOp
+}
+
+// Diff joins two runs by (Pkg, Name), in canonical order.
+func Diff(old, new []Entry) []Delta {
+	type key struct{ pkg, name string }
+	m := make(map[key]*Entry, len(old))
+	for i := range old {
+		e := &old[i]
+		m[key{e.Pkg, e.Name}] = e
+	}
+	var out []Delta
+	seen := make(map[key]bool, len(new))
+	for i := range new {
+		e := &new[i]
+		k := key{e.Pkg, e.Name}
+		seen[k] = true
+		out = append(out, Delta{Pkg: e.Pkg, Name: e.Name, Old: m[k], New: e})
+	}
+	for i := range old {
+		e := &old[i]
+		k := key{e.Pkg, e.Name}
+		if !seen[k] {
+			out = append(out, Delta{Pkg: e.Pkg, Name: e.Name, Old: e})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,149 @@
+package benchjson
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: rtcadapt
+cpu: whatever
+BenchmarkSessionThroughput 	       5	   3314895 ns/op	      9052 virtual-s/s	  832828 B/op	    1292 allocs/op
+PASS
+ok  	rtcadapt	0.023s
+pkg: rtcadapt/internal/simtime
+BenchmarkSchedulerStep-8   	12345678	        95.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerChurn-8  	 9000000	       102.8 ns/op	      16 B/op	       1 allocs/op
+PASS
+ok  	rtcadapt/internal/simtime	2.1s
+`
+
+func TestParse(t *testing.T) {
+	es, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 3 {
+		t.Fatalf("got %d entries, want 3", len(es))
+	}
+	// Canonical order: pkg then name.
+	if es[0].Pkg != "rtcadapt" || es[0].Name != "BenchmarkSessionThroughput" {
+		t.Fatalf("entry 0 = %s %s", es[0].Pkg, es[0].Name)
+	}
+	if es[0].Runs != 5 || es[0].NsPerOp != 3314895 || es[0].AllocsPerOp != 1292 {
+		t.Fatalf("entry 0 = %+v", es[0])
+	}
+	if es[0].Metrics["virtual-s/s"] != 9052 {
+		t.Fatalf("custom metric missing: %+v", es[0].Metrics)
+	}
+	if es[1].Name != "BenchmarkSchedulerChurn" || es[2].Name != "BenchmarkSchedulerStep" {
+		t.Fatalf("order wrong: %s, %s", es[1].Name, es[2].Name)
+	}
+	if es[2].NsPerOp != 95.2 || es[2].AllocsPerOp != 0 {
+		t.Fatalf("suffix-trimmed entry = %+v", es[2])
+	}
+}
+
+func TestParseNoBenchmem(t *testing.T) {
+	es, err := Parse(strings.NewReader("BenchmarkX-4 100 10.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es[0].BytesPerOp != -1 || es[0].AllocsPerOp != -1 {
+		t.Fatalf("missing -benchmem columns should be -1: %+v", es[0])
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-4 notanumber 10.0 ns/op\n",
+		"BenchmarkX-4 100 oops ns/op\n",
+		"BenchmarkX-4 100 10.0\n", // odd field count
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	es, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("round trip lost entries: %d != %d", len(got), len(es))
+	}
+	for i := range es {
+		if got[i].Pkg != es[i].Pkg || got[i].Name != es[i].Name || got[i].NsPerOp != es[i].NsPerOp {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, got[i], es[i])
+		}
+	}
+}
+
+func TestWriteJSONCanonical(t *testing.T) {
+	// Same entries in different input order must serialize identically.
+	es, _ := Parse(strings.NewReader(sample))
+	rev := make([]Entry, len(es))
+	for i := range es {
+		rev[len(es)-1-i] = es[i]
+	}
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, es); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteJSON output depends on input order")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := []Entry{
+		{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10},
+		{Pkg: "p", Name: "BenchmarkGone", NsPerOp: 50, AllocsPerOp: 0},
+	}
+	now := []Entry{
+		{Pkg: "p", Name: "BenchmarkA", NsPerOp: 60, AllocsPerOp: 3},
+		{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 5, AllocsPerOp: 0},
+	}
+	ds := Diff(old, now)
+	if len(ds) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(ds))
+	}
+	byName := map[string]Delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	a := byName["BenchmarkA"]
+	if r := a.NsRatio(); r < 0.59 || r > 0.61 {
+		t.Errorf("NsRatio = %v, want 0.6", r)
+	}
+	if r := a.AllocsRatio(); r < 0.29 || r > 0.31 {
+		t.Errorf("AllocsRatio = %v, want 0.3", r)
+	}
+	if byName["BenchmarkGone"].New != nil {
+		t.Error("removed benchmark has a new side")
+	}
+	if byName["BenchmarkNew"].Old != nil {
+		t.Error("added benchmark has an old side")
+	}
+}

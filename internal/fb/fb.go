@@ -136,6 +136,12 @@ func (r *Report) UnmarshalBinary(buf []byte) error {
 
 // Recorder is the receiver-side feedback state: it accumulates arrivals and
 // produces Reports on demand. Not safe for concurrent use.
+//
+// Flush hands ownership of the arrival buffer to the returned Report; a
+// consumer that is done with a report can return the buffer with Recycle so
+// the next interval accumulates into it instead of allocating. Reports
+// whose buffers are never recycled (e.g. lost in transit) are simply
+// garbage collected.
 type Recorder struct {
 	pending    []PacketArrival
 	highest    uint32
@@ -145,6 +151,8 @@ type Recorder struct {
 	expectLo  uint32
 	pliArmed  bool
 	totalRecv uint64
+
+	free [][]PacketArrival
 }
 
 // NewRecorder returns an empty recorder.
@@ -190,8 +198,23 @@ func (rec *Recorder) Flush(now time.Duration) Report {
 		PLI:          rec.pliArmed,
 	}
 	rec.pending = nil
+	if n := len(rec.free); n > 0 {
+		rec.pending = rec.free[n-1]
+		rec.free[n-1] = nil
+		rec.free = rec.free[:n-1]
+	}
 	rec.received = 0
 	rec.expectLo = rec.highest + 1
 	rec.pliArmed = false
 	return rep
+}
+
+// Recycle returns a report's arrival buffer to the recorder for reuse.
+// The caller must not touch rep.Arrivals afterwards. Recycling a report
+// that did not come from this recorder is allowed — buffers are fungible.
+func (rec *Recorder) Recycle(rep Report) {
+	if cap(rep.Arrivals) == 0 {
+		return
+	}
+	rec.free = append(rec.free, rep.Arrivals[:0])
 }

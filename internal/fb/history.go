@@ -28,6 +28,7 @@ type History struct {
 	ReorderWindow uint32
 	lowestUnacked uint32
 	nextSeq       uint32
+	results       []PacketResult
 }
 
 type sentEntry struct {
@@ -60,8 +61,13 @@ func (h *History) InFlight() int {
 // OnReport matches a feedback report against the history, returning one
 // PacketResult per acknowledged packet (in arrival order) followed by one
 // per newly declared loss.
+//
+// The returned slice is a scratch buffer owned by the History and is valid
+// only until the next OnReport call; callers that need the results longer
+// must copy them. Every in-tree consumer (the cc estimators, session
+// bookkeeping) processes results synchronously before returning.
 func (h *History) OnReport(rep Report) []PacketResult {
-	results := make([]PacketResult, 0, len(rep.Arrivals))
+	results := h.results[:0]
 	for _, a := range rep.Arrivals {
 		e, ok := h.sent[a.TransportSeq]
 		if !ok {
@@ -94,5 +100,6 @@ func (h *History) OnReport(rep Report) []PacketResult {
 			h.lowestUnacked = cutoff + 1
 		}
 	}
+	h.results = results
 	return results
 }

@@ -161,6 +161,11 @@ func TestImportLayerFixture(t *testing.T) {
 		"internal/stats", "internal/sfu", "internal/mystery", "cmd/lintdemo")
 }
 
+func TestHotPathAllocFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{HotPathAlloc}, "internal/netem", "scopecheck")
+}
+
 // TestIgnoreFixture runs the full suite so directives interact with every
 // analyzer the way they do in production (including importlayer's
 // package-level finding, suppressed on the package clause).
@@ -216,6 +221,7 @@ func TestFixtureWantsPresent(t *testing.T) {
 		"fixture/internal/session",
 		"fixture/internal/simtime",
 		"fixture/internal/mystery",
+		"fixture/internal/netem",
 		"fixture/cmd/errdropcmd",
 		"fixture/floateqfix",
 		"fixture/unitfix",

@@ -118,8 +118,8 @@ type Analyzer struct {
 }
 
 // Analyzers returns the full suite in stable order: the five file-local
-// analyzers from the original suite followed by the four cross-package
-// ones.
+// analyzers from the original suite, the four cross-package ones, then
+// the hot-path advisory check.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoWallClock,
@@ -131,6 +131,7 @@ func Analyzers() []*Analyzer {
 		RawGo,
 		ErrDrop,
 		ImportLayer,
+		HotPathAlloc,
 	}
 }
 

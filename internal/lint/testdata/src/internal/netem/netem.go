@@ -1,0 +1,36 @@
+// Package netem is the hotpathalloc fixture: it sits at a module-relative
+// path the analyzer scopes to, so closure-capturing scheduler calls here
+// are findings while the Arg forms and out-of-scope packages stay silent.
+package netem
+
+import "fixture/internal/simtime"
+
+// Link mimics the real hot-path shape: a pooled record, a package-level
+// dispatch function, and per-packet event scheduling.
+type Link struct {
+	sched *simtime.Scheduler
+	n     int
+}
+
+// finishArg is the closure-free dispatch function.
+func finishArg(a any) { a.(*Link).finish() }
+
+func (l *Link) finish() { l.n++ }
+
+func top() {}
+
+func (l *Link) bad() {
+	l.sched.After(10, func() { l.n++ }) // want `closure passed to simtime Scheduler.After allocates per event`
+	l.sched.At(20, l.finish)            // want `method value finish passed to simtime Scheduler.At allocates a bound closure`
+}
+
+func (l *Link) good() {
+	l.sched.AfterArg(10, finishArg, l)
+	l.sched.AtArg(20, finishArg, l)
+	// A plain package-level function is already closure-free.
+	l.sched.After(30, top)
+	// Genuine one-shot setup events may keep the closure form with a
+	// reasoned escape.
+	//lint:ignore hotpathalloc one-time setup event, not on the per-packet path
+	l.sched.After(0, func() { l.n = 0 })
+}

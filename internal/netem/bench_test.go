@@ -32,6 +32,29 @@ func BenchmarkLinkPackets(b *testing.B) {
 	}
 }
 
+// BenchmarkLinkSaturated drives the link at full queue occupancy so every
+// iteration exercises the complete per-packet path: ring push/pop, pooled
+// inflight acquisition, closure-free serialize/deliver events. This is the
+// allocation-sensitive inner loop guarded by TestLinkSaturatedAllocBudget.
+func BenchmarkLinkSaturated(b *testing.B) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, Config{Trace: trace.Constant(100e6), QueueLimitBytes: 1 << 30})
+	l.SetReceiver(ReceiverFunc(func(Packet, time.Duration) {}))
+	for i := 0; i < 512; i++ {
+		l.Send(Packet{Size: 1200})
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(Packet{Size: 1200})
+		if i%16 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
 func BenchmarkLinkTraceSegments(b *testing.B) {
 	// Serialization across a trace with many breakpoints.
 	s := simtime.NewScheduler()

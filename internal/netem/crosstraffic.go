@@ -67,6 +67,12 @@ func (ct *CrossTraffic) Sent() int { return ct.sent }
 // Stop halts the process.
 func (ct *CrossTraffic) Stop() { ct.stopped = true }
 
+// toggleArg and pumpArg dispatch the recurring events through the
+// scheduler's closure-free AtArg path; the method values ct.toggle and
+// ct.pump would allocate a bound closure on every rearm.
+func toggleArg(a any) { a.(*CrossTraffic).toggle() }
+func pumpArg(a any)   { a.(*CrossTraffic).pump() }
+
 // toggle flips the ON/OFF state and schedules the next flip.
 func (ct *CrossTraffic) toggle() {
 	if ct.stopped {
@@ -81,7 +87,7 @@ func (ct *CrossTraffic) toggle() {
 	if hold < time.Millisecond {
 		hold = time.Millisecond
 	}
-	ct.sched.After(hold, ct.toggle)
+	ct.sched.AfterArg(hold, toggleArg, ct)
 }
 
 // pump sends packets with exponential inter-arrivals while ON.
@@ -98,7 +104,7 @@ func (ct *CrossTraffic) pump() {
 	if gap < 10*time.Microsecond {
 		gap = 10 * time.Microsecond
 	}
-	ct.sched.After(gap, ct.pump)
+	ct.sched.AfterArg(gap, pumpArg, ct)
 }
 
 // crossTrafficMarker tags background packets so receivers can ignore them.

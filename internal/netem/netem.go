@@ -81,16 +81,52 @@ type Stats struct {
 
 // Link is a unidirectional bottleneck. Attach a Receiver before sending.
 // Not safe for concurrent use; everything runs on the scheduler goroutine.
+//
+// The per-packet path is allocation-free in steady state: the droptail
+// queue is a reusable ring buffer, and each packet in service rides a
+// pooled inflight record dispatched through the scheduler's closure-free
+// AtArg path instead of a pair of capturing closures.
 type Link struct {
 	sched *simtime.Scheduler
 	cfg   Config
 	rng   *stats.Rand
 	recv  Receiver
 
-	queue       []Packet
+	queue       packetRing
 	queuedBytes int
 	busy        bool
 	stats       Stats
+	free        []*inflight
+}
+
+// inflight carries one packet from transmission start through delivery.
+// Records are owned by a single link and recycled via its free list.
+type inflight struct {
+	l   *Link
+	pkt Packet
+}
+
+// finishTxArg and deliverArg are the package-level dispatch functions for
+// the two per-packet events; together with the pooled inflight record they
+// replace the closures that used to allocate on every transmission.
+func finishTxArg(a any) { f := a.(*inflight); f.l.finishTx(f) }
+func deliverArg(a any)  { f := a.(*inflight); f.l.deliver(f) }
+
+// acquireInflight pops a pooled record, minting one on first use.
+func (l *Link) acquireInflight() *inflight {
+	if n := len(l.free); n > 0 {
+		f := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return f
+	}
+	return &inflight{l: l}
+}
+
+// releaseInflight zeroes the payload reference and recycles the record.
+func (l *Link) releaseInflight(f *inflight) {
+	f.pkt = Packet{}
+	l.free = append(l.free, f)
 }
 
 // Validate checks the configuration for impossible parameterizations. It
@@ -147,8 +183,22 @@ func (l *Link) QueueDelay() time.Duration {
 	if l.queuedBytes == 0 {
 		return 0
 	}
-	bps, _ := l.cfg.Trace.RateAt(l.sched.Now())
+	bps := l.rateAt(l.sched.Now())
 	return time.Duration(float64(l.queuedBytes*8) / bps * float64(time.Second))
+}
+
+// rateAt reads the trace capacity with a defensive guard: dividing by a
+// zero, negative, or NaN rate would silently produce +Inf queue delays and
+// overflowed serialization deadlines. Trace constructors validate rates at
+// load, so tripping this panic means a Trace was built by hand around the
+// constructors.
+func (l *Link) rateAt(at time.Duration) float64 {
+	bps, _ := l.cfg.Trace.RateAt(at)
+	if !(bps > 0) {
+		panic(fmt.Sprintf("netem: trace %q yields non-positive capacity %v bits/s at t=%v; trace rates must be validated at load",
+			l.cfg.Trace.Name(), bps, at))
+	}
+	return bps
 }
 
 // Capacity returns the link's current capacity in bits/s.
@@ -166,7 +216,7 @@ func (l *Link) Send(pkt Packet) bool {
 		return false
 	}
 	pkt.EnqueuedAt = l.sched.Now()
-	l.queue = append(l.queue, pkt)
+	l.queue.push(pkt)
 	l.queuedBytes += pkt.Size
 	l.stats.Accepted++
 	if !l.busy {
@@ -177,19 +227,18 @@ func (l *Link) Send(pkt Packet) bool {
 
 // startTx begins serializing the head-of-line packet.
 func (l *Link) startTx() {
-	if len(l.queue) == 0 {
+	if l.queue.len() == 0 {
 		l.busy = false
 		return
 	}
 	l.busy = true
-	pkt := l.queue[0]
-	l.queue = l.queue[1:]
+	pkt := l.queue.pop()
 	l.queuedBytes -= pkt.Size
 
 	finish := l.serializeEnd(l.sched.Now(), float64(pkt.Size*8))
-	l.sched.At(finish, func() {
-		l.finishTx(pkt)
-	})
+	f := l.acquireInflight()
+	f.pkt = pkt
+	l.sched.AtArg(finish, finishTxArg, f)
 }
 
 // serializeEnd integrates the capacity trace from start until bits are
@@ -199,6 +248,14 @@ func (l *Link) serializeEnd(start time.Duration, bits float64) time.Duration {
 	remaining := bits
 	for {
 		bps, until := l.cfg.Trace.RateAt(cur)
+		if !(bps > 0) {
+			// A zero/negative/NaN segment rate would make the division
+			// below return +Inf or NaN and wedge the link forever at an
+			// overflowed deadline. Trace constructors reject such rates;
+			// reaching this means a Trace bypassed them.
+			panic(fmt.Sprintf("netem: trace %q yields non-positive capacity %v bits/s at t=%v while serializing; trace rates must be validated at load",
+				l.cfg.Trace.Name(), bps, cur))
+		}
 		if until == trace.Forever {
 			return cur + time.Duration(remaining/bps*float64(time.Second))
 		}
@@ -212,29 +269,37 @@ func (l *Link) serializeEnd(start time.Duration, bits float64) time.Duration {
 	}
 }
 
-// finishTx completes service of pkt: schedule its delivery (unless lost)
-// and start the next transmission.
-func (l *Link) finishTx(pkt Packet) {
+// finishTx completes service of the inflight packet: schedule its
+// delivery (unless lost) and start the next transmission. The record is
+// reused for the propagation leg on success and recycled on loss.
+func (l *Link) finishTx(f *inflight) {
 	lost := l.rng.Bool(l.cfg.LossProb)
 	if l.cfg.BurstLoss != nil && l.cfg.BurstLoss.Lose(l.rng) {
 		lost = true
 	}
 	if lost {
 		l.stats.DroppedLoss++
-		l.cfg.Recorder.PacketLost(obs.TrackNetem, pkt.Size, "loss")
+		l.cfg.Recorder.PacketLost(obs.TrackNetem, f.pkt.Size, "loss")
+		l.releaseInflight(f)
 	} else {
 		delay := l.cfg.PropDelay
 		if l.cfg.JitterAmp > 0 {
 			delay += time.Duration(l.rng.Float64() * float64(l.cfg.JitterAmp))
 		}
-		l.sched.After(delay, func() {
-			l.stats.Delivered++
-			l.stats.BytesDelivered += int64(pkt.Size)
-			l.cfg.Recorder.PacketDelivered(pkt.Size)
-			if l.recv != nil {
-				l.recv.Deliver(pkt, l.sched.Now())
-			}
-		})
+		l.sched.AfterArg(delay, deliverArg, f)
 	}
 	l.startTx()
+}
+
+// deliver hands the packet to the receiver at its arrival time and
+// recycles the inflight record.
+func (l *Link) deliver(f *inflight) {
+	pkt := f.pkt
+	l.releaseInflight(f)
+	l.stats.Delivered++
+	l.stats.BytesDelivered += int64(pkt.Size)
+	l.cfg.Recorder.PacketDelivered(pkt.Size)
+	if l.recv != nil {
+		l.recv.Deliver(pkt, l.sched.Now())
+	}
 }

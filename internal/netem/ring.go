@@ -1,0 +1,54 @@
+package netem
+
+// packetRing is a reusable FIFO of Packets backed by a power-of-two ring
+// buffer. The droptail queue used to be a head-sliced Go slice
+// (queue = queue[1:]), which leaks backing-array capacity out the front and
+// re-allocates through append forever; the ring reuses one backing array
+// for the lifetime of the link. Popped slots are zeroed so the queue never
+// pins a delivered packet's payload. The zero value is an empty ring.
+type packetRing struct {
+	buf  []Packet // len(buf) is always zero or a power of two
+	head int
+	n    int
+}
+
+// len returns the number of queued packets.
+func (r *packetRing) len() int { return r.n }
+
+// push appends p at the tail, growing the backing array when full.
+func (r *packetRing) push(p Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+// pop removes and returns the head packet. It panics on an empty ring:
+// callers always check len first, and a silent zero Packet would corrupt
+// byte accounting.
+func (r *packetRing) pop() Packet {
+	if r.n == 0 {
+		panic("netem: pop from empty packet ring")
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = Packet{} // release the payload reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+// grow doubles the backing array (minimum 8) and unwraps the queue to the
+// front of the new array.
+func (r *packetRing) grow() {
+	newCap := 8
+	if len(r.buf) > 0 {
+		newCap = 2 * len(r.buf)
+	}
+	buf := make([]Packet, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -39,7 +39,7 @@ type Pacer struct {
 	send  SendFunc
 	cfg   Config
 
-	queue       []item
+	queue       itemRing
 	queuedBytes int
 	sending     bool
 	dropped     int
@@ -51,6 +51,10 @@ type item struct {
 	payload any
 	size    int
 }
+
+// pumpArg dispatches pump through the scheduler's closure-free AtArg path;
+// the method value p.pump would allocate a bound closure per transmission.
+func pumpArg(a any) { a.(*Pacer).pump() }
 
 // New creates a pacer that transmits via send.
 func New(sched *simtime.Scheduler, cfg Config, send SendFunc) *Pacer {
@@ -102,33 +106,32 @@ func (p *Pacer) Enqueue(payload any, wireSize int) {
 		p.cfg.Recorder.PacketLost(obs.TrackPacer, wireSize, "overflow")
 		return
 	}
-	p.queue = append(p.queue, item{payload: payload, size: wireSize})
+	p.queue.push(item{payload: payload, size: wireSize})
 	p.queuedBytes += wireSize
 	if !p.sending {
 		p.sending = true
 		// First packet of an idle pacer goes out immediately.
-		p.sched.After(0, p.pump)
+		p.sched.AfterArg(0, pumpArg, p)
 	}
 }
 
 // pump transmits the head-of-line packet and reschedules itself.
 func (p *Pacer) pump() {
-	if len(p.queue) == 0 {
+	if p.queue.len() == 0 {
 		p.sending = false
 		return
 	}
-	it := p.queue[0]
-	p.queue = p.queue[1:]
+	it := p.queue.pop()
 	p.queuedBytes -= it.size
 	p.sentPkts++
 	p.sentBytes += int64(it.size)
 	p.send(it.payload, it.size)
 
-	if len(p.queue) == 0 {
+	if p.queue.len() == 0 {
 		p.sending = false
 		return
 	}
 	rate := p.cfg.Rate * p.cfg.Factor
 	gap := time.Duration(float64(it.size*8) / rate * float64(time.Second))
-	p.sched.After(gap, p.pump)
+	p.sched.AfterArg(gap, pumpArg, p)
 }

@@ -1,0 +1,51 @@
+package pacer
+
+// itemRing is a reusable FIFO of pacer items backed by a power-of-two ring
+// buffer, replacing the head-sliced slice queue that re-allocated through
+// append for the lifetime of the pacer. Popped slots are zeroed so the
+// queue never pins a sent payload. The zero value is an empty ring.
+type itemRing struct {
+	buf  []item // len(buf) is always zero or a power of two
+	head int
+	n    int
+}
+
+// len returns the number of queued items.
+func (r *itemRing) len() int { return r.n }
+
+// push appends it at the tail, growing the backing array when full.
+func (r *itemRing) push(it item) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = it
+	r.n++
+}
+
+// pop removes and returns the head item. It panics on an empty ring:
+// callers always check len first.
+func (r *itemRing) pop() item {
+	if r.n == 0 {
+		panic("pacer: pop from empty item ring")
+	}
+	it := r.buf[r.head]
+	r.buf[r.head] = item{} // release the payload reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return it
+}
+
+// grow doubles the backing array (minimum 8) and unwraps the queue to the
+// front of the new array.
+func (r *itemRing) grow() {
+	newCap := 8
+	if len(r.buf) > 0 {
+		newCap = 2 * len(r.buf)
+	}
+	buf := make([]item, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

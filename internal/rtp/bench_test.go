@@ -44,3 +44,22 @@ func BenchmarkPacketizeReassemble(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPacketizeReuse is the slice-recycling variant the session hot
+// path uses: PacketizeAppend into a reused destination, slab-backed
+// packets, pooled reassembly records. Guarded by
+// TestPacketizeReassembleAllocBudget.
+func BenchmarkPacketizeReuse(b *testing.B) {
+	pz := NewPacketizer(1, 96, 1200)
+	r := NewReassembler()
+	var pkts []*Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := codec.EncodedFrame{Index: i, Bits: 48000, Type: codec.TypeP}
+		pkts = pz.PacketizeAppend(pkts[:0], f)
+		for _, p := range pkts {
+			r.Push(p, time.Duration(i)*time.Millisecond)
+		}
+	}
+}

@@ -9,6 +9,12 @@ import (
 
 // Packetizer splits encoded frames into MTU-sized packets with continuous
 // sequence numbers. Not safe for concurrent use.
+//
+// Packets are carved from an internal slab so a frame's worth of fragments
+// costs one slab allocation per packetizerSlabSize packets instead of one
+// per packet. Slab packets are ordinary heap objects from the caller's
+// point of view — they stay valid indefinitely (retransmit history holds
+// them across frames) and are never recycled.
 type Packetizer struct {
 	mtu      int
 	ssrc     uint32
@@ -17,6 +23,27 @@ type Packetizer struct {
 	twccSeq  uint32
 	clockHz  uint32
 	frameOut int
+
+	slab     []Packet
+	slabUsed int
+}
+
+// packetizerSlabSize is the slab granularity. 256 packets ≈ 4 frames at
+// typical HD bitrates; big enough to amortize, small enough not to strand
+// memory on teardown.
+const packetizerSlabSize = 256
+
+// newPacket hands out a pointer into the current slab, starting a new slab
+// when the current one is exhausted. Slabs are never appended to past
+// their pre-sized capacity, so previously returned pointers stay valid.
+func (p *Packetizer) newPacket() *Packet {
+	if p.slabUsed == len(p.slab) {
+		p.slab = make([]Packet, packetizerSlabSize)
+		p.slabUsed = 0
+	}
+	pkt := &p.slab[p.slabUsed]
+	p.slabUsed++
+	return pkt
 }
 
 // NewPacketizer returns a packetizer. mtu is the media payload budget per
@@ -33,14 +60,22 @@ func NewPacketizer(ssrc uint32, payloadType byte, mtu int) *Packetizer {
 func (p *Packetizer) NextTransportSeq() uint32 { return p.twccSeq }
 
 // Packetize splits one encoded frame into packets. Skip frames yield nil.
-// The last packet of each frame carries the RTP marker bit.
+// The last packet of each frame carries the RTP marker bit. Callers on the
+// hot path should prefer PacketizeAppend with a reused destination slice.
 func (p *Packetizer) Packetize(f codec.EncodedFrame) []*Packet {
+	return p.PacketizeAppend(nil, f)
+}
+
+// PacketizeAppend is Packetize into a caller-owned slice: fragments are
+// appended to dst and the extended slice is returned, so a caller that
+// recycles dst across frames packetizes without allocating once the slice
+// has grown to the working-set size. Skip frames append nothing.
+func (p *Packetizer) PacketizeAppend(dst []*Packet, f codec.EncodedFrame) []*Packet {
 	if f.Type == codec.TypeSkip || f.Bytes() == 0 {
-		return nil
+		return dst
 	}
 	total := f.Bytes()
 	n := (total + p.mtu - 1) / p.mtu
-	pkts := make([]*Packet, 0, n)
 	ts := uint32(f.PTS.Seconds() * float64(p.clockHz))
 	ftype := byte(0)
 	if f.Type == codec.TypeP {
@@ -53,7 +88,8 @@ func (p *Packetizer) Packetize(f codec.EncodedFrame) []*Packet {
 			size = remaining
 		}
 		remaining -= size
-		pkt := &Packet{
+		pkt := p.newPacket()
+		*pkt = Packet{
 			Header: Header{
 				Version:        2,
 				Marker:         i == n-1,
@@ -75,10 +111,10 @@ func (p *Packetizer) Packetize(f codec.EncodedFrame) []*Packet {
 		}
 		p.seq++
 		p.twccSeq++
-		pkts = append(pkts, pkt)
+		dst = append(dst, pkt)
 	}
 	p.frameOut++
-	return pkts
+	return dst
 }
 
 // AllocTransportSeq hands out the next transport-wide sequence number for
@@ -95,10 +131,11 @@ func (p *Packetizer) AllocTransportSeq() uint32 {
 // sequence number so congestion-control feedback treats it as a new
 // transmission.
 func (p *Packetizer) Retransmit(orig *Packet) *Packet {
-	clone := *orig
+	clone := p.newPacket()
+	*clone = *orig
 	clone.Ext.TransportSeq = p.twccSeq
 	p.twccSeq++
-	return &clone
+	return clone
 }
 
 // CompleteFrame is a fully reassembled frame at the receiver.
@@ -128,6 +165,9 @@ func (f CompleteFrame) OneWayDelay() time.Duration { return f.Arrival - f.Captur
 // fragments stop arriving are abandoned once a newer frame completes and a
 // horizon passes, so memory is bounded under loss. Not safe for concurrent
 // use.
+//
+// Per-frame tracking records are pooled and fragment presence is a bitset,
+// so steady-state reassembly does not allocate.
 type Reassembler struct {
 	pending map[uint32]*pendingFrame
 	// Horizon is how far behind the newest completed frame a pending
@@ -136,12 +176,52 @@ type Reassembler struct {
 	newestID  uint32
 	hasNewest bool
 	lost      []uint32
+
+	free          []*pendingFrame
+	expireScratch []uint32
 }
 
 type pendingFrame struct {
 	frame    CompleteFrame
-	got      map[uint16]bool
+	got      []uint64 // fragment-presence bitset, grown on demand
 	gotCount int
+}
+
+// has reports whether fragment i was already received.
+func (pf *pendingFrame) has(i uint16) bool {
+	w := int(i >> 6)
+	return w < len(pf.got) && pf.got[w]&(1<<(i&63)) != 0
+}
+
+// set marks fragment i received, growing the bitset as needed (FragIndex
+// is attacker/fuzzer-controlled and may be anywhere in uint16).
+func (pf *pendingFrame) set(i uint16) {
+	w := int(i >> 6)
+	for w >= len(pf.got) {
+		pf.got = append(pf.got, 0)
+	}
+	pf.got[w] |= 1 << (i & 63)
+}
+
+// acquire pops a pooled tracking record (bitset already zeroed by release)
+// or mints one on first use.
+func (r *Reassembler) acquire() *pendingFrame {
+	if n := len(r.free); n > 0 {
+		pf := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		return pf
+	}
+	return &pendingFrame{}
+}
+
+// release resets a tracking record and returns it to the pool. The bitset
+// keeps its capacity so the next frame reuses it.
+func (r *Reassembler) release(pf *pendingFrame) {
+	pf.frame = CompleteFrame{}
+	clear(pf.got)
+	pf.gotCount = 0
+	r.free = append(r.free, pf)
 }
 
 // NewReassembler returns an empty reassembler.
@@ -155,22 +235,20 @@ func (r *Reassembler) Push(pkt *Packet, arrival time.Duration) (CompleteFrame, b
 	id := pkt.Ext.FrameID
 	pf, exists := r.pending[id]
 	if !exists {
-		pf = &pendingFrame{
-			frame: CompleteFrame{
-				FrameID:       id,
-				FrameType:     pkt.Ext.FrameType,
-				TemporalLayer: pkt.Ext.TemporalLayer,
-				CaptureTS:     pkt.Ext.CaptureTS,
-				FirstArrival:  arrival,
-			},
-			got: make(map[uint16]bool),
+		pf = r.acquire()
+		pf.frame = CompleteFrame{
+			FrameID:       id,
+			FrameType:     pkt.Ext.FrameType,
+			TemporalLayer: pkt.Ext.TemporalLayer,
+			CaptureTS:     pkt.Ext.CaptureTS,
+			FirstArrival:  arrival,
 		}
 		r.pending[id] = pf
 	}
-	if pf.got[pkt.Ext.FragIndex] {
+	if pf.has(pkt.Ext.FragIndex) {
 		return CompleteFrame{}, false // duplicate
 	}
-	pf.got[pkt.Ext.FragIndex] = true
+	pf.set(pkt.Ext.FragIndex)
 	pf.gotCount++
 	pf.frame.Bytes += pkt.PayloadLen
 	if arrival > pf.frame.Arrival {
@@ -182,15 +260,18 @@ func (r *Reassembler) Push(pkt *Packet, arrival time.Duration) (CompleteFrame, b
 	if pf.gotCount < int(pkt.Ext.FragCount) {
 		return CompleteFrame{}, false
 	}
-	// Frame complete.
+	// Frame complete. Copy the result out before the record goes back to
+	// the pool.
 	pf.frame.Packets = pf.gotCount
+	frame := pf.frame
 	delete(r.pending, id)
+	r.release(pf)
 	if !r.hasNewest || id > r.newestID {
 		r.newestID = id
 		r.hasNewest = true
 	}
 	r.expire()
-	return pf.frame, true
+	return frame, true
 }
 
 // expire abandons pending frames that fell behind the horizon. Expired
@@ -200,17 +281,24 @@ func (r *Reassembler) expire() {
 	if !r.hasNewest {
 		return
 	}
-	var expired []uint32
+	expired := r.expireScratch[:0]
 	for id := range r.pending {
 		if id+r.Horizon < r.newestID {
 			expired = append(expired, id)
 		}
 	}
-	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	if len(expired) > 1 {
+		// Guarded so the common no-expiry path skips the closure that
+		// sort.Slice materializes.
+		sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	}
 	for _, id := range expired {
+		pf := r.pending[id]
 		delete(r.pending, id)
+		r.release(pf)
 		r.lost = append(r.lost, id)
 	}
+	r.expireScratch = expired[:0]
 }
 
 // Lost drains the list of frame IDs abandoned since the last call.

@@ -178,6 +178,24 @@ type frameInfo struct {
 	resolved bool
 }
 
+// frameInfoSlabSize batches ledger-entry allocation: entries live until
+// Result, so they are carved from slabs rather than pooled.
+const frameInfoSlabSize = 256
+
+// pendingSend carries one encoded frame's packets from encode completion
+// to pacer enqueue. Records and their slices are pooled per session, so
+// the per-frame send path does not allocate in steady state.
+type pendingSend struct {
+	s       *Session
+	pkts    []*rtp.Packet
+	repairs []*fec.Repair
+}
+
+// sendEncodedArg dispatches a pendingSend through the scheduler's
+// closure-free AtArg path; the per-frame closure it replaces allocated on
+// every captured frame.
+func sendEncodedArg(a any) { ps := a.(*pendingSend); ps.s.sendEncoded(ps) }
+
 // Session is one flow wired onto a scheduler. Construct with New, drive
 // the scheduler, then call Result.
 type Session struct {
@@ -207,6 +225,9 @@ type Session struct {
 	capacityFn cc.CapacityFunc
 
 	ledger            map[int]*frameInfo
+	fiSlab            []frameInfo
+	fiUsed            int
+	sendPool          []*pendingSend
 	order             []int
 	timeline          []TimelinePoint
 	pliSent           int
@@ -392,6 +413,53 @@ func New(sched *simtime.Scheduler, cfg Config) *Session {
 	return s
 }
 
+// newFrameInfo carves a ledger entry from the current slab. Entries are
+// referenced by the ledger map until Result, so slabs are never recycled;
+// slabs are never appended to past their pre-sized capacity, so returned
+// pointers stay valid.
+func (s *Session) newFrameInfo() *frameInfo {
+	if s.fiUsed == len(s.fiSlab) {
+		s.fiSlab = make([]frameInfo, frameInfoSlabSize)
+		s.fiUsed = 0
+	}
+	fi := &s.fiSlab[s.fiUsed]
+	s.fiUsed++
+	return fi
+}
+
+// acquirePending pops a pooled send record (slices already truncated by
+// releasePending) or mints one on first use.
+func (s *Session) acquirePending() *pendingSend {
+	if n := len(s.sendPool); n > 0 {
+		ps := s.sendPool[n-1]
+		s.sendPool[n-1] = nil
+		s.sendPool = s.sendPool[:n-1]
+		return ps
+	}
+	return &pendingSend{s: s}
+}
+
+// releasePending nils out packet references (the pacer owns them now) and
+// recycles the record; the slices keep their capacity for the next frame.
+func (s *Session) releasePending(ps *pendingSend) {
+	clear(ps.pkts)
+	ps.pkts = ps.pkts[:0]
+	clear(ps.repairs)
+	ps.repairs = ps.repairs[:0]
+	s.sendPool = append(s.sendPool, ps)
+}
+
+// sendEncoded enqueues one frame's packets once its encode delay elapses.
+func (s *Session) sendEncoded(ps *pendingSend) {
+	for _, p := range ps.pkts {
+		s.pc.Enqueue(p, p.WireSize())
+	}
+	for _, rep := range ps.repairs {
+		s.pc.Enqueue(rep, rep.WireSize())
+	}
+	s.releasePending(ps)
+}
+
 // SSRC returns the flow's RTP SSRC (the demux key on shared links).
 func (s *Session) SSRC() uint32 { return s.cfg.SSRC }
 
@@ -538,6 +606,11 @@ func (s *Session) onFeedback(np netem.Packet, at time.Duration) {
 			s.pc.Enqueue(clone, clone.WireSize())
 		}
 	}
+	// The report is fully consumed; hand its arrival buffer back to the
+	// receiver-side recorder. In the loopback topology that is the same
+	// recorder that produced it; on an SFU reverse path the buffers are
+	// fungible. Reports lost on the reverse link are simply collected.
+	s.recorder.Recycle(rep)
 }
 
 // feedbackTick flushes the receiver report onto the reverse link.
@@ -582,7 +655,8 @@ func (s *Session) capture() {
 	ef := s.enc.Encode(frame, d)
 	s.cfg.Controller.OnEncoded(now, ef)
 
-	fi := &frameInfo{
+	fi := s.newFrameInfo()
+	*fi = frameInfo{
 		rec: metrics.FrameRecord{
 			Index:         frame.Index,
 			CaptureTS:     frame.PTS,
@@ -602,31 +676,24 @@ func (s *Session) capture() {
 		fi.resolved = true
 		return
 	}
-	pkts := s.packetizer.Packetize(ef)
-	var repairs []*fec.Repair
+	ps := s.acquirePending()
+	ps.pkts = s.packetizer.PacketizeAppend(ps.pkts, ef)
 	if s.fecEnc != nil {
-		for _, p := range pkts {
+		for _, p := range ps.pkts {
 			if rep := s.fecEnc.Add(p); rep != nil {
-				repairs = append(repairs, rep)
+				ps.repairs = append(ps.repairs, rep)
 			}
 		}
 		// Frame-aligned flush: repairs never wait for the next frame.
 		if rep := s.fecEnc.Flush(); rep != nil {
-			repairs = append(repairs, rep)
+			ps.repairs = append(ps.repairs, rep)
 		}
-		for _, rep := range repairs {
+		for _, rep := range ps.repairs {
 			rep.TransportSeq = s.packetizer.AllocTransportSeq()
 		}
-		s.fecRepairs += len(repairs)
+		s.fecRepairs += len(ps.repairs)
 	}
-	s.sched.After(ef.EncodeTime, func() {
-		for _, p := range pkts {
-			s.pc.Enqueue(p, p.WireSize())
-		}
-		for _, rep := range repairs {
-			s.pc.Enqueue(rep, rep.WireSize())
-		}
-	})
+	s.sched.AfterArg(ef.EncodeTime, sendEncodedArg, ps)
 }
 
 // audioPayloadType marks audio packets on the shared path.

@@ -316,4 +316,7 @@ func (r *Receiver) feedbackTick() {
 	// SFU consumes it directly.
 	results := r.history.OnReport(rep)
 	r.est.OnPacketResults(r.sched.Now(), results)
+	// The report never left this receiver, so its arrival buffer can go
+	// straight back to the recorder.
+	r.recorder.Recycle(rep)
 }

@@ -18,6 +18,20 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 	s.Run()
 }
 
+// BenchmarkSchedulerStep measures the pooled, closure-free steady state:
+// one Step pops an event whose callback reschedules itself through the
+// AfterArg path. This is the inner loop of every simulation; it must stay
+// at 0 B/op (see TestSchedulerStepZeroAlloc).
+func BenchmarkSchedulerStep(b *testing.B) {
+	s := NewScheduler()
+	s.AfterArg(0, stepBenchFn, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
 func BenchmarkTicker(b *testing.B) {
 	s := NewScheduler()
 	n := 0

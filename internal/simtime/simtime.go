@@ -4,10 +4,26 @@
 //
 // The zero value of Scheduler is ready to use. Events scheduled for the same
 // instant fire in scheduling order (FIFO), which keeps runs reproducible.
+//
+// # Allocation model
+//
+// The scheduler is allocation-free in steady state. Fired and canceled
+// events return to a per-scheduler free list and are recycled by later At
+// and After calls; the binary-heap backing array is reused across the whole
+// run. Handles stay safe across recycling through generation counters: every
+// recycle bumps the record's generation, so a stale handle (its event
+// already fired or canceled) simply stops matching and Cancel degrades to a
+// no-op instead of corrupting an unrelated event.
+//
+// Callbacks come in two forms. At and After take a plain func(), which is
+// what cold paths and tests want but allocates a closure whenever the
+// callback captures variables. Hot paths that fire per packet should use
+// AtArg and AfterArg instead: they take a func(any) plus the argument to
+// call it with, so a package-level dispatch function and a pooled record
+// replace the capturing closure and the per-call allocation disappears.
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -20,64 +36,73 @@ type Clock interface {
 	Now() time.Duration
 }
 
-// Event is a handle to a scheduled callback. It can be used to cancel the
-// callback before it fires.
-type Event struct {
-	at       time.Duration
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 when not queued
-	canceled bool
+// event is the pooled record behind an Event handle. Records are owned by
+// one scheduler forever: they cycle between its heap and its free list and
+// are never shared across schedulers, so pooling is invisible to parallel
+// runs of independent schedulers.
+type event struct {
+	s     *Scheduler
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	argFn func(any)
+	arg   any
+	index int // heap index, -1 when not queued
+
+	// gen is the record's live generation; it increments every time the
+	// record is released back to the free list, invalidating outstanding
+	// handles.
+	gen uint64
+	// canceledGen remembers the generation whose life ended via Cancel
+	// (zero = none yet), so a handle can still answer Canceled after the
+	// record was released but before it is reused.
+	canceledGen uint64
 }
 
-// At reports the virtual time the event is scheduled for.
-func (e *Event) At() time.Duration { return e.at }
+// Event is a handle to a scheduled callback. It can be used to cancel the
+// callback before it fires. The zero value is an inert handle: Cancel and
+// Pending report false.
+//
+// Handles are generation-checked: once the event fires or is canceled, the
+// underlying pooled record may be recycled for a new event, and the old
+// handle stops matching. All methods are safe on stale handles.
+type Event struct {
+	ev  *event
+	gen uint64
+	at  time.Duration
+}
 
-// Cancel prevents the event from firing. Canceling an event that already
-// fired or was already canceled is a no-op. Cancel reports whether the event
-// was still pending.
-func (e *Event) Cancel() bool {
-	if e.canceled || e.index == -1 {
+// At reports the virtual time the event was scheduled for.
+func (e Event) At() time.Duration { return e.at }
+
+// Pending reports whether the event is still queued: not yet fired and not
+// canceled.
+func (e Event) Pending() bool {
+	return e.ev != nil && e.ev.gen == e.gen && e.ev.index >= 0
+}
+
+// Cancel prevents the event from firing. The event is removed from the
+// queue immediately — Len tightens right away and the callback (and
+// everything it captures) is released for collection. Canceling an event
+// that already fired or was already canceled is a no-op. Cancel reports
+// whether the event was still pending.
+func (e Event) Cancel() bool {
+	if !e.Pending() {
 		return false
 	}
-	e.canceled = true
+	ev := e.ev
+	s := ev.s
+	s.removeAt(ev.index)
+	ev.canceledGen = ev.gen
+	s.release(ev)
 	return true
 }
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// Canceled reports whether Cancel ended this event's life. The answer is
+// accurate until the scheduler recycles the underlying record for a new
+// event, after which a stale handle reports false; query it promptly.
+func (e Event) Canceled() bool {
+	return e.ev != nil && e.ev.canceledGen == e.gen
 }
 
 // Scheduler is a deterministic discrete-event scheduler. It is not safe for
@@ -85,7 +110,8 @@ func (q *eventQueue) Pop() any {
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventQueue
+	queue   []*event // binary min-heap by (at, seq)
+	free    []*event // recycled records
 	stopped bool
 }
 
@@ -95,62 +121,118 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 
-// Len returns the number of pending (non-canceled) events. Canceled events
-// still occupy queue slots until their deadline passes, so Len is an upper
-// bound immediately after cancellations.
+// Len returns the number of pending events. Canceled events leave the
+// queue immediately, so the count is exact.
 func (s *Scheduler) Len() int { return len(s.queue) }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a simulation bug, and silently reordering
 // events would destroy determinism.
-func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+//
+// fn allocates a closure when it captures variables; per-packet hot paths
+// should use AtArg with a pooled record instead.
+func (s *Scheduler) At(t time.Duration, fn func()) Event {
 	if fn == nil {
 		panic("simtime: At called with nil callback")
 	}
-	if t < s.now {
-		panic(fmt.Sprintf("simtime: event scheduled in the past (now=%v, at=%v)", s.now, t))
-	}
-	ev := &Event{at: t, seq: s.seq, fn: fn, index: -1}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return ev
+	return s.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
-func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+func (s *Scheduler) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
 }
 
+// AtArg schedules fn(arg) to run at absolute virtual time t. Passing a
+// package-level function and a pooled pointer argument keeps the call
+// allocation-free — the closure-capturing pattern At invites is the single
+// biggest allocation source in a per-packet simulation. arg should be a
+// pointer; non-pointer values are boxed into the any and allocate.
+func (s *Scheduler) AtArg(t time.Duration, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("simtime: AtArg called with nil callback")
+	}
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d from now. Negative d is treated as
+// zero. See AtArg for the allocation contract.
+func (s *Scheduler) AfterArg(d time.Duration, fn func(any), arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtArg(s.now+d, fn, arg)
+}
+
+// schedule acquires a pooled record, fills it, and pushes it on the heap.
+func (s *Scheduler) schedule(t time.Duration, fn func(), argFn func(any), arg any) Event {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: event scheduled in the past (now=%v, at=%v)", s.now, t))
+	}
+	ev := s.acquire()
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.argFn = argFn
+	ev.arg = arg
+	s.seq++
+	s.push(ev)
+	return Event{ev: ev, gen: ev.gen, at: t}
+}
+
+// acquire pops a record off the free list, or mints one on first use.
+func (s *Scheduler) acquire() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{s: s, gen: 1, index: -1}
+}
+
+// release clears a record's payload so the callback and its captures are
+// collectable, bumps the generation to invalidate outstanding handles, and
+// returns the record to the free list.
+func (s *Scheduler) release(ev *event) {
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	ev.index = -1
+	ev.gen++
+	s.free = append(s.free, ev)
+}
+
 // Step fires the earliest pending event, advancing the clock to its
 // deadline. It reports whether an event fired; false means the queue is
-// empty (or everything left was canceled).
+// empty. The event's record is recycled before the callback runs, so a
+// callback that schedules new events reuses it immediately.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		s.now = ev.at
-		ev.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	ev := s.popMin()
+	s.now = ev.at
+	fn, argFn, arg := ev.fn, ev.argFn, ev.arg
+	s.release(ev)
+	if fn != nil {
+		fn()
+	} else {
+		argFn(arg)
+	}
+	return true
 }
 
 // Peek returns the deadline of the earliest pending event and true, or zero
 // and false if none is pending.
 func (s *Scheduler) Peek() (time.Duration, bool) {
-	for len(s.queue) > 0 {
-		if s.queue[0].canceled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return s.queue[0].at, true
+	if len(s.queue) == 0 {
+		return 0, false
 	}
-	return 0, false
+	return s.queue[0].at, true
 }
 
 // RunUntil fires events in order until the queue is exhausted or the next
@@ -186,13 +268,106 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Stopped reports whether Stop has been called.
 func (s *Scheduler) Stopped() bool { return s.stopped }
 
+// less orders the heap by deadline, then scheduling order. seq is unique
+// per event, so the order is total and pop order never depends on the
+// heap's internal array layout.
+func (s *Scheduler) less(i, j int) bool {
+	a, b := s.queue[i], s.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) swap(i, j int) {
+	q := s.queue
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+// push appends ev and restores the heap property.
+func (s *Scheduler) push(ev *event) {
+	ev.index = len(s.queue)
+	s.queue = append(s.queue, ev)
+	s.siftUp(ev.index)
+}
+
+// popMin removes and returns the heap minimum.
+func (s *Scheduler) popMin() *event {
+	ev := s.queue[0]
+	n := len(s.queue) - 1
+	s.swap(0, n)
+	s.queue[n] = nil
+	s.queue = s.queue[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// removeAt removes the event at heap index i (used by Cancel).
+func (s *Scheduler) removeAt(i int) {
+	n := len(s.queue) - 1
+	removed := s.queue[i]
+	if i != n {
+		s.swap(i, n)
+	}
+	s.queue[n] = nil
+	s.queue = s.queue[:n]
+	if i < n {
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+	}
+	removed.index = -1
+}
+
+// siftUp restores the heap property from i toward the root.
+func (s *Scheduler) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores the heap property from i toward the leaves, reporting
+// whether the element moved.
+func (s *Scheduler) siftDown(i int) bool {
+	start := i
+	n := len(s.queue)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && s.less(right, left) {
+			child = right
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s.swap(i, child)
+		i = child
+	}
+	return i > start
+}
+
 // Ticker schedules fn every interval, starting at now+interval, until
-// canceled via the returned handle or until the scheduler stops.
+// canceled via the returned handle or until the scheduler stops. Re-arming
+// dispatches through a package-level function, so a running ticker never
+// allocates per tick.
 type Ticker struct {
 	s        *Scheduler
 	interval time.Duration
 	fn       func()
-	ev       *Event
+	ev       Event
 	stopped  bool
 }
 
@@ -206,23 +381,26 @@ func (s *Scheduler) Tick(interval time.Duration, fn func()) *Ticker {
 	return t
 }
 
+// tickerFire dispatches one tick and re-arms; the closure-free counterpart
+// of the old capture-per-arm pattern.
+func tickerFire(a any) {
+	t := a.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
+}
+
 func (t *Ticker) arm() {
-	t.ev = t.s.After(t.interval, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.ev = t.s.AfterArg(t.interval, tickerFire, t)
 }
 
 // Stop cancels future ticks. It is safe to call multiple times and from
 // within the tick callback itself.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
+	t.ev.Cancel()
 }

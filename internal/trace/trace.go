@@ -48,8 +48,11 @@ func New(name string, points ...Point) (*Trace, error) {
 		return nil, fmt.Errorf("trace: first breakpoint at %v, want 0", ps[0].At)
 	}
 	for i, p := range ps {
-		if p.Bps <= 0 {
-			return nil, fmt.Errorf("trace: non-positive rate %v at %v", p.Bps, p.At)
+		// !(p.Bps > 0) rather than p.Bps <= 0: NaN compares false both
+		// ways and would sail through a <= check, then poison every
+		// serialization deadline downstream in netem.
+		if !(p.Bps > 0) || math.IsInf(p.Bps, 1) {
+			return nil, fmt.Errorf("trace: rate %v at %v is not a positive finite number", p.Bps, p.At)
 		}
 		if i > 0 && ps[i-1].At == p.At {
 			return nil, fmt.Errorf("trace: duplicate breakpoint at %v", p.At)

@@ -20,6 +20,11 @@ func TestNewValidation(t *testing.T) {
 		{"negative-rate", []Point{{At: 0, Bps: -1}}, false},
 		{"zero-rate", []Point{{At: 0, Bps: 0}}, false},
 		{"duplicate", []Point{{At: 0, Bps: 1}, {At: 0, Bps: 2}}, false},
+		// NaN compares false against any threshold, so a naive Bps <= 0
+		// check admits it; these pin the !(Bps > 0) form.
+		{"nan-rate", []Point{{At: 0, Bps: math.NaN()}}, false},
+		{"pos-inf-rate", []Point{{At: 0, Bps: math.Inf(1)}}, false},
+		{"neg-inf-rate", []Point{{At: 0, Bps: math.Inf(-1)}}, false},
 		{"valid", []Point{{At: 0, Bps: 1e6}, {At: time.Second, Bps: 2e6}}, true},
 		{"unsorted-valid", []Point{{At: time.Second, Bps: 2e6}, {At: 0, Bps: 1e6}}, true},
 	}
