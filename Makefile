@@ -2,7 +2,7 @@ GO       ?= go
 PKGS     := ./...
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint lint-fix fuzz-smoke bench bench-parallel bench-json bench-smoke trace-smoke check
+.PHONY: build test race lint lint-fix lint-purity lint-budget fuzz-smoke bench bench-parallel bench-json bench-smoke trace-smoke check
 
 build:
 	$(GO) build $(PKGS)
@@ -21,6 +21,19 @@ lint:
 # deletion), then report what remains.
 lint-fix:
 	$(GO) run ./cmd/rtclint -fix $(PKGS)
+
+# Just the interprocedural provers (whole-module call graph): reachable
+# wall clock / unseeded rand / spawns, package-level mutable state, and
+# cross-shard scheduler/recorder capture. See DESIGN.md §11.
+lint-purity:
+	$(GO) run ./cmd/rtclint -run transitivepurity,globalmut,shardsafe $(PKGS)
+
+# CI smoke gate: the full suite over this module must finish inside the
+# wall-clock budget, so whole-module analysis can't become the long pole.
+RTCLINT_BUDGET_SECONDS ?= 120
+lint-budget:
+	RTCLINT_BUDGET_SECONDS=$(RTCLINT_BUDGET_SECONDS) \
+		$(GO) test -run TestLintRuntimeBudget -v ./cmd/rtclint
 
 # Each target is named explicitly: -fuzz=Fuzz is ambiguous in packages
 # with more than one fuzz test (internal/rtp has two).

@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	rtclint [-C dir] [-list] [-json] [-fix] [packages]
+//	rtclint [-C dir] [-list] [-json] [-fix] [-run a,b] [-baseline file] [-write-baseline file] [packages]
 //
 // The only supported package pattern is "./..." (the default): the suite
 // always analyzes the whole module, because the invariants it enforces are
 // whole-tree properties. -json emits the findings as a JSON array for CI
 // tooling; -fix applies every suggested fix (sorted-keys rewrites for
 // maporder, stale //lint:ignore deletion), then re-analyzes and reports
-// what remains. Output is byte-deterministic: analyzers are listed sorted
-// by name and findings sorted by (file, line, col, analyzer).
+// what remains. -run restricts the suite to a comma-separated analyzer
+// subset (stale-ignore reporting is disabled under a partial suite).
+// -baseline filters findings through an accepted-debt file so only new
+// findings report; -write-baseline records the current findings as that
+// file. Output is byte-deterministic: analyzers are listed sorted by name
+// and findings sorted by (file, line, col, analyzer).
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
@@ -45,8 +49,11 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	fix := fs.Bool("fix", false, "apply suggested fixes, then report remaining findings")
+	runOnly := fs.String("run", "", "comma-separated analyzer subset to run (default: full suite)")
+	baseline := fs.String("baseline", "", "filter findings through this accepted-debt file; only new findings report")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this file and exit clean")
 	fs.Usage = func() {
-		stderr.printf("usage: rtclint [-C dir] [-list] [-json] [-fix] [./...]\n")
+		stderr.printf("usage: rtclint [-C dir] [-list] [-json] [-fix] [-run a,b] [-baseline file] [-write-baseline file] [./...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -56,7 +63,7 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 		analyzers := append([]*lint.Analyzer(nil), lint.Analyzers()...)
 		sort.Slice(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
 		for _, a := range analyzers {
-			stdout.printf("%-14s %s\n", a.Name, a.Doc)
+			stdout.printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return exitStatus(0, stdout, stderrW)
 	}
@@ -67,12 +74,22 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 		}
 	}
 
+	analyzers := lint.Analyzers()
+	if *runOnly != "" {
+		var unknown []string
+		analyzers, unknown = lint.Select(strings.Split(*runOnly, ","))
+		if len(unknown) > 0 {
+			stderr.printf("rtclint: -run names unknown analyzer(s): %s\n", strings.Join(unknown, ", "))
+			return 2
+		}
+	}
+
 	root, modPath, err := findModule(*dir)
 	if err != nil {
 		stderr.printf("rtclint: %v\n", err)
 		return 2
 	}
-	diags, sources, fset, err := analyze(root, modPath)
+	diags, sources, fset, err := analyze(root, modPath, analyzers, *runOnly == "")
 	if err != nil {
 		stderr.printf("rtclint: %v\n", err)
 		return 2
@@ -98,7 +115,7 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 		}
 		if len(names) > 0 {
 			// Re-analyze so the report reflects the rewritten tree.
-			diags, _, fset, err = analyze(root, modPath)
+			diags, _, fset, err = analyze(root, modPath, analyzers, *runOnly == "")
 			if err != nil {
 				stderr.printf("rtclint: %v (after -fix)\n", err)
 				return 2
@@ -108,6 +125,27 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 
 	for i := range diags {
 		diags[i].Pos.Filename = relTo(root, diags[i].Pos.Filename)
+	}
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, lint.WriteBaseline(diags), 0o644); err != nil {
+			stderr.printf("rtclint: %v\n", err)
+			return 2
+		}
+		stderr.printf("rtclint: wrote baseline with %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return exitStatus(0, stdout, stderrW)
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			stderr.printf("rtclint: %v\n", err)
+			return 2
+		}
+		entries, err := lint.ParseBaseline(data)
+		if err != nil {
+			stderr.printf("rtclint: %s: %v\n", *baseline, err)
+			return 2
+		}
+		diags = lint.FilterBaseline(diags, entries)
 	}
 	if *jsonOut {
 		printJSON(stdout, diags)
@@ -123,9 +161,11 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 	return exitStatus(0, stdout, stderrW)
 }
 
-// analyze loads the module and runs the full suite, returning sorted
-// findings plus the sources and FileSet needed to apply fixes.
-func analyze(root, modPath string) ([]lint.Diagnostic, map[string][]byte, *token.FileSet, error) {
+// analyze loads the module and runs the selected analyzers, returning
+// sorted findings plus the sources and FileSet needed to apply fixes.
+// Stale-ignore reporting is sound only under the full suite, so the
+// caller states whether this run is one.
+func analyze(root, modPath string, analyzers []*lint.Analyzer, fullSuite bool) ([]lint.Diagnostic, map[string][]byte, *token.FileSet, error) {
 	loader := lint.NewLoader()
 	pkgs, err := loader.LoadModule(root, modPath)
 	if err != nil {
@@ -137,7 +177,7 @@ func analyze(root, modPath string) ([]lint.Diagnostic, map[string][]byte, *token
 			sources[name] = src
 		}
 	}
-	runner := &lint.Runner{Analyzers: lint.Analyzers(), ReportUnusedIgnores: true}
+	runner := &lint.Runner{Analyzers: analyzers, ReportUnusedIgnores: fullSuite}
 	return runner.Run(loader.Fset, pkgs), sources, loader.Fset, nil
 }
 

@@ -6,8 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // writeModule lays out a throwaway module for driver tests. Package paths
@@ -67,8 +69,8 @@ func TestListByteDeterministic(t *testing.T) {
 		t.Errorf("-list output differs between runs:\n%s\nvs\n%s", out1, out2)
 	}
 	lines := strings.Split(strings.TrimRight(out1, "\n"), "\n")
-	if len(lines) != 10 {
-		t.Errorf("-list printed %d analyzers, want 10:\n%s", len(lines), out1)
+	if len(lines) != 13 {
+		t.Errorf("-list printed %d analyzers, want 13:\n%s", len(lines), out1)
 	}
 	if !sort.StringsAreSorted(lines) {
 		t.Errorf("-list output is not sorted by name:\n%s", out1)
@@ -76,6 +78,7 @@ func TestListByteDeterministic(t *testing.T) {
 	for _, name := range []string{
 		"nowallclock", "seededrand", "floateq", "unitsuffix", "ctorvalidate",
 		"maporder", "rawgo", "errdrop", "importlayer", "hotpathalloc",
+		"transitivepurity", "globalmut", "shardsafe",
 	} {
 		if !strings.Contains(out1, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out1)
@@ -172,6 +175,110 @@ func TestFixEndToEnd(t *testing.T) {
 	if code, _, _ := runCLI(t, "-C", dir); code != 0 {
 		t.Errorf("module not clean after -fix (exit %d)", code)
 	}
+}
+
+func TestRunSubset(t *testing.T) {
+	dir := writeModule(t, dirtyMetrics)
+	// nowallclock alone: the maporder finding and the stale directive
+	// (full-suite-only) must both vanish; the module looks clean.
+	code, out, _ := runCLI(t, "-C", dir, "-run", "nowallclock")
+	if code != 0 || out != "" {
+		t.Errorf("-run nowallclock: exit %d output %q, want clean", code, out)
+	}
+	// maporder alone still reports its finding.
+	code, out, _ = runCLI(t, "-C", dir, "-run", "maporder")
+	if code != 1 || !strings.Contains(out, "[maporder]") {
+		t.Errorf("-run maporder: exit %d output %q, want the maporder finding", code, out)
+	}
+	// Unknown analyzer names are a usage error, not a silent no-op.
+	code, _, stderr := runCLI(t, "-C", dir, "-run", "maporder,nosuch")
+	if code != 2 || !strings.Contains(stderr, "nosuch") {
+		t.Errorf("-run with unknown name: exit %d stderr %q, want 2 naming nosuch", code, stderr)
+	}
+}
+
+func TestBaselineEndToEnd(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/metrics/m.go": `// Package metrics is a baseline-test fixture.
+package metrics
+
+// shared is deliberate debt recorded in the baseline.
+var shared = map[string]int{}
+`,
+	})
+	baseline := filepath.Join(dir, "lint-baseline.json")
+
+	// Without a baseline the module is dirty.
+	if code, _, _ := runCLI(t, "-C", dir); code != 1 {
+		t.Fatalf("dirty module exit = %d, want 1", code)
+	}
+	// Record the debt.
+	if code, _, stderr := runCLI(t, "-C", dir, "-write-baseline", baseline); code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	// Same findings filtered: clean.
+	code, out, _ := runCLI(t, "-C", dir, "-baseline", baseline)
+	if code != 0 || out != "" {
+		t.Fatalf("-baseline run: exit %d output %q, want clean", code, out)
+	}
+	// Golden round trip: rewriting the baseline reproduces the bytes.
+	before, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, "-C", dir, "-write-baseline", baseline); code != 0 {
+		t.Fatal("second -write-baseline failed")
+	}
+	after, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("baseline not byte-stable across runs:\n%s\nvs\n%s", before, after)
+	}
+
+	// A NEW finding class still reports through the baseline.
+	extra := filepath.Join(dir, "internal", "metrics", "extra.go")
+	if err := os.WriteFile(extra, []byte("package metrics\n\n// registry is new debt, not in the baseline.\nvar registry []string\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCLI(t, "-C", dir, "-baseline", baseline)
+	if code != 1 || !strings.Contains(out, "registry") || strings.Contains(out, "shared") {
+		t.Errorf("-baseline with new finding: exit %d output %q, want only the registry finding", code, out)
+	}
+
+	// Garbage baseline files are a hard error.
+	if err := os.WriteFile(baseline, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, "-C", dir, "-baseline", baseline); code != 2 {
+		t.Errorf("garbage baseline exit = %d, want 2", code)
+	}
+}
+
+// TestLintRuntimeBudget is the CI smoke gate: the full suite over this
+// repository must finish inside a wall-clock budget, so the lint job
+// cannot quietly grow into the long pole. Gated behind an env var so
+// ordinary test runs don't pay the full-module analysis twice.
+func TestLintRuntimeBudget(t *testing.T) {
+	budget := os.Getenv("RTCLINT_BUDGET_SECONDS")
+	if budget == "" {
+		t.Skip("set RTCLINT_BUDGET_SECONDS to enable the lint runtime gate")
+	}
+	secs, err := strconv.Atoi(budget)
+	if err != nil || secs <= 0 {
+		t.Fatalf("bad RTCLINT_BUDGET_SECONDS %q", budget)
+	}
+	start := time.Now()
+	code, _, stderr := runCLI(t, "-C", filepath.Join("..", ".."))
+	elapsed := time.Since(start)
+	if code != 0 {
+		t.Fatalf("module not lint-clean (exit %d); stderr:\n%s", code, stderr)
+	}
+	if elapsed > time.Duration(secs)*time.Second {
+		t.Errorf("full suite took %v, over the %ds budget", elapsed, secs)
+	}
+	t.Logf("full suite: %v (budget %ds)", elapsed, secs)
 }
 
 func TestUsageErrors(t *testing.T) {

@@ -135,7 +135,7 @@ type Adaptive struct {
 // per-pixel rate healthy. Thresholds carry 25% upward hysteresis so the
 // scale doesn't flap. Rungs follow common simulcast ladders
 // (1.0 / 0.75 / 0.5 / 0.375 of native linear resolution).
-var resolutionLadder = []struct {
+var resolutionLadder = [...]struct {
 	minRate float64 // bits/s required to hold this rung
 	scale   float64
 }{

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Baseline support: adopting a new analyzer on a tree with pre-existing
+// findings should not force fixing everything in one PR. A baseline file
+// records the accepted debt; runs filter findings against it and report
+// only what is NEW. Entries are keyed by (file, analyzer, message) with a
+// count — deliberately no line numbers, so unrelated edits that shift
+// code up or down do not invalidate the baseline, while any new instance
+// of a recorded finding (count exceeded) or any changed message still
+// surfaces.
+//
+// The file format is a sorted JSON array, one entry per line, so diffs in
+// review stay readable and a round-trip (write, then filter) is
+// byte-stable.
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineKey identifies an entry class.
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// WriteBaseline renders the findings as a baseline file.
+func WriteBaseline(diags []Diagnostic) []byte {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{d.Pos.Filename, d.Analyzer, d.Message}]++
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for k, n := range counts {
+		entries = append(entries, BaselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := []byte("[\n")
+	for i, e := range entries {
+		//lint:ignore errdrop BaselineEntry is plain strings and an int; Marshal cannot fail
+		b, _ := json.Marshal(e)
+		sep := ","
+		if i == len(entries)-1 {
+			sep = ""
+		}
+		out = append(out, ' ', ' ')
+		out = append(out, b...)
+		out = append(out, sep...)
+		out = append(out, '\n')
+	}
+	out = append(out, "]\n"...)
+	return out
+}
+
+// ParseBaseline loads a baseline file.
+func ParseBaseline(data []byte) ([]BaselineEntry, error) {
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parsing baseline: %w", err)
+	}
+	for _, e := range entries {
+		if e.File == "" || e.Analyzer == "" || e.Count < 1 {
+			return nil, fmt.Errorf("invalid baseline entry %+v: want non-empty file and analyzer, count >= 1", e)
+		}
+	}
+	return entries, nil
+}
+
+// FilterBaseline drops findings covered by the baseline, consuming at
+// most Count matches per entry (the first findings in sorted order are
+// the ones suppressed; extras beyond the recorded count still report).
+func FilterBaseline(diags []Diagnostic, entries []BaselineEntry) []Diagnostic {
+	budget := make(map[baselineKey]int, len(entries))
+	for _, e := range entries {
+		budget[baselineKey{e.File, e.Analyzer, e.Message}] += e.Count
+	}
+	kept := diags[:0:0]
+	for _, d := range diags {
+		k := baselineKey{d.Pos.Filename, d.Analyzer, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"testing"
+)
+
+func baselineDiag(file, analyzer, msg string, line int) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// TestBaselineRoundTrip pins the golden property: writing a baseline from
+// a finding set and filtering that same set through it yields nothing,
+// and re-writing the parsed entries reproduces the bytes exactly.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		baselineDiag("a/a.go", "globalmut", "var x is mutable", 3),
+		baselineDiag("a/a.go", "globalmut", "var x is mutable", 9), // same class, second instance
+		baselineDiag("a/a.go", "shardsafe", "reads shard-owned", 5),
+		baselineDiag("b/b.go", "transitivepurity", "wall-clock reachable", 2),
+	}
+	data := WriteBaseline(diags)
+	entries, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3 (two identical findings collapse to count=2): %v", len(entries), entries)
+	}
+	if left := FilterBaseline(diags, entries); len(left) != 0 {
+		t.Errorf("filtering a set through its own baseline left %v, want nothing", left)
+	}
+	// Byte-stable: rendering the parsed entries again reproduces the file.
+	var rediag []Diagnostic
+	for _, e := range entries {
+		for i := 0; i < e.Count; i++ {
+			rediag = append(rediag, baselineDiag(e.File, e.Analyzer, e.Message, i+1))
+		}
+	}
+	if again := WriteBaseline(rediag); !bytes.Equal(again, data) {
+		t.Errorf("baseline not byte-stable:\n%s\nvs\n%s", data, again)
+	}
+}
+
+// TestBaselineFilterNewFindings: findings beyond an entry's count, or of
+// a class the baseline has never seen, must survive the filter.
+func TestBaselineFilterNewFindings(t *testing.T) {
+	old := []Diagnostic{baselineDiag("a/a.go", "globalmut", "var x is mutable", 3)}
+	entries, err := ParseBaseline(WriteBaseline(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := []Diagnostic{
+		baselineDiag("a/a.go", "globalmut", "var x is mutable", 3),  // accepted
+		baselineDiag("a/a.go", "globalmut", "var x is mutable", 40), // count exceeded: new
+		baselineDiag("a/a.go", "globalmut", "var y is mutable", 7),  // new message
+	}
+	left := FilterBaseline(now, entries)
+	if len(left) != 2 {
+		t.Fatalf("got %d surviving findings, want 2: %v", len(left), left)
+	}
+	if left[0].Pos.Line != 40 || left[1].Message != "var y is mutable" {
+		t.Errorf("wrong survivors: %v", left)
+	}
+}
+
+// TestBaselineRejectsGarbage: malformed files fail loudly rather than
+// silently suppressing everything.
+func TestBaselineRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not json",
+		`[{"file":"","analyzer":"x","message":"m","count":1}]`,
+		`[{"file":"f","analyzer":"x","message":"m","count":0}]`,
+	} {
+		if _, err := ParseBaseline([]byte(bad)); err == nil {
+			t.Errorf("ParseBaseline(%q) succeeded, want error", bad)
+		}
+	}
+}

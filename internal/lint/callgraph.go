@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module call graph the interprocedural analyzers
+// (transitivepurity, and future reachability checks) run on. The graph is
+// a conservative over-approximation of "may call":
+//
+//   - static edges: direct calls to package functions and concrete
+//     methods, including generic instantiations (collapsed onto the
+//     generic origin) and method expressions;
+//   - iface edges: a call through an interface method fans out to the
+//     same-named method of every loaded concrete type whose method set
+//     satisfies the interface (method-set resolution, not pointer
+//     analysis — a superset of the truth);
+//   - ref edges: any mention of a function or method as a *value*
+//     (passed as a callback, stored in a field, converted to a func
+//     type) is treated as a potential call from the mentioning function,
+//     which soundly covers scheduler callbacks, netem receivers, and
+//     func-typed config fields without tracking dataflow.
+//
+// Function literals are inlined into their enclosing declaration: a
+// closure's calls, references, and go statements are attributed to the
+// function that syntactically contains it. Bodies outside the loaded
+// set (standard library) are leaves; reachability stops there, which is
+// why sink detection matches the stdlib entry points themselves
+// (time.Now, rand.Int, ...) rather than anything deeper.
+
+// CGEdgeKind classifies how a call edge was derived.
+type CGEdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a known function or method.
+	EdgeStatic CGEdgeKind = iota
+	// EdgeIface is a call through an interface, resolved by method set.
+	EdgeIface
+	// EdgeRef is a function or method mentioned as a value.
+	EdgeRef
+)
+
+// String names the kind in diagnostics and tests.
+func (k CGEdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeIface:
+		return "iface"
+	default:
+		return "ref"
+	}
+}
+
+// CGEdge is one outgoing call edge.
+type CGEdge struct {
+	Callee *CGNode
+	// Pos is the call site (the callee expression for calls, the
+	// mention for ref edges) — the "per-edge" position taint paths
+	// print.
+	Pos  token.Pos
+	Kind CGEdgeKind
+}
+
+// CGNode is one function in the graph.
+type CGNode struct {
+	// Func is the canonical (generic-origin) object.
+	Func *types.Func
+	// Pkg is the loaded package declaring the function; nil for
+	// functions outside the loaded set (standard library leaves).
+	Pkg *Package
+	// Decl is the declaration, nil for leaves.
+	Decl *ast.FuncDecl
+	// Out is the outgoing edges in deterministic (syntactic) order.
+	Out []CGEdge
+	// Spawns are the positions of go statements in the body (closures
+	// included); the purity prover decides which files are exempt.
+	Spawns []token.Pos
+}
+
+// CallGraph is the whole-module call graph.
+type CallGraph struct {
+	fset   *token.FileSet
+	module string
+	nodes  map[*types.Func]*CGNode
+	// ModuleNodes lists the nodes with bodies in deterministic order:
+	// package path, then file, then declaration order.
+	ModuleNodes []*CGNode
+
+	concrete   []*types.Named
+	ifaceCache map[string][]*types.Func
+}
+
+// NodeOf returns the node for fn (its generic origin), or nil when fn is
+// unknown to the graph.
+func (g *CallGraph) NodeOf(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Name renders a node compactly for diagnostics: module-relative package
+// qualification, receivers kept ("internal/session.(*Session).capture",
+// "time.Now").
+func (g *CallGraph) Name(n *CGNode) string {
+	full := n.Func.FullName()
+	full = strings.ReplaceAll(full, g.module+"/", "")
+	// A function in the module root package keeps the bare module name;
+	// that is already unambiguous.
+	return full
+}
+
+// buildCallGraph constructs the graph over the loaded packages.
+func buildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		fset:       fset,
+		nodes:      make(map[*types.Func]*CGNode),
+		ifaceCache: make(map[string][]*types.Func),
+	}
+	if len(pkgs) > 0 {
+		g.module = pkgs[0].Module
+	}
+
+	// Named non-interface types of every loaded package, sorted by
+	// qualified name: the candidate set for interface resolution.
+	type namedEntry struct {
+		name string
+		t    *types.Named
+	}
+	var cands []namedEntry
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.Info == nil {
+			continue // parse-only package (directive-level tests)
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) || named.TypeParams().Len() > 0 {
+				continue
+			}
+			cands = append(cands, namedEntry{pkg.Path + "." + name, named})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].name < cands[j].name })
+	for _, c := range cands {
+		g.concrete = append(g.concrete, c.t)
+	}
+
+	// Register every declared function before walking bodies, so edges
+	// can resolve forward references to declarations.
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := g.nodeFor(fn)
+				n.Pkg = pkg
+				n.Decl = fd
+				g.ModuleNodes = append(g.ModuleNodes, n)
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.walkBody(g.nodeFor(fn), pkg.Info, fd)
+			}
+		}
+	}
+	return g
+}
+
+// nodeFor returns (creating if needed) the node for fn's origin.
+func (g *CallGraph) nodeFor(fn *types.Func) *CGNode {
+	fn = fn.Origin()
+	if n, ok := g.nodes[fn]; ok {
+		return n
+	}
+	n := &CGNode{Func: fn}
+	g.nodes[fn] = n
+	return n
+}
+
+// walkBody adds caller's outgoing edges and go-spawn records.
+func (g *CallGraph) walkBody(caller *CGNode, info *types.Info, decl *ast.FuncDecl) {
+	// handled marks expressions consumed by a more precise rule, so the
+	// generic ident sweep does not duplicate their edges.
+	handled := make(map[ast.Node]bool)
+
+	addEdge := func(fn *types.Func, pos token.Pos, kind CGEdgeKind) {
+		caller.Out = append(caller.Out, CGEdge{Callee: g.nodeFor(fn), Pos: pos, Kind: kind})
+	}
+	// addMethod resolves a selection target: a concrete method is one
+	// static/ref edge; an interface method fans out to every satisfying
+	// implementation.
+	addMethod := func(sel *types.Selection, pos token.Pos, concreteKind CGEdgeKind) {
+		m, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return
+		}
+		if types.IsInterface(sel.Recv()) {
+			for _, impl := range g.implementers(sel.Recv(), m) {
+				addEdge(impl, pos, EdgeIface)
+			}
+			// Keep the interface method itself as a leaf too, so sink
+			// tables matching stdlib interfaces still fire.
+			addEdge(m, pos, EdgeIface)
+			return
+		}
+		addEdge(m, pos, concreteKind)
+	}
+
+	ast.Inspect(decl, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			caller.Spawns = append(caller.Spawns, node.Pos())
+		case *ast.CallExpr:
+			fun := unparen(node.Fun)
+			// Unwrap explicit generic instantiation: f[T](x).
+			switch idx := fun.(type) {
+			case *ast.IndexExpr:
+				fun = unparen(idx.X)
+			case *ast.IndexListExpr:
+				fun = unparen(idx.X)
+			}
+			switch fun := fun.(type) {
+			case *ast.Ident:
+				if fn, ok := info.Uses[fun].(*types.Func); ok {
+					addEdge(fn, fun.Pos(), EdgeStatic)
+					handled[fun] = true
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[fun]; ok {
+					addMethod(sel, fun.Sel.Pos(), EdgeStatic)
+					handled[fun] = true
+					handled[fun.Sel] = true
+				} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+					// Qualified call pkg.F(...).
+					addEdge(fn, fun.Sel.Pos(), EdgeStatic)
+					handled[fun] = true
+					handled[fun.Sel] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Function and method values: anything not consumed as a direct
+	// callee above becomes a ref edge.
+	ast.Inspect(decl, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.SelectorExpr:
+			if handled[node] {
+				return true
+			}
+			if sel, ok := info.Selections[node]; ok &&
+				(sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr) {
+				addMethod(sel, node.Sel.Pos(), EdgeRef)
+				handled[node] = true
+				handled[node.Sel] = true
+			}
+		case *ast.Ident:
+			if handled[node] {
+				return true
+			}
+			if fn, ok := info.Uses[node].(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil {
+				addEdge(fn, node.Pos(), EdgeRef)
+			}
+		}
+		return true
+	})
+}
+
+// implementers returns the methods that may satisfy a call to method m of
+// interface type recv, in deterministic order.
+func (g *CallGraph) implementers(recv types.Type, m *types.Func) []*types.Func {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	key := types.TypeString(recv, nil) + "\x00" + m.Id()
+	if cached, ok := g.ifaceCache[key]; ok {
+		return cached
+	}
+	var out []*types.Func
+	for _, named := range g.concrete {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		ms := types.NewMethodSet(ptr)
+		for i := 0; i < ms.Len(); i++ {
+			if obj, ok := ms.At(i).Obj().(*types.Func); ok && obj.Id() == m.Id() {
+				out = append(out, obj.Origin())
+				break
+			}
+		}
+	}
+	g.ifaceCache[key] = out
+	return out
+}

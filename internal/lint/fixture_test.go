@@ -166,6 +166,25 @@ func TestHotPathAllocFixture(t *testing.T) {
 	runOn(t, loader, byPath, []*Analyzer{HotPathAlloc}, "internal/netem", "scopecheck")
 }
 
+// TestTransitivePurityFixture: internal/core is an entry-point package;
+// sinks live one package away in puritydep, so every finding crosses a
+// package boundary and carries a taint path.
+func TestTransitivePurityFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{TransitivePurity}, "internal/core", "puritydep")
+}
+
+func TestGlobalMutFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{GlobalMut},
+		"internal/globalmutfix", "internal/globalmutuse", "scopecheck")
+}
+
+func TestShardSafeFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{ShardSafe}, "internal/shardfix", "internal/obs")
+}
+
 // TestIgnoreFixture runs the full suite so directives interact with every
 // analyzer the way they do in production (including importlayer's
 // package-level finding, suppressed on the package clause).
@@ -222,6 +241,9 @@ func TestFixtureWantsPresent(t *testing.T) {
 		"fixture/internal/simtime",
 		"fixture/internal/mystery",
 		"fixture/internal/netem",
+		"fixture/internal/globalmutfix",
+		"fixture/internal/shardfix",
+		"fixture/puritydep",
 		"fixture/cmd/errdropcmd",
 		"fixture/floateqfix",
 		"fixture/unitfix",

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GlobalMut flags package-level variables in internal/ that are shared
+// mutable state: either something writes them after package init, or
+// their type is a mutable reference type (map, slice, pointer, channel,
+// interface) that aliases can mutate without any direct write the
+// analyzer could see. Either way, two shards running sessions
+// concurrently would race on them, and even a single-shard run loses the
+// "session is a pure function of (config, seed)" property the N-way
+// controller comparisons depend on.
+//
+// Write detection is whole-program: an exported variable assigned from
+// another package is reported at its declaration with the foreign write
+// sites listed. Deliberate exceptions live in one place —
+// internal/lint/globalmut_allow.go — with a mandatory reason, mirroring
+// how layers.go is the single source of truth for the import DAG.
+// Sentinel errors (`var ErrX = errors.New(...)`, never reassigned) are
+// exempt by construction: the convention is universal in Go and the
+// value is immutable in practice.
+var GlobalMut = &Analyzer{
+	Name: "globalmut",
+	Doc: "forbid package-level mutable state in internal packages; " +
+		"thread state through structs or allowlist it in globalmut_allow.go",
+	Run: runGlobalMut,
+}
+
+// globalMutResult caches the whole-program write index: every assignment
+// to a package-level variable outside init, keyed by the variable
+// object.
+type globalMutResult struct {
+	writes map[*types.Var][]token.Pos
+}
+
+func runGlobalMut(pass *Pass) {
+	if !pass.Internal() || pass.Prog == nil {
+		return
+	}
+	writes := globalMutWrites(pass.Prog)
+	rel := pass.Rel()
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if _, allowed := globalMutAllowed(rel, name.Name); allowed {
+						continue
+					}
+					var init ast.Expr
+					if i < len(vs.Values) {
+						init = vs.Values[i]
+					}
+					reportGlobalMutVar(pass, rel, name, obj, init, writes.writes[obj])
+				}
+			}
+		}
+	}
+}
+
+// reportGlobalMutVar applies the two rules to one package-level var.
+func reportGlobalMutVar(pass *Pass, rel string, name *ast.Ident, obj *types.Var, init ast.Expr, writes []token.Pos) {
+	if len(writes) > 0 {
+		sort.Slice(writes, func(i, j int) bool { return writes[i] < writes[j] })
+		sites := make([]string, 0, 3)
+		for _, w := range writes {
+			if len(sites) == 3 {
+				sites = append(sites, "...")
+				break
+			}
+			p := pass.Fset.Position(w)
+			sites = append(sites, fmt.Sprintf("%s:%d", shortFile(p.Filename), p.Line))
+		}
+		pass.Reportf(name.Pos(),
+			"package-level var %s is written after init (at %s); "+
+				"shards would race on it — thread the state through a struct owned by each session",
+			name.Name, strings.Join(sites, ", "))
+		return
+	}
+	if isSentinelError(obj, init) {
+		return
+	}
+	if mutableType(obj.Type(), nil) {
+		pass.Reportf(name.Pos(),
+			"package-level var %s holds mutable reference type %s; "+
+				"even without a visible write, aliases can mutate it across shards — "+
+				"make it a constant or per-instance field, or allowlist it in "+
+				"internal/lint/globalmut_allow.go (pkg %s) with a reason",
+			name.Name, types.TypeString(obj.Type(), types.RelativeTo(pass.Pkg)), rel)
+	}
+}
+
+// globalMutWrites indexes, once per run, every write to a package-level
+// variable that happens outside package initialization (init functions
+// and var initializers are the sanctioned write window).
+func globalMutWrites(prog *Program) *globalMutResult {
+	if prog.globalMut != nil {
+		return prog.globalMut
+	}
+	res := &globalMutResult{writes: make(map[*types.Var][]token.Pos)}
+	for _, pkg := range prog.Pkgs {
+		if pkg.Info == nil {
+			continue // parse-only package (directive-level tests)
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Recv == nil && fd.Name.Name == "init" {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.AssignStmt:
+						if n.Tok == token.DEFINE {
+							return true
+						}
+						for _, lhs := range n.Lhs {
+							if v := pkgLevelTarget(pkg.Info, lhs); v != nil {
+								res.writes[v] = append(res.writes[v], lhs.Pos())
+							}
+						}
+					case *ast.IncDecStmt:
+						if v := pkgLevelTarget(pkg.Info, n.X); v != nil {
+							res.writes[v] = append(res.writes[v], n.X.Pos())
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	prog.globalMut = res
+	return res
+}
+
+// pkgLevelTarget resolves an assignment target to the package-level
+// variable it ultimately writes through: the base identifier of selector,
+// index, and dereference chains (gvar, gvar.f, gvar[i], *gvar, ...).
+// Writes through a pointer variable that merely points at a global are
+// out of scope (documented soundness caveat).
+func pkgLevelTarget(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch t := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			// Qualified reference pkg.Var: the variable hangs off the
+			// selector, not the base ident (which is the package name).
+			if v := pkgLevelIdent(info, t.Sel); v != nil {
+				return v
+			}
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.Ident:
+			return pkgLevelIdent(info, t)
+		default:
+			return nil
+		}
+	}
+}
+
+// pkgLevelIdent returns the package-level variable an identifier uses,
+// or nil (fields, locals, and package names all fail the scope check).
+func pkgLevelIdent(info *types.Info, id *ast.Ident) *types.Var {
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Parent() == nil {
+		return nil
+	}
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// isSentinelError recognizes the canonical immutable error sentinel:
+// Err-prefixed name, error type, built by errors.New or fmt.Errorf.
+func isSentinelError(obj *types.Var, init ast.Expr) bool {
+	name := obj.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+		return false
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return false
+	}
+	call, ok := unparen(init).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return (pkg.Name == "errors" && sel.Sel.Name == "New") ||
+		(pkg.Name == "fmt" && sel.Sel.Name == "Errorf")
+}
+
+// mutableType reports whether values of t can be mutated through an
+// alias: reference types themselves, and aggregates containing them.
+// Strings, numerics, funcs, and aggregates of those are immutable for
+// our purposes (reassignment of the var is the write rule's job).
+func mutableType(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false // break recursion; cycles require a pointer, caught at the pointer
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Signature:
+		return false
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	case *types.Array:
+		return mutableType(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if mutableType(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true // type parameters and anything exotic: conservative
+	}
+}
+
+// shortFile trims a path to its last two segments for message brevity.
+func shortFile(name string) string {
+	parts := strings.Split(name, "/")
+	if len(parts) <= 2 {
+		return name
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

@@ -42,7 +42,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Pass is the per-package view handed to an analyzer.
+// Pass is the per-package view handed to an analyzer. Prog is the shared
+// whole-module view for interprocedural analyzers; reporting stays
+// per-package (an analyzer reports only findings positioned in its own
+// pass), which keeps output order and //lint:ignore handling uniform.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -52,6 +55,7 @@ type Pass struct {
 	Sources  map[string][]byte
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
 
 	diags *[]Diagnostic
 }
@@ -118,8 +122,8 @@ type Analyzer struct {
 }
 
 // Analyzers returns the full suite in stable order: the five file-local
-// analyzers from the original suite, the four cross-package ones, then
-// the hot-path advisory check.
+// analyzers from the original suite, the four cross-package ones, the
+// hot-path advisory check, then the three interprocedural provers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoWallClock,
@@ -132,7 +136,31 @@ func Analyzers() []*Analyzer {
 		ErrDrop,
 		ImportLayer,
 		HotPathAlloc,
+		TransitivePurity,
+		GlobalMut,
+		ShardSafe,
 	}
+}
+
+// Select returns the subset of the full suite whose names appear in
+// names, preserving suite order. Unknown names are returned in the
+// second result so callers can reject typos loudly.
+func Select(names []string) (selected []*Analyzer, unknown []string) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	for _, a := range Analyzers() {
+		if want[a.Name] {
+			selected = append(selected, a)
+			delete(want, a.Name)
+		}
+	}
+	for n := range want {
+		unknown = append(unknown, n)
+	}
+	sort.Strings(unknown)
+	return selected, unknown
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
@@ -161,6 +189,7 @@ type Runner struct {
 func (r *Runner) Run(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
 	var directives []*ignoreDirective
+	prog := &Program{Fset: fset, Pkgs: pkgs}
 	for _, pkg := range pkgs {
 		directives = append(directives, collectDirectives(fset, pkg.Files, &diags)...)
 		for _, a := range r.Analyzers {
@@ -173,6 +202,7 @@ func (r *Runner) Run(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 				Sources:  pkg.Sources,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				diags:    &diags,
 			}
 			a.Run(pass)
@@ -180,7 +210,26 @@ func (r *Runner) Run(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 	}
 	diags = applyIgnores(diags, directives)
 	if r.ReportUnusedIgnores {
+		known := make(map[string]bool, len(r.Analyzers))
+		for _, a := range r.Analyzers {
+			known[a.Name] = true
+		}
 		for _, d := range directives {
+			if !known[d.analyzer] {
+				// A directive naming a nonexistent analyzer suppresses
+				// nothing and never will — typically a typo or a check
+				// that was since renamed.
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "lint",
+					Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q (run rtclint -list for the suite)", d.analyzer),
+					Fix: &SuggestedFix{
+						Message: "delete the stale directive",
+						Edits:   []TextEdit{{Pos: d.start, End: d.end, DropBlankLine: true}},
+					},
+				})
+				continue
+			}
 			if !d.used {
 				diags = append(diags, Diagnostic{
 					Pos:      d.pos,

@@ -185,6 +185,43 @@ func unused() {}
 	}
 }
 
+func TestUnknownAnalyzerDirective(t *testing.T) {
+	src := `package dirtest
+
+//lint:ignore floateqq typo'd analyzer name
+func a() {}
+
+//lint:ignore fake names a real analyzer, unused
+func b() {}
+`
+	fake := &Analyzer{
+		Name: "fake",
+		Doc:  "test analyzer reporting nothing",
+		Run:  func(pass *Pass) {},
+	}
+	fset, pkg := parseOne(t, src)
+	r := &Runner{Analyzers: []*Analyzer{fake}, ReportUnusedIgnores: true}
+	diags := r.Run(fset, []*Package{pkg})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want unknown-analyzer + unused: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `unknown analyzer "floateqq"`) {
+		t.Errorf("first diagnostic %q, want unknown-analyzer finding", diags[0].Message)
+	}
+	if diags[0].Fix == nil || len(diags[0].Fix.Edits) != 1 {
+		t.Errorf("unknown-analyzer finding should carry a delete fix, got %+v", diags[0].Fix)
+	}
+	if !strings.Contains(diags[1].Message, "unused //lint:ignore fake") {
+		t.Errorf("second diagnostic %q, want unused-directive finding", diags[1].Message)
+	}
+	// An unknown name must not be double-reported as merely unused.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unused //lint:ignore floateqq") {
+			t.Errorf("unknown directive double-reported as unused: %s", d)
+		}
+	}
+}
+
 func TestIgnoreDoesNotSuppressOtherAnalyzer(t *testing.T) {
 	src := `package dirtest
 

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardSafe enforces the ownership discipline the fleet-scale scheduler
+// depends on: a *simtime.Scheduler and an *obs.Recorder each belong to
+// exactly ONE session (one shard). A component that reaches into another
+// component and pulls out its scheduler or recorder creates a cross-shard
+// alias: two shards advancing one clock, or two sessions interleaving
+// events into one ring buffer — both silently destroy determinism and
+// only surface as irreproducible traces.
+//
+// The sanctioned plumbing is top-down: the session constructs the
+// scheduler and recorder and hands them DOWN via Config structs and
+// constructor parameters. Accordingly:
+//
+//   - a package-level variable that (transitively) holds a shard-owned
+//     type is flagged: package scope outlives every shard;
+//   - reading a shard-owned value out of another component's field
+//     (any selector whose base is neither the method's own receiver nor
+//     a Config value) is flagged as a cross-shard grab;
+//   - an exported function or method returning a shard-owned type from a
+//     non-owning package is flagged: an accessor invites exactly the
+//     grab the previous rule forbids.
+//
+// The owning packages (package simtime, package obs — matched by name so
+// fixture trees work, same trick as hotpathalloc) are exempt: they define
+// and construct the types.
+var ShardSafe = &Analyzer{
+	Name: "shardsafe",
+	Doc: "forbid capturing or storing another shard's simtime.Scheduler or obs.Recorder; " +
+		"shard-owned state flows top-down via Config and constructor parameters",
+	Run: runShardSafe,
+}
+
+// shardOwnedTypes maps {package name, type name} to the shard-owned set.
+// The defining packages are exempt from all three rules.
+var shardOwnedTypes = map[[2]string]bool{
+	{"simtime", "Scheduler"}: true,
+	{"obs", "Recorder"}:      true,
+}
+
+func runShardSafe(pass *Pass) {
+	if !pass.Internal() {
+		return
+	}
+	if pass.Pkg != nil && shardOwnerPkgName(pass.Pkg.Name()) {
+		return
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				shardSafeCheckVars(pass, decl)
+			case *ast.FuncDecl:
+				shardSafeCheckFunc(pass, decl)
+			}
+		}
+	}
+}
+
+// shardOwnerPkgName reports whether name is one of the defining packages.
+func shardOwnerPkgName(name string) bool {
+	for key := range shardOwnedTypes {
+		if key[0] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// shardSafeCheckVars applies rule 1: no package-level storage of
+// shard-owned state.
+func shardSafeCheckVars(pass *Pass, gd *ast.GenDecl) {
+	if gd.Tok.String() != "var" {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := pass.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if owned := containsShardOwned(obj.Type(), nil); owned != "" {
+				pass.Reportf(name.Pos(),
+					"package-level var %s holds shard-owned %s; "+
+						"package scope outlives every shard — own it inside the session and pass it down",
+					name.Name, owned)
+			}
+		}
+	}
+}
+
+// shardSafeCheckFunc applies rules 2 and 3 to one declaration.
+func shardSafeCheckFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Rule 3: accessors. Results returning a shard-owned type from a
+	// non-owning package hand out a cross-shard alias.
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if owned := shardOwnedName(tv.Type); owned != "" {
+				pass.Reportf(field.Type.Pos(),
+					"%s returns shard-owned %s; an accessor invites cross-shard capture — "+
+						"pass the %s down via Config instead of handing it out",
+					fd.Name.Name, owned, owned)
+			}
+		}
+	}
+	if fd.Body == nil {
+		return
+	}
+
+	// Rule 2: cross-component grabs. recvObj is the receiver variable;
+	// closures inside the method see the same object via Uses.
+	var recvObj *types.Var
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recvObj, _ = pass.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		owned := shardOwnedName(selection.Type())
+		if owned == "" {
+			return true
+		}
+		if shardSafeBaseBlessed(pass, recvObj, sel.X) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"reads shard-owned %s out of another component; "+
+				"a %s belongs to one shard — receive it via Config or a constructor parameter",
+			owned, owned)
+		return true
+	})
+}
+
+// shardSafeBaseBlessed reports whether reading a shard-owned field off
+// base is sanctioned: a Config value (the top-down plumbing channel), or
+// any chain rooted at the method's own receiver (a component may use its
+// own scheduler, including through back-pointers like pc.s.sched — the
+// chain starts inside this shard's object graph).
+func shardSafeBaseBlessed(pass *Pass, recvObj *types.Var, base ast.Expr) bool {
+	if tv, ok := pass.Info.Types[unparen(base)]; ok && tv.Type != nil && isConfigType(tv.Type) {
+		return true
+	}
+	for {
+		switch b := unparen(base).(type) {
+		case *ast.SelectorExpr:
+			base = b.X
+		case *ast.StarExpr:
+			base = b.X
+		case *ast.IndexExpr:
+			base = b.X
+		case *ast.Ident:
+			return recvObj != nil && pass.Info.Uses[b] == recvObj
+		default:
+			return false
+		}
+	}
+}
+
+// isConfigType reports whether t is (a pointer to) a named type called
+// Config or *Config — the sanctioned carrier for shard-owned state.
+func isConfigType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Config" || len(name) > 6 && name[len(name)-6:] == "Config"
+}
+
+// shardOwnedName returns the display name ("simtime.Scheduler") when t is
+// (a pointer to) a shard-owned named type, else "".
+func shardOwnedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if shardOwnedTypes[[2]string{obj.Pkg().Name(), obj.Name()}] {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return ""
+}
+
+// containsShardOwned reports (by display name) the first shard-owned type
+// transitively reachable inside t's representation, or "".
+func containsShardOwned(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if owned := shardOwnedName(t); owned != "" {
+		return owned
+	}
+	switch t := t.Underlying().(type) {
+	case *types.Pointer:
+		return containsShardOwned(t.Elem(), seen)
+	case *types.Slice:
+		return containsShardOwned(t.Elem(), seen)
+	case *types.Array:
+		return containsShardOwned(t.Elem(), seen)
+	case *types.Chan:
+		return containsShardOwned(t.Elem(), seen)
+	case *types.Map:
+		if owned := containsShardOwned(t.Key(), seen); owned != "" {
+			return owned
+		}
+		return containsShardOwned(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if owned := containsShardOwned(t.Field(i).Type(), seen); owned != "" {
+				return owned
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,50 @@
+// Package callgraphfix exercises every edge kind the call-graph builder
+// distinguishes: static calls, interface dispatch, function and method
+// values, goroutine spawns, and generic instantiation. It lives outside
+// internal/ so no analyzer fixture claims it; the callgraph unit tests
+// inspect the graph structure directly instead of using want comments.
+package callgraphfix
+
+// Greeter is dispatched through in Dispatch.
+type Greeter interface{ Greet() string }
+
+// English satisfies Greeter with a value receiver.
+type English struct{}
+
+// Greet implements Greeter.
+func (English) Greet() string { return "hi" }
+
+// Terse satisfies Greeter with a pointer receiver.
+type Terse struct{}
+
+// Greet implements Greeter.
+func (t *Terse) Greet() string { return "" }
+
+// Static makes a direct same-package call.
+func Static() string { return helper() }
+
+func helper() string { return "h" }
+
+// Dispatch calls through the interface: the graph must fan out to every
+// satisfying implementation.
+func Dispatch(g Greeter) string { return g.Greet() }
+
+// Ref mentions helper as a value without calling it.
+func Ref() func() string { return helper }
+
+// MethodRef captures a bound method value.
+func MethodRef(e English) func() string { return e.Greet }
+
+// Spawner records a go statement; the spawned call is still a static
+// edge.
+func Spawner() { go helper() }
+
+// Generic is instantiated by CallsGeneric; the instantiation must
+// collapse onto this origin.
+func Generic[T any](x T) T { return x }
+
+// CallsGeneric calls the generic function with an inferred type argument.
+func CallsGeneric() int { return Generic(1) }
+
+// ExplicitInst calls with an explicit type argument (IndexExpr callee).
+func ExplicitInst() string { return Generic[string]("s") }

@@ -1,0 +1,39 @@
+// Package globalmutfix is the globalmut fixture: package-level mutable
+// state must be flagged, while constants, immutable values, sentinel
+// errors, init-time writes, and allowlisted entries stay clean.
+package globalmutfix
+
+import "errors"
+
+// table is never written, but a map is mutable through any alias.
+var table = map[string]int{"a": 1} // want `package-level var table holds mutable reference type map\[string\]int`
+
+// buf likewise: slices alias their backing array.
+var buf []byte // want `package-level var buf holds mutable reference type \[\]byte`
+
+// total is an immutable type but written after init.
+var total int // want `package-level var total is written after init \(at globalmutfix/globalmutfix\.go:\d+\)`
+
+// Bump is the post-init writer that taints total.
+func Bump() { total++ }
+
+// Exported is written from another package (see internal/globalmutuse).
+var Exported int // want `package-level var Exported is written after init \(at globalmutuse/globalmutuse\.go:\d+\)`
+
+// ErrNope is a sentinel error: exempt by construction.
+var ErrNope = errors.New("nope")
+
+// allowed is covered by the internal/globalmutfix.allowed entry in
+// globalmut_allow.go.
+var allowed = map[string]bool{"x": true}
+
+// limit is a constant: out of scope entirely.
+const limit = 3
+
+// name holds an immutable type and is only written during init: clean.
+var name = "x"
+
+func init() { name = "y" }
+
+// ladder is a fixed-size array of value structs: immutable shape, clean.
+var ladder = [...]struct{ a, b float64 }{{1, 2}, {3, 4}}

@@ -1,0 +1,9 @@
+// Package globalmutuse writes a sibling package's exported variable: the
+// finding must land on the declaration in globalmutfix, with this write
+// site named in the message.
+package globalmutuse
+
+import "fixture/internal/globalmutfix"
+
+// Poke is the cross-package writer.
+func Poke() { globalmutfix.Exported = 7 }

@@ -1,0 +1,18 @@
+// Package obs mirrors the real flight recorder closely enough for the
+// shardsafe fixture: it defines the shard-owned Recorder type. As an
+// owning package it is exempt from shardsafe's rules — the accessor
+// below would be a finding anywhere else and must stay silent here.
+package obs
+
+// Recorder is the shard-owned event sink stand-in.
+type Recorder struct{ events []string }
+
+// NewRecorder constructs a recorder (owning packages may hand them out).
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit appends one event.
+func (r *Recorder) Emit(ev string) { r.events = append(r.events, ev) }
+
+// Self is an accessor returning the shard-owned type: exempt because the
+// defining package owns construction and hand-off.
+func (r *Recorder) Self() *Recorder { return r }

@@ -1,0 +1,67 @@
+// Package shardfix is the shardsafe fixture: shard-owned state
+// (simtime.Scheduler, obs.Recorder) may flow top-down via Config and
+// constructor parameters, may be used through the component's own
+// receiver (including back-pointer chains), but must never sit in
+// package scope, be read out of another component, or be handed out by
+// an accessor.
+package shardfix
+
+import (
+	"fixture/internal/obs"
+	"fixture/internal/simtime"
+)
+
+// sharedSched parks a scheduler in package scope: outlives every shard.
+var sharedSched *simtime.Scheduler // want `package-level var sharedSched holds shard-owned simtime\.Scheduler`
+
+// registry holds recorders transitively (map value): same problem.
+var registry map[string]*obs.Recorder // want `package-level var registry holds shard-owned obs\.Recorder`
+
+// Config is the sanctioned top-down carrier.
+type Config struct {
+	Sched *simtime.Scheduler
+	Rec   *obs.Recorder
+}
+
+// Component owns its shard's scheduler and recorder.
+type Component struct {
+	sched *simtime.Scheduler
+	rec   *obs.Recorder
+	peer  *Component
+}
+
+// New reads shard-owned state out of a Config: blessed plumbing.
+func New(cfg Config) *Component {
+	return &Component{sched: cfg.Sched, rec: cfg.Rec}
+}
+
+// Step uses the receiver's own scheduler: blessed.
+func (c *Component) Step() { c.sched.After(1, func() {}) }
+
+// child keeps a back-pointer into its own component graph; reaching the
+// scheduler through the receiver-rooted chain ch.parent.sched is blessed
+// (same shard by construction, like the session probe controller).
+type child struct{ parent *Component }
+
+func (ch *child) tick() int { _ = ch.parent.sched; return 0 }
+
+// Steal grabs another component's scheduler: the cross-shard alias.
+func (c *Component) Steal(other *Component) {
+	c.sched = other.sched // want `reads shard-owned simtime\.Scheduler out of another component`
+}
+
+// Chain reaches a recorder through a non-receiver-rooted chain.
+func (c *Component) Chain(other *Component) {
+	other.peer.rec.Emit("x") // want `reads shard-owned obs\.Recorder out of another component`
+}
+
+// Sched is an accessor handing the scheduler out: invites the grab.
+func (c *Component) Sched() *simtime.Scheduler { // want `Sched returns shard-owned simtime\.Scheduler`
+	return c.sched
+}
+
+// FreeGrab reads shard-owned state in a free function, where there is no
+// receiver to bless the base.
+func FreeGrab(c *Component) {
+	_ = c.rec // want `reads shard-owned obs\.Recorder out of another component`
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TransitivePurity escalates the intraprocedural determinism analyzers
+// (nowallclock, seededrand, rawgo) to a whole-module reachability proof:
+// no function reachable from the simulation entry points — the exported
+// API of internal/session, internal/core, and internal/experiments — may
+// reach a wall-clock read, a global math/rand draw, or a goroutine spawn,
+// no matter how many calls deep it is buried or which package it lives
+// in. This is the invariant the fleet-scale scheduler needs: a session is
+// only a shard-safe unit of work if its entire dynamic extent is a pure
+// function of (config, seed).
+//
+// Each finding is positioned at the offending call (or go statement) and
+// prints the taint path from an entry point, one call edge per hop with
+// the call-site location, so a violation two packages away is still a
+// one-line diagnosis.
+var TransitivePurity = &Analyzer{
+	Name: "transitivepurity",
+	Doc: "prove no wall clock, unseeded rand, or goroutine spawn is reachable " +
+		"from the session/core/experiments entry points (taint path per finding)",
+	Run: runTransitivePurity,
+}
+
+// purityEntryPkgs are the module-relative packages whose exported API
+// forms the entry-point set. These are the packages cmd/rtcfleet will
+// schedule as units of work.
+var purityEntryPkgs = map[string]bool{
+	"internal/core":        true,
+	"internal/experiments": true,
+	"internal/session":     true,
+}
+
+// purityFinding is one computed violation, bucketed by the package that
+// owns its position.
+type purityFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// purityResult is the memoized whole-program analysis.
+type purityResult struct {
+	byPkg map[string][]purityFinding
+}
+
+func runTransitivePurity(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	if prog.purity == nil {
+		prog.purity = computePurity(prog)
+	}
+	for _, f := range prog.purity.byPkg[pass.Path] {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// purityParent records how BFS first reached a node, for path
+// reconstruction.
+type purityParent struct {
+	node *CGNode
+	edge CGEdge
+}
+
+// computePurity runs the reachability proof once per Runner.Run.
+func computePurity(prog *Program) *purityResult {
+	g := prog.Graph()
+	res := &purityResult{byPkg: make(map[string][]purityFinding)}
+
+	// Entry points: exported functions, and exported methods on exported
+	// types, of the entry packages.
+	var roots []*CGNode
+	for _, n := range g.ModuleNodes {
+		if n.Pkg == nil || !purityEntryPkgs[prog.rel(n.Pkg)] {
+			continue
+		}
+		if !purityEntryNode(n) {
+			continue
+		}
+		roots = append(roots, n)
+	}
+	sort.Slice(roots, func(i, j int) bool { return g.Name(roots[i]) < g.Name(roots[j]) })
+
+	parent := make(map[*CGNode]purityParent)
+	var queue []*CGNode
+	for _, r := range roots {
+		if _, seen := parent[r]; seen {
+			continue
+		}
+		parent[r] = purityParent{}
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if _, seen := parent[e.Callee]; seen || e.Callee.Decl == nil {
+				continue
+			}
+			parent[e.Callee] = purityParent{node: n, edge: e}
+			queue = append(queue, e.Callee)
+		}
+	}
+
+	// Walk the reachable set in deterministic order and collect sink
+	// edges and goroutine spawns.
+	for _, n := range g.ModuleNodes {
+		if _, reachable := parent[n]; !reachable {
+			continue
+		}
+		for _, e := range n.Out {
+			kind, detail := puritySink(e.Callee.Func)
+			if kind == "" {
+				continue
+			}
+			res.add(n, e.Pos,
+				fmt.Sprintf("%s reachable from entry point %s%s: %s",
+					kind, purityRootName(g, parent, n),
+					purityPath(g, parent, n, fmt.Sprintf("%s @%s", g.Name(e.Callee), purityLoc(g, e.Pos))),
+					detail))
+		}
+		for _, pos := range n.Spawns {
+			if puritySpawnExempt(prog, g, n, pos) {
+				continue
+			}
+			res.add(n, pos,
+				fmt.Sprintf("goroutine spawn reachable from entry point %s%s: %s",
+					purityRootName(g, parent, n),
+					purityPath(g, parent, n, fmt.Sprintf("go statement @%s", purityLoc(g, pos))),
+					"route concurrency through the deterministic experiments.Runner worker pool"))
+		}
+	}
+	return res
+}
+
+// add buckets a finding under the package that owns pos (the caller's
+// package — sinks sit at call sites inside module code).
+func (res *purityResult) add(n *CGNode, pos token.Pos, msg string) {
+	if n.Pkg == nil {
+		return
+	}
+	res.byPkg[n.Pkg.Path] = append(res.byPkg[n.Pkg.Path], purityFinding{pos: pos, msg: msg})
+}
+
+// purityEntryNode reports whether a declared function is part of the
+// exported API: exported name and, for methods, an exported receiver
+// base type.
+func purityEntryNode(n *CGNode) bool {
+	fn := n.Func
+	if !fn.Exported() {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return true
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Exported()
+}
+
+// puritySink classifies a callee as a purity sink. kind is "" for clean
+// callees; detail is the remediation clause appended to the finding.
+func puritySink(fn *types.Func) (kind, detail string) {
+	if fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return "", ""
+	}
+	switch path := fn.Pkg().Path(); path {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return "wall-clock time." + fn.Name(),
+				"all time must flow through the internal/simtime virtual clock"
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[fn.Name()] {
+			return "global " + path + "." + fn.Name(),
+				"use a seeded internal/stats RNG owned by the component"
+		}
+	}
+	return "", ""
+}
+
+// puritySpawnExempt mirrors rawgo's exemption: the deterministic worker
+// pool itself (internal/experiments/runner.go) is the one sanctioned
+// goroutine source.
+func puritySpawnExempt(prog *Program, g *CallGraph, n *CGNode, pos token.Pos) bool {
+	if n.Pkg == nil || prog.rel(n.Pkg) != rawGoExemptPkg {
+		return false
+	}
+	return filepath.Base(g.fset.Position(pos).Filename) == rawGoExemptFile
+}
+
+// purityRootName names the entry point whose BFS tree contains n.
+func purityRootName(g *CallGraph, parent map[*CGNode]purityParent, n *CGNode) string {
+	for parent[n].node != nil {
+		n = parent[n].node
+	}
+	return g.Name(n)
+}
+
+// purityPath renders the taint path from the entry point to n, appending
+// the final sink hop, as "(path: root -> f @file:line -> ... -> sink)".
+// The empty string is returned only for degenerate single-node paths
+// with no hops, which cannot happen for sinks (the sink hop is always
+// appended).
+func purityPath(g *CallGraph, parent map[*CGNode]purityParent, n *CGNode, sinkHop string) string {
+	var hops []string
+	for parent[n].node != nil {
+		p := parent[n]
+		hops = append(hops, fmt.Sprintf("%s @%s", g.Name(n), purityLoc(g, p.edge.Pos)))
+		n = p.node
+	}
+	hops = append(hops, g.Name(n))
+	// hops is sink-to-root; reverse into call order.
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	hops = append(hops, sinkHop)
+	return fmt.Sprintf(" (path: %s)", strings.Join(hops, " -> "))
+}
+
+// purityLoc renders a position as base-filename:line — stable across
+// checkouts, compact enough for one-line findings.
+func purityLoc(g *CallGraph, pos token.Pos) string {
+	p := g.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

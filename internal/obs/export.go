@@ -22,8 +22,12 @@ import (
 // byte-deterministic: attribute order is preserved from emission, floats
 // use strconv's shortest round-trip form, and nothing iterates a map.
 
-// csvHeader is the canonical CSV header row.
-var csvHeader = []string{"type", "seq", "at_ns", "track", "kind", "attrs"}
+// csvHeader returns the canonical CSV header row. A function rather than
+// a package-level slice so no caller can mutate the shared canonical
+// form (the globalmut analyzer enforces this shape module-wide).
+func csvHeader() []string {
+	return []string{"type", "seq", "at_ns", "track", "kind", "attrs"}
+}
 
 // formatNum renders a float in the canonical shortest round-trip form.
 func formatNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -69,7 +73,7 @@ func decodeAttrs(s string) ([]Attr, error) {
 func WriteCSV(w io.Writer, t *Trace) error {
 	cw := csv.NewWriter(w)
 	rows := make([][]string, 0, len(t.Events)+len(t.Counters)+2)
-	rows = append(rows, csvHeader)
+	rows = append(rows, csvHeader())
 	for _, ev := range t.Events {
 		rows = append(rows, []string{
 			"event",
@@ -189,7 +193,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 // readCSV parses the canonical CSV format.
 func readCSV(data []byte) (*Trace, error) {
 	cr := csv.NewReader(bytes.NewReader(data))
-	cr.FieldsPerRecord = len(csvHeader)
+	cr.FieldsPerRecord = len(csvHeader())
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("obs: bad trace CSV: %w", err)
@@ -197,7 +201,7 @@ func readCSV(data []byte) (*Trace, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("obs: empty trace CSV")
 	}
-	if strings.Join(rows[0], ",") != strings.Join(csvHeader, ",") {
+	if strings.Join(rows[0], ",") != strings.Join(csvHeader(), ",") {
 		return nil, fmt.Errorf("obs: bad trace CSV header %q", rows[0])
 	}
 	t := &Trace{}

@@ -11,17 +11,26 @@ import (
 
 // densityRamp maps bucket occupancy (relative to the busiest bucket of
 // the same track) to a character, light to dark.
-var densityRamp = []byte{'.', ':', '-', '=', '+', '*', '#', '@'}
+const densityRamp = ".:-=+*#@"
 
 // obsTrackOrder pins the canonical subsystems to their pipeline order;
-// unknown tracks sort after them alphabetically.
-var obsTrackOrder = map[string]int{
-	obs.TrackCC:         0,
-	obs.TrackController: 1,
-	obs.TrackCodec:      2,
-	obs.TrackPacer:      3,
-	obs.TrackSession:    4,
-	obs.TrackNetem:      5,
+// unknown tracks (reported via ok=false) sort after them alphabetically.
+func obsTrackOrder(track string) (int, bool) {
+	switch track {
+	case obs.TrackCC:
+		return 0, true
+	case obs.TrackController:
+		return 1, true
+	case obs.TrackCodec:
+		return 2, true
+	case obs.TrackPacer:
+		return 3, true
+	case obs.TrackSession:
+		return 4, true
+	case obs.TrackNetem:
+		return 5, true
+	}
+	return 0, false
 }
 
 // ObsTimeline renders a recorded trace as one ASCII density row per
@@ -73,8 +82,8 @@ func ObsTimeline(t *obs.Trace, width int) string {
 		tracks = append(tracks, track)
 	}
 	sort.Slice(tracks, func(i, j int) bool {
-		oi, iOK := obsTrackOrder[tracks[i]]
-		oj, jOK := obsTrackOrder[tracks[j]]
+		oi, iOK := obsTrackOrder(tracks[i])
+		oj, jOK := obsTrackOrder(tracks[j])
 		switch {
 		case iOK && jOK:
 			return oi < oj

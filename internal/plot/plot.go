@@ -38,7 +38,7 @@ func (c *Config) defaults() {
 }
 
 // markers are assigned to series in order.
-var markers = []byte{'#', '*', 'o', '+', 'x', '@'}
+const markers = "#*o+x@"
 
 // Line renders one or more series as a binned line chart. Each series is
 // averaged into Width bins over the shared x-range; the y-axis is scaled
