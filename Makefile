@@ -2,7 +2,7 @@ GO       ?= go
 PKGS     := ./...
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint lint-fix lint-purity lint-budget fuzz-smoke bench bench-parallel bench-json bench-smoke trace-smoke check
+.PHONY: build test race lint lint-fix lint-purity lint-budget fuzz-smoke bench bench-parallel bench-json bench-smoke fleet-smoke trace-smoke check
 
 build:
 	$(GO) build $(PKGS)
@@ -66,14 +66,14 @@ bench-parallel:
 
 # BENCHJSON_OUT is the committed baseline for the hot-path packages; see
 # EXPERIMENTS.md for the before/after history.
-BENCHJSON_OUT ?= BENCH_5.json
+BENCHJSON_OUT ?= BENCH_7.json
 
 # Re-measure the hot-path benchmark suite with allocation columns and
 # write the canonical JSON baseline. Run on a quiet machine; commit the
 # result when the numbers move for a good reason.
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=0.3s \
-		. ./internal/simtime ./internal/netem ./internal/rtp \
+		. ./internal/simtime ./internal/netem ./internal/rtp ./internal/fleet \
 		| $(GO) run ./cmd/benchjson -o $(BENCHJSON_OUT)
 
 # Fast allocation-regression gate for CI: run the AllocsPerRun budget
@@ -82,5 +82,19 @@ bench-smoke:
 	$(GO) test -run='AllocBudget|ZeroAlloc' -v ./internal/simtime ./internal/netem ./internal/rtp
 	$(GO) test -run='^$$' -bench='BenchmarkSchedulerStep|BenchmarkLinkSaturated|BenchmarkPacketizeReuse' \
 		-benchtime=1x -benchmem ./internal/simtime ./internal/netem ./internal/rtp
+
+# Fleet determinism + throughput gate for CI. A small fleet must render
+# byte-identical per-session CSV at 1 shard and 8 shards (the merge-order
+# contract from DESIGN.md §12), and BenchmarkFleet must stay within 2x of
+# the committed baseline so sharding overhead can't silently regress.
+fleet-smoke:
+	mkdir -p build/fleet-smoke
+	$(GO) run ./cmd/rtcfleet -sessions 200 -shards 1 -scenario mixed -duration 2s -out sessions \
+		> build/fleet-smoke/shards1.csv
+	$(GO) run ./cmd/rtcfleet -sessions 200 -shards 8 -scenario mixed -duration 2s -out sessions \
+		> build/fleet-smoke/shards8.csv
+	cmp build/fleet-smoke/shards1.csv build/fleet-smoke/shards8.csv
+	$(GO) test -run='^$$' -bench=BenchmarkFleet -benchmem -benchtime=1x ./internal/fleet \
+		| $(GO) run ./cmd/benchjson -against $(BENCHJSON_OUT) -max-ns-ratio 2.0
 
 check: build lint test race

@@ -36,6 +36,17 @@ func (r *Runner) workers() int {
 	return r.Workers
 }
 
+// Map evaluates fn(i) for every index in [0, n) on the runner's worker
+// pool and returns the results indexed by i. It is the exported face of
+// mapCells for other harnesses (the fleet runner maps shards through it):
+// results land in slots keyed by index, never by completion order, so
+// aggregation in canonical order is byte-identical at any worker count.
+// label(i) names unit i for progress reporting and may be nil when the
+// runner has no Progress callback.
+func Map[T any](r *Runner, n int, label func(int) string, fn func(int) T) []T {
+	return mapCells(r, n, label, fn)
+}
+
 // mapCells evaluates fn(i) for every cell index in [0, n) on the runner's
 // worker pool and returns the results indexed by cell. Because the output
 // slot is determined by the cell index alone, callers aggregate in

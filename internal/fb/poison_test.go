@@ -1,0 +1,51 @@
+package fb
+
+import (
+	"testing"
+	"time"
+)
+
+// Pool-poisoning check (ISSUE 7): fill a report's arrival buffer with
+// sentinel arrivals, recycle it, and assert the next interval that
+// reuses the buffer exposes only its own arrivals — never the sentinels
+// lingering in the recycled capacity.
+func TestRecycledArrivalBufferHoldsNoSentinel(t *testing.T) {
+	rec := NewRecorder()
+	for i := 0; i < 16; i++ {
+		rec.OnPacket(uint32(i), time.Duration(i)*time.Millisecond, 0xBAD)
+	}
+	rep := rec.Flush(20 * time.Millisecond)
+	if len(rep.Arrivals) != 16 {
+		t.Fatalf("first report has %d arrivals, want 16", len(rep.Arrivals))
+	}
+	rec.Recycle(rep)
+	for i, buf := range rec.free {
+		if len(buf) != 0 {
+			t.Fatalf("recycled buffer %d has len %d, want 0", i, len(buf))
+		}
+	}
+
+	// Flush adopts a recycled buffer for the NEXT interval at flush
+	// time, so run one intermediate flush to put the poisoned capacity
+	// back into service, then fill the reused buffer.
+	rec.Recycle(rec.Flush(25 * time.Millisecond))
+	rec.OnPacket(100, 30*time.Millisecond, 1200)
+	rec.OnPacket(101, 31*time.Millisecond, 900)
+	rep2 := rec.Flush(40 * time.Millisecond)
+	if cap(rep2.Arrivals) < 16 {
+		t.Fatalf("second report did not reuse the recycled buffer (cap %d)", cap(rep2.Arrivals))
+	}
+	if len(rep2.Arrivals) != 2 {
+		t.Fatalf("second report has %d arrivals, want 2", len(rep2.Arrivals))
+	}
+	want := []PacketArrival{
+		{TransportSeq: 100, Arrival: 30 * time.Millisecond, Size: 1200},
+		{TransportSeq: 101, Arrival: 31 * time.Millisecond, Size: 900},
+	}
+	for i := range want {
+		if rep2.Arrivals[i] != want[i] {
+			t.Errorf("arrival %d = %+v, want %+v (sentinel leak from recycled buffer?)",
+				i, rep2.Arrivals[i], want[i])
+		}
+	}
+}

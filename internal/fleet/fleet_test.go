@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rtcadapt/internal/session"
+)
+
+// testConfig returns a small fleet over the mixed scenario (step-drop,
+// LTE and WiFi channels with NACK on) — the widest built-in coverage of
+// the machinery a session can touch.
+func testConfig(t *testing.T, sessions, shards, workers int) Config {
+	t.Helper()
+	build, err := ScenarioBuild("mixed", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Sessions: sessions,
+		Shards:   shards,
+		Workers:  workers,
+		Seed:     7,
+		Build:    build,
+	}
+}
+
+// renderAll renders every deterministic artifact of a result into one
+// byte slice for exact comparison.
+func renderAll(t *testing.T, res Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSessionsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDistCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	// WriteSummary's first line names the (legitimately varying) shard
+	// count; everything after it — the distribution table — must be
+	// invariant too.
+	var sum bytes.Buffer
+	if err := WriteSummary(&sum, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, table, ok := bytes.Cut(sum.Bytes(), []byte("\n")); ok {
+		buf.Write(table)
+	}
+	return buf.Bytes()
+}
+
+// TestFleetShardCountInvariant pins the tentpole contract: the merged
+// fleet output is byte-identical across 1, 2, and 8 shards (and across
+// worker counts), because shards own disjoint scheduler/recorder state
+// and results merge in canonical index order.
+func TestFleetShardCountInvariant(t *testing.T) {
+	const sessions = 11 // odd and non-divisible: exercises uneven shard ranges
+	var want []byte
+	for _, tc := range []struct{ shards, workers int }{
+		{1, 1}, {2, 2}, {8, 3}, {8, 0},
+	} {
+		res, err := Run(testConfig(t, sessions, tc.shards, tc.workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Sessions) != sessions {
+			t.Fatalf("%d shards: got %d summaries, want %d", tc.shards, len(res.Sessions), sessions)
+		}
+		for i, s := range res.Sessions {
+			if s.Index != i {
+				t.Fatalf("%d shards: summary %d has index %d; merge order broken", tc.shards, i, s.Index)
+			}
+		}
+		got := renderAll(t, res)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("output with shards=%d workers=%d differs from shards=1 workers=1",
+				tc.shards, tc.workers)
+		}
+	}
+}
+
+// TestFleetMatchesSequentialSessions pins that the fleet is a pure
+// aggregation: a fleet of K sessions produces exactly the summaries of K
+// independent session.Run calls with the same configs.
+func TestFleetMatchesSequentialSessions(t *testing.T) {
+	const sessions = 6
+	cfg := testConfig(t, sessions, 3, 2)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sessions; i++ {
+		want := session.Summarize(i, session.Run(cfg.Build(i, cfg.Seed+int64(i))))
+		if res.Sessions[i] != want {
+			t.Errorf("session %d: fleet summary %+v\n != independent run %+v", i, res.Sessions[i], want)
+		}
+	}
+}
+
+// TestFleetRecorderTotalsInvariant pins that the flight-recorder totals
+// are sums over per-session counts and therefore survive resharding.
+func TestFleetRecorderTotalsInvariant(t *testing.T) {
+	base := testConfig(t, 5, 1, 1)
+	base.Record = true
+	base.EventCapacity = 64 // small ring: forces drops so both counters are exercised
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resharded := testConfig(t, 5, 4, 2)
+	resharded.Record = true
+	resharded.EventCapacity = 64
+	b, err := Run(resharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RecordedEvents == 0 {
+		t.Fatal("Record run emitted no events")
+	}
+	if a.DroppedEvents == 0 {
+		t.Fatal("64-event ring dropped nothing; test no longer exercises overflow accounting")
+	}
+	if a.RecordedEvents != b.RecordedEvents || a.DroppedEvents != b.DroppedEvents {
+		t.Errorf("recorder totals depend on sharding: %d/%d vs %d/%d",
+			a.RecordedEvents, a.DroppedEvents, b.RecordedEvents, b.DroppedEvents)
+	}
+}
+
+// TestFleetConfigValidation pins the error paths.
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Sessions: 0}); err == nil {
+		t.Error("Sessions=0 accepted")
+	}
+	if _, err := Run(Config{Sessions: 3}); err == nil {
+		t.Error("nil Build accepted")
+	}
+	if _, err := ScenarioBuild("no-such-scenario", time.Second); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := ScenarioBuild("drop", 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	// Shards above Sessions clamp rather than erroring.
+	build, err := ScenarioBuild("drop", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Sessions: 2, Shards: 16, Build: build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 2 || len(res.Sessions) != 2 {
+		t.Errorf("shards=16 sessions=2: got %d shards, %d summaries", res.Shards, len(res.Sessions))
+	}
+}

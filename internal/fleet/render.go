@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"rtcadapt/internal/metrics"
+	"rtcadapt/internal/session"
+	"rtcadapt/internal/stats"
+)
+
+// Rendering lives next to the fleet runner (rather than in cmd/) so the
+// invariance tests can pin the exact bytes: every writer here is
+// deterministic — fixed metric order, shortest round-trip floats, no map
+// iteration — and depends only on Result.Sessions, which is itself
+// shard-count invariant.
+
+// Metric is one per-session scalar the fleet reports distributions of.
+type Metric struct {
+	// Name is the canonical column/row label, e.g. "net_delay_p95_ms".
+	Name string
+	// Get extracts the metric from one session summary.
+	Get func(s session.Summary) float64
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return d.Seconds() * 1000 }
+
+// FleetMetrics returns the canonical ordered metric set: the paper's two
+// headline axes (frame latency, displayed quality) plus the freeze and
+// delivery accounting that distinguishes tail sessions.
+func FleetMetrics() []Metric {
+	return []Metric{
+		{"net_delay_p50_ms", func(s session.Summary) float64 { return ms(s.Report.P50NetDelay) }},
+		{"net_delay_p95_ms", func(s session.Summary) float64 { return ms(s.Report.P95NetDelay) }},
+		{"net_delay_p99_ms", func(s session.Summary) float64 { return ms(s.Report.P99NetDelay) }},
+		{"display_delay_p95_ms", func(s session.Summary) float64 { return ms(s.Report.P95DisplayDelay) }},
+		{"mean_ssim", func(s session.Summary) float64 { return s.Report.MeanSSIM }},
+		{"encoded_ssim", func(s session.Summary) float64 { return s.Report.EncodedSSIM }},
+		{"bitrate_kbps", func(s session.Summary) float64 { return s.Report.Bitrate / 1e3 }},
+		{"freeze_count", func(s session.Summary) float64 { return float64(s.Report.FreezeCount) }},
+		{"total_freeze_ms", func(s session.Summary) float64 { return ms(s.Report.TotalFreeze) }},
+		{"delivered_frames", func(s session.Summary) float64 { return float64(s.Report.DeliveredFrames) }},
+	}
+}
+
+// formatNum renders a float in the canonical shortest round-trip form
+// (the same convention as the obs trace files).
+func formatNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Distributions summarizes each fleet metric across every session, in
+// FleetMetrics order. The returned summaries support Mean/Quantile/Max.
+func Distributions(res Result) []*stats.Summary {
+	mets := FleetMetrics()
+	out := make([]*stats.Summary, len(mets))
+	for i, m := range mets {
+		var sum stats.Summary
+		for _, s := range res.Sessions {
+			sum.Add(m.Get(s))
+		}
+		out[i] = &sum
+	}
+	return out
+}
+
+// WriteDistCSV writes the fleet-level distribution CSV: one row per
+// metric with its population mean and tail quantiles.
+func WriteDistCSV(w io.Writer, res Result) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"metric", "mean", "p50", "p95", "p99", "max"}}
+	dists := Distributions(res)
+	for i, m := range FleetMetrics() {
+		d := dists[i]
+		rows = append(rows, []string{
+			m.Name,
+			formatNum(d.Mean()),
+			formatNum(d.Quantile(0.50)),
+			formatNum(d.Quantile(0.95)),
+			formatNum(d.Quantile(0.99)),
+			formatNum(d.Max()),
+		})
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSessionsCSV writes one row per session in index order — the
+// full-granularity artifact the shard-invariance check compares
+// byte-for-byte.
+func WriteSessionsCSV(w io.Writer, res Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"index", "frames", "delivered", "skipped", "dropped",
+		"accepted_pkts", "delivered_pkts", "queue_drops", "loss_drops",
+		"pacer_dropped", "pli", "nacks", "rtx", "fec_repairs", "fec_recovered"}
+	for _, m := range FleetMetrics() {
+		header = append(header, m.Name)
+	}
+	rows := make([][]string, 0, len(res.Sessions)+1)
+	rows = append(rows, header)
+	for _, s := range res.Sessions {
+		row := []string{
+			strconv.Itoa(s.Index),
+			strconv.Itoa(s.Report.Frames),
+			strconv.Itoa(s.Report.DeliveredFrames),
+			strconv.Itoa(s.Report.SkippedFrames),
+			strconv.Itoa(s.Report.DroppedFrames),
+			strconv.Itoa(s.LinkStats.Accepted),
+			strconv.Itoa(s.LinkStats.Delivered),
+			strconv.Itoa(s.LinkStats.DroppedQueue),
+			strconv.Itoa(s.LinkStats.DroppedLoss),
+			strconv.Itoa(s.PacerDropped),
+			strconv.Itoa(s.PLISent),
+			strconv.Itoa(s.NacksSent),
+			strconv.Itoa(s.Retransmitted),
+			strconv.Itoa(s.FECRepairs),
+			strconv.Itoa(s.FECRecovered),
+		}
+		for _, m := range FleetMetrics() {
+			row = append(row, formatNum(m.Get(s)))
+		}
+		rows = append(rows, row)
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummary writes the human-readable fleet report: an ASCII
+// distribution table plus the recorder totals.
+func WriteSummary(w io.Writer, res Result) error {
+	tb := metrics.NewTable("metric", "mean", "p50", "p95", "p99", "max")
+	dists := Distributions(res)
+	for i, m := range FleetMetrics() {
+		d := dists[i]
+		tb.AddRow(m.Name,
+			fmt.Sprintf("%.2f", d.Mean()),
+			fmt.Sprintf("%.2f", d.Quantile(0.50)),
+			fmt.Sprintf("%.2f", d.Quantile(0.95)),
+			fmt.Sprintf("%.2f", d.Quantile(0.99)),
+			fmt.Sprintf("%.2f", d.Max()))
+	}
+	if _, err := fmt.Fprintf(w, "fleet: %d sessions across %d shards\n%s",
+		len(res.Sessions), res.Shards, tb.String()); err != nil {
+		return err
+	}
+	if res.RecordedEvents > 0 || res.DroppedEvents > 0 {
+		if _, err := fmt.Fprintf(w, "flight recorder: %d events emitted, %d dropped (ring overflow)\n",
+			res.RecordedEvents, res.DroppedEvents); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,7 +12,7 @@ import "strings"
 //	  |
 //	tooling      internal/benchjson  internal/lint
 //	  |
-//	measurement  internal/cli  internal/experiments  internal/plot
+//	measurement  internal/cli  internal/experiments  internal/fleet  internal/plot
 //	  |
 //	harness      internal/session  internal/sfu
 //	  |
@@ -56,7 +56,7 @@ var LayerTable = []Layer{
 	{Name: "model", AllowIntra: true, Pkgs: []string{"internal/cc", "internal/codec", "internal/fec", "internal/netem", "internal/pacer", "internal/rtp", "internal/video"}},
 	{Name: "engine", Pkgs: []string{"internal/core"}},
 	{Name: "harness", AllowIntra: true, Pkgs: []string{"internal/session", "internal/sfu"}},
-	{Name: "measurement", AllowIntra: true, Pkgs: []string{"internal/cli", "internal/experiments", "internal/plot"}},
+	{Name: "measurement", AllowIntra: true, Pkgs: []string{"internal/cli", "internal/experiments", "internal/fleet", "internal/plot"}},
 	{Name: "tooling", Pkgs: []string{"internal/benchjson", "internal/lint"}},
 	{Name: "api", Pkgs: []string{"."}},
 	{Name: "main", Pkgs: []string{"cmd/...", "examples/..."}},

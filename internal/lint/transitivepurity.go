@@ -36,6 +36,7 @@ var TransitivePurity = &Analyzer{
 var purityEntryPkgs = map[string]bool{
 	"internal/core":        true,
 	"internal/experiments": true,
+	"internal/fleet":       true,
 	"internal/session":     true,
 }
 

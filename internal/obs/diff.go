@@ -68,8 +68,22 @@ func diffEvents(a, b Event) string {
 
 // Diff compares two traces and returns the first divergence, or nil when
 // they are identical. Events are compared in order on every field;
-// counters and the dropped-event count are compared after the events.
+// counters are compared after the events.
+//
+// Ring-overflow asymmetry is checked first: a recorder whose bounded ring
+// filled up evicted its oldest events, so the surviving windows of two
+// otherwise-identical runs start at different sequence numbers. Comparing
+// such traces event-by-event would blame "event 0" for what is really
+// truncation — the differ instead names the dropped-event mismatch, which
+// is why the ring counts evictions rather than overwriting silently.
 func Diff(a, b *Trace) *Divergence {
+	if a.DroppedEvents != b.DroppedEvents {
+		return &Divergence{
+			Index: -1, Field: "dropped events (ring overflow; buffered windows differ)",
+			A: fmt.Sprintf("%d events dropped", a.DroppedEvents),
+			B: fmt.Sprintf("%d events dropped", b.DroppedEvents),
+		}
+	}
 	n := len(a.Events)
 	if len(b.Events) < n {
 		n = len(b.Events)
@@ -118,13 +132,6 @@ func Diff(a, b *Trace) *Divergence {
 			Index: -1, Field: "counter count",
 			A: fmt.Sprintf("%d counters", len(a.Counters)),
 			B: fmt.Sprintf("%d counters", len(b.Counters)),
-		}
-	}
-	if a.DroppedEvents != b.DroppedEvents {
-		return &Divergence{
-			Index: -1, Field: "dropped events",
-			A: fmt.Sprintf("%d", a.DroppedEvents),
-			B: fmt.Sprintf("%d", b.DroppedEvents),
 		}
 	}
 	return nil

@@ -77,7 +77,33 @@ func TestDiffCounters(t *testing.T) {
 	}
 	c := base()
 	c.DroppedEvents = 5
-	if d := Diff(base(), c); d == nil || d.Field != "dropped events" {
+	if d := Diff(base(), c); d == nil || !strings.Contains(d.Field, "dropped events") {
 		t.Fatalf("dropped-events divergence = %v", d)
+	}
+}
+
+// TestDiffOverflowCheckedFirst pins the ordering contract: when the two
+// recorders dropped different numbers of events, the surviving ring
+// windows cover different spans, so any event-level mismatch is
+// truncation, not divergence — the differ must blame the overflow, not
+// "event 0".
+func TestDiffOverflowCheckedFirst(t *testing.T) {
+	a := &Trace{
+		Events:        []Event{ev(10, time.Second, TrackSession, KindPLISent)},
+		DroppedEvents: 10,
+	}
+	b := &Trace{
+		Events:        []Event{ev(4, 400*time.Millisecond, TrackSession, KindPLISent)},
+		DroppedEvents: 4,
+	}
+	d := Diff(a, b)
+	if d == nil {
+		t.Fatal("overflow-asymmetric traces compared equal")
+	}
+	if d.Index != -1 || !strings.Contains(d.Field, "dropped events") {
+		t.Fatalf("divergence = %v, want dropped-events blamed before event comparison", d)
+	}
+	if !strings.Contains(d.A, "10") || !strings.Contains(d.B, "4") {
+		t.Fatalf("rendered drop counts wrong: %v", d)
 	}
 }

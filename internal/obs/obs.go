@@ -201,6 +201,44 @@ func (r *Recorder) Len() int {
 	return r.n
 }
 
+// Dropped returns how many events the full ring has evicted (oldest
+// first) since construction or the last Reset; zero for nil. A nonzero
+// count means the buffered window is truncated: exported traces carry the
+// count (the dropped_events meta row) so the differ can distinguish a
+// truncated recording from a genuine divergence.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Emitted returns the total number of events ever emitted (buffered plus
+// evicted) since construction or the last Reset; zero for nil.
+func (r *Recorder) Emitted() int {
+	if r == nil {
+		return 0
+	}
+	return r.n + r.dropped
+}
+
+// Reset clears events, counters, the sequence counter, and the
+// dropped-event count while keeping the ring's backing array and the
+// bound clock, so one recorder can be reused across sequential sessions
+// on a fleet shard without re-allocating its buffer. Nil-safe no-op.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	clear(r.buf) // release retained Attr slices
+	r.buf = r.buf[:0]
+	r.start = 0
+	r.n = 0
+	r.seq = 0
+	r.dropped = 0
+	clear(r.counters)
+}
+
 // Emit records one event with the given ordered attributes, stamping the
 // current virtual time and the next sequence number. Typed emitters below
 // are preferred at call sites; Emit is the extension point.

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRecorderDroppedAndEmitted pins the overflow accounting the fleet
+// aggregates: Dropped counts ring evictions, Emitted counts every Emit
+// regardless of eviction, and both are nil-safe.
+func TestRecorderDroppedAndEmitted(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.FrameDropped(i)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	if r.Emitted() != 10 {
+		t.Fatalf("Emitted = %d, want 10", r.Emitted())
+	}
+	if tr := r.Snapshot(); tr.DroppedEvents != 6 {
+		t.Fatalf("Snapshot.DroppedEvents = %d, want 6", tr.DroppedEvents)
+	}
+
+	var nilRec *Recorder
+	if nilRec.Dropped() != 0 || nilRec.Emitted() != 0 {
+		t.Fatal("nil recorder reports activity")
+	}
+	nilRec.Reset() // must not panic
+}
+
+// TestRecorderResetRestartsCleanly pins the fleet reuse contract: after
+// Reset, a recorder produces byte-identical exports to a freshly
+// constructed one — sequence numbers, counters, and drop accounting all
+// restart from zero.
+func TestRecorderResetRestartsCleanly(t *testing.T) {
+	emit := func(r *Recorder) {
+		for i := 0; i < 6; i++ {
+			r.FrameDropped(i)
+		}
+		r.Count("codec.frames", 42)
+	}
+
+	reused := NewRecorder(4)
+	emit(reused)
+	reused.Reset()
+	if reused.Len() != 0 || reused.Dropped() != 0 || reused.Emitted() != 0 {
+		t.Fatalf("after Reset: Len=%d Dropped=%d Emitted=%d, want zeros",
+			reused.Len(), reused.Dropped(), reused.Emitted())
+	}
+	emit(reused)
+
+	fresh := NewRecorder(4)
+	emit(fresh)
+
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, reused.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, fresh.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("reused recorder diverges from fresh one:\nreused:\n%s\nfresh:\n%s", a.String(), b.String())
+	}
+}

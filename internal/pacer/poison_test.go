@@ -1,0 +1,33 @@
+package pacer
+
+import "testing"
+
+// Pool-poisoning check (ISSUE 7): vacated item-ring slots must hold no
+// trace of the sentinel payloads that passed through them — a retained
+// payload reference pins sent frames for the pacer's lifetime.
+func TestItemRingPoppedSlotsHoldNoSentinel(t *testing.T) {
+	var r itemRing
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 5; i++ {
+			r.push(item{payload: "poison", size: 0xBAD0 + i})
+		}
+		for i := 0; i < 5; i++ {
+			r.pop()
+		}
+		for j, it := range r.buf {
+			live := false
+			for k := 0; k < r.n; k++ {
+				if (r.head+k)&(len(r.buf)-1) == j {
+					live = true
+					break
+				}
+			}
+			if live {
+				continue
+			}
+			if it != (item{}) {
+				t.Fatalf("round %d: vacated slot %d retains %+v", round, j, it)
+			}
+		}
+	}
+}

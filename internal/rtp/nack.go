@@ -68,23 +68,39 @@ func (g *NackGenerator) OnPacket(seq uint16) {
 		g.duplicates++
 		return
 	}
-	// Register the gap (highest, seq) as missing.
-	for s := g.highest + 1; s != seq; s++ {
+	// Register the gap (prev, seq) as missing. highest advances BEFORE
+	// the loop: abandonOldest measures age against g.highest, and with
+	// the old anchor every just-inserted sequence (ahead of the old
+	// highest) would wrap around to look maximally old and be evicted
+	// in place of the genuinely stale entries.
+	prev := g.highest
+	g.highest = seq
+	for s := prev + 1; s != seq; s++ {
 		g.missing[s] = &nackEntry{}
 		if len(g.missing) > g.MaxTracked {
 			g.abandonOldest()
 		}
 	}
-	g.highest = seq
 }
 
-// abandonOldest drops the numerically oldest missing entry (wrap-aware).
+// seqAge returns how far missing sequence s trails the highest received
+// sequence, with 16-bit wraparound. Unlike a SeqLess-based comparison —
+// which is only transitive on sets spanning less than 2^15 — age against
+// a single anchor induces a true total order over the whole sequence
+// space, so ordering stays correct even when an entry has lingered
+// through enough Collect cycles for the missing set to straddle the
+// 2^16 wrap by more than half the space.
+func (g *NackGenerator) seqAge(s uint16) uint16 { return g.highest - s }
+
+// abandonOldest drops the missing entry that trails highest furthest
+// (wrap-aware).
 func (g *NackGenerator) abandonOldest() {
 	var oldest uint16
+	var oldestAge uint16
 	first := true
 	for s := range g.missing {
-		if first || SeqLess(s, oldest) {
-			oldest = s
+		if age := g.seqAge(s); first || age > oldestAge {
+			oldest, oldestAge = s, age
 			first = false
 		}
 	}
@@ -103,7 +119,12 @@ func (g *NackGenerator) Collect(now time.Duration) []uint16 {
 	for s := range g.missing {
 		seqs = append(seqs, s)
 	}
-	sort.Slice(seqs, func(i, j int) bool { return SeqLess(seqs[i], seqs[j]) })
+	// Oldest first, by age against the highest-received anchor. Ages are
+	// distinct (sequences are map keys), so this is a strict total order
+	// regardless of how far the set straddles the 2^16 wrap; a SeqLess
+	// comparator would go non-transitive past half the sequence space
+	// and leave the visit order at the sort algorithm's mercy.
+	sort.Slice(seqs, func(i, j int) bool { return g.seqAge(seqs[i]) > g.seqAge(seqs[j]) })
 
 	var out []uint16
 	for _, s := range seqs {
@@ -136,10 +157,17 @@ func (g *NackGenerator) Abandoned() int { return g.abandoned }
 // RtxBuffer is the sender-side retransmission store: a bounded ring of
 // recently sent media packets keyed by RTP sequence number. Not safe for
 // concurrent use.
+//
+// order is a true circular buffer: head indexes the oldest stored
+// sequence and eviction overwrites in place. (It was once advanced by
+// re-slicing `order = order[1:]`, which walks the slice window down its
+// backing array and forces a fresh allocation every cap stores —
+// unbounded append/copy churn on the steady-state send path.)
 type RtxBuffer struct {
 	cap   int
 	bySeq map[uint16]*Packet
 	order []uint16
+	head  int
 }
 
 // NewRtxBuffer returns a buffer holding up to capacity packets (default
@@ -151,17 +179,21 @@ func NewRtxBuffer(capacity int) *RtxBuffer {
 	return &RtxBuffer{cap: capacity, bySeq: make(map[uint16]*Packet)}
 }
 
-// Store remembers a sent packet for possible retransmission.
+// Store remembers a sent packet for possible retransmission, evicting
+// the oldest stored packet once the buffer is full.
 func (b *RtxBuffer) Store(pkt *Packet) {
-	if _, exists := b.bySeq[pkt.SequenceNumber]; !exists {
+	if _, exists := b.bySeq[pkt.SequenceNumber]; exists {
+		b.bySeq[pkt.SequenceNumber] = pkt
+		return
+	}
+	if len(b.order) < b.cap {
 		b.order = append(b.order, pkt.SequenceNumber)
+	} else {
+		delete(b.bySeq, b.order[b.head])
+		b.order[b.head] = pkt.SequenceNumber
+		b.head = (b.head + 1) % b.cap
 	}
 	b.bySeq[pkt.SequenceNumber] = pkt
-	for len(b.order) > b.cap {
-		old := b.order[0]
-		b.order = b.order[1:]
-		delete(b.bySeq, old)
-	}
 }
 
 // Get returns the stored packet for seq, if still buffered.

@@ -153,6 +153,111 @@ func TestNackConservationProperty(t *testing.T) {
 	}
 }
 
+// TestNackWrapStraddlingCollectOrder pins the ISSUE-7 edge: highest=5
+// with missing={65530..65535, 0..4} straddling the 2^16 wrap must
+// collect oldest-first in wrap order, with the pre-wrap sequences ahead
+// of the post-wrap ones.
+func TestNackWrapStraddlingCollectOrder(t *testing.T) {
+	g := NewNackGenerator()
+	g.OnPacket(65529)
+	g.OnPacket(5) // 65530..65535 and 0..4 missing across the wrap
+	if g.Missing() != 11 {
+		t.Fatalf("missing = %d, want 11 across wrap", g.Missing())
+	}
+	nacks := g.Collect(time.Second)
+	want := []uint16{65530, 65531, 65532, 65533, 65534, 65535, 0, 1, 2, 3, 4}
+	if len(nacks) != len(want) {
+		t.Fatalf("nacks = %v, want %v", nacks, want)
+	}
+	for i := range want {
+		if nacks[i] != want[i] {
+			t.Fatalf("nacks = %v, want %v", nacks, want)
+		}
+	}
+}
+
+// wideSpanGenerator builds a missing set {1, 2, 40001, 40002} whose span
+// (40001) exceeds 2^15 — the regime where a SeqLess-based comparison
+// goes non-transitive: SeqLess(1, 40001) is false even though 1 is the
+// older loss. Entries 1 and 2 linger while every other sequence up to
+// 40000 arrives, then a fresh gap opens at the top.
+func wideSpanGenerator(maxTracked int) *NackGenerator {
+	g := NewNackGenerator()
+	g.MaxTracked = maxTracked
+	g.OnPacket(0)
+	for s := 3; s <= 40000; s++ {
+		g.OnPacket(uint16(s))
+	}
+	g.OnPacket(40003)
+	return g
+}
+
+// TestNackCollectOrderBeyondHalfSpan pins Collect's total order when the
+// missing set spans more than half the sequence space.
+func TestNackCollectOrderBeyondHalfSpan(t *testing.T) {
+	g := wideSpanGenerator(256)
+	if g.Missing() != 4 {
+		t.Fatalf("missing = %d, want 4", g.Missing())
+	}
+	nacks := g.Collect(time.Second)
+	want := []uint16{1, 2, 40001, 40002}
+	if len(nacks) != len(want) {
+		t.Fatalf("nacks = %v, want %v", nacks, want)
+	}
+	for i := range want {
+		if nacks[i] != want[i] {
+			t.Fatalf("nacks = %v, want %v (stale losses must precede fresh ones)", nacks, want)
+		}
+	}
+}
+
+// TestNackAbandonOldestBeyondHalfSpan pins abandonment under the same
+// wide-span regime: when the tracked set overflows, the entries given up
+// must be the stale stragglers, never the losses just registered. (Two
+// historical bugs meet here: the SeqLess comparison inverting beyond
+// 2^15, and abandonOldest running against the pre-gap highest, which
+// made every just-inserted sequence look maximally old.)
+func TestNackAbandonOldestBeyondHalfSpan(t *testing.T) {
+	g := wideSpanGenerator(2)
+	if g.Missing() != 2 {
+		t.Fatalf("missing = %d, want 2 after overflow", g.Missing())
+	}
+	nacks := g.Collect(time.Second)
+	want := []uint16{40001, 40002}
+	if len(nacks) != len(want) || nacks[0] != want[0] || nacks[1] != want[1] {
+		t.Fatalf("survivors = %v, want %v (stale 1 and 2 must be the abandoned ones)", nacks, want)
+	}
+	if g.Abandoned() != 2 {
+		t.Errorf("abandoned = %d, want 2", g.Abandoned())
+	}
+}
+
+// TestNackWrapOverflowKeepsFreshGap registers a wrap-straddling gap that
+// itself overflows MaxTracked: the abandoned entries must be the leading
+// (oldest) sequences of the gap, keeping the newest.
+func TestNackWrapOverflowKeepsFreshGap(t *testing.T) {
+	g := NewNackGenerator()
+	g.MaxTracked = 8
+	g.OnPacket(65529)
+	g.OnPacket(5) // 11-entry gap across the wrap; 3 must be abandoned
+	if g.Missing() != 8 {
+		t.Fatalf("missing = %d, want 8", g.Missing())
+	}
+	if g.Abandoned() != 3 {
+		t.Fatalf("abandoned = %d, want 3", g.Abandoned())
+	}
+	nacks := g.Collect(time.Second)
+	want := []uint16{65533, 65534, 65535, 0, 1, 2, 3, 4}
+	if len(nacks) != len(want) {
+		t.Fatalf("nacks = %v, want %v", nacks, want)
+	}
+	for i := range want {
+		if nacks[i] != want[i] {
+			t.Fatalf("nacks = %v, want %v", nacks, want)
+		}
+	}
+}
+
 func TestRtxBufferStoreGet(t *testing.T) {
 	b := NewRtxBuffer(3)
 	for i := 0; i < 5; i++ {
@@ -181,5 +286,34 @@ func TestRtxBufferOverwrite(t *testing.T) {
 	got, _ := b.Get(7)
 	if got.PayloadLen != 2 {
 		t.Error("overwrite did not keep latest")
+	}
+}
+
+// TestRtxBufferRingEviction pins FIFO eviction across many wraps of the
+// circular order buffer, and that the buffer's backing array stops
+// growing once full (the re-slicing implementation it replaces walked
+// its window down the array and reallocated every cap stores).
+func TestRtxBufferRingEviction(t *testing.T) {
+	b := NewRtxBuffer(4)
+	for i := 0; i < 4; i++ {
+		b.Store(&Packet{Header: Header{Version: 2, SequenceNumber: uint16(i)}})
+	}
+	c0 := cap(b.order)
+	for i := 4; i < 10_000; i++ {
+		b.Store(&Packet{Header: Header{Version: 2, SequenceNumber: uint16(i)}})
+	}
+	if cap(b.order) != c0 || len(b.order) != 4 {
+		t.Errorf("order ring churned: len=%d cap=%d, want len=4 cap=%d", len(b.order), cap(b.order), c0)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want 4", b.Len())
+	}
+	for seq := 9996; seq < 10_000; seq++ {
+		if _, ok := b.Get(uint16(seq)); !ok {
+			t.Errorf("newest-4 packet %d missing", seq)
+		}
+	}
+	if _, ok := b.Get(uint16(9995)); ok {
+		t.Error("5th-newest packet survived eviction")
 	}
 }

@@ -1,0 +1,62 @@
+package rtp
+
+import (
+	"testing"
+	"time"
+)
+
+// Pool-poisoning check (ISSUE 7): run sentinel-bearing frames through
+// the reassembler's pooled tracking records — completing some, abandoning
+// others past the horizon — and assert the recycled records are fully
+// clean. A stale bitset bit would make the next frame in the slot
+// "receive" a fragment that never arrived; a stale frame field would
+// corrupt its latency accounting.
+func TestReassemblerPoolHoldsNoSentinel(t *testing.T) {
+	frag := func(id uint32, idx, count uint16) *Packet {
+		return &Packet{
+			Ext: Extension{
+				FrameID:   id,
+				FrameType: 1,
+				CaptureTS: time.Duration(id) * 33 * time.Millisecond,
+				FragIndex: idx,
+				FragCount: count,
+			},
+			PayloadLen: 0xBAD,
+		}
+	}
+
+	r := NewReassembler()
+	r.Horizon = 4
+	now := time.Duration(0)
+	for id := uint32(0); id < 40; id++ {
+		now += 33 * time.Millisecond
+		// Even frames complete (3 fragments); odd frames lose their last
+		// fragment and are abandoned once the horizon passes.
+		count := uint16(3)
+		for idx := uint16(0); idx < count; idx++ {
+			if id%2 == 1 && idx == count-1 {
+				continue
+			}
+			r.Push(frag(id, idx, count), now+time.Duration(idx)*time.Millisecond)
+		}
+	}
+	if len(r.free) == 0 {
+		t.Fatal("reassembler pool empty; nothing was recycled")
+	}
+	if len(r.Lost()) == 0 {
+		t.Fatal("no frames abandoned; the expiry release path was not exercised")
+	}
+	for i, pf := range r.free {
+		if pf.frame != (CompleteFrame{}) {
+			t.Errorf("recycled record %d retains frame %+v", i, pf.frame)
+		}
+		if pf.gotCount != 0 {
+			t.Errorf("recycled record %d retains gotCount %d", i, pf.gotCount)
+		}
+		for w, bits := range pf.got {
+			if bits != 0 {
+				t.Errorf("recycled record %d retains bitset word %d = %#x", i, w, bits)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"rtcadapt/internal/core"
+	"rtcadapt/internal/simtime"
+	"rtcadapt/internal/trace"
+	"rtcadapt/internal/video"
+)
+
+// Pool-poisoning check (ISSUE 7): after a session has churned encoded
+// frames through the pendingSend pool, every recycled record must hold
+// no packet or repair references — a retained *rtp.Packet would pin a
+// whole frame's payload for the session's lifetime and could leak one
+// frame's packets into a later frame's send if a truncation path ever
+// regressed.
+func TestPendingSendPoolHoldsNoSentinel(t *testing.T) {
+	sched := simtime.NewScheduler()
+	s := New(sched, Config{
+		Duration:     2 * time.Second,
+		Seed:         3,
+		Content:      video.TalkingHead,
+		Trace:        trace.Constant(1.5e6),
+		InitialRate:  1e6,
+		FECGroupSize: 4, // exercise the repairs slice too
+		Controller:   core.NewAdaptive(core.AdaptiveConfig{}),
+	})
+	sched.RunUntil(4 * time.Second)
+	if res := s.Result(); res.Report.DeliveredFrames == 0 {
+		t.Fatal("session delivered nothing; pool was not exercised")
+	}
+	if len(s.sendPool) == 0 {
+		t.Fatal("pendingSend pool empty after run")
+	}
+	for i, ps := range s.sendPool {
+		if ps.s != s {
+			t.Errorf("recycled record %d lost its session back-pointer", i)
+		}
+		if len(ps.pkts) != 0 || len(ps.repairs) != 0 {
+			t.Errorf("recycled record %d still holds %d packets, %d repairs",
+				i, len(ps.pkts), len(ps.repairs))
+		}
+		for j, p := range ps.pkts[:cap(ps.pkts)] {
+			if p != nil {
+				t.Errorf("recycled record %d retains packet reference at slot %d", i, j)
+			}
+		}
+		for j, rep := range ps.repairs[:cap(ps.repairs)] {
+			if rep != nil {
+				t.Errorf("recycled record %d retains repair reference at slot %d", i, j)
+			}
+		}
+	}
+}

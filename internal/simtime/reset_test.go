@@ -1,0 +1,76 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResetRestartsCleanly pins the fleet reuse contract: after Reset, a
+// scheduler behaves exactly like a freshly constructed one — clock at
+// zero, queue empty, sequence counter restarted — so a workload run on a
+// recycled scheduler is indistinguishable from one run on a new
+// scheduler.
+func TestResetRestartsCleanly(t *testing.T) {
+	workload := func(s *Scheduler) []time.Duration {
+		var fired []time.Duration
+		s.At(3*time.Millisecond, func() { fired = append(fired, s.Now()) })
+		s.At(time.Millisecond, func() {
+			fired = append(fired, s.Now())
+			s.After(time.Millisecond, func() { fired = append(fired, s.Now()) })
+		})
+		s.Run()
+		return fired
+	}
+
+	reused := NewScheduler()
+	// Dirty the scheduler: advance the clock, burn sequence numbers,
+	// leave pending events and a Stop in effect.
+	reused.At(time.Millisecond, func() {})
+	reused.At(2*time.Millisecond, func() { reused.Stop() })
+	reused.At(time.Hour, func() { t.Error("leftover event fired after Reset") })
+	reused.Run()
+	reused.Reset()
+
+	if reused.Now() != 0 {
+		t.Fatalf("Now after Reset = %v, want 0", reused.Now())
+	}
+	if reused.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", reused.Len())
+	}
+
+	got := workload(reused)
+	want := workload(NewScheduler())
+	if len(got) != len(want) {
+		t.Fatalf("reused scheduler fired %d events, fresh fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("firing %d at %v on reused scheduler, %v on fresh", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResetKeepsPoolWarm pins the reason Reset exists at all (versus
+// constructing a new scheduler per fleet session): the event records of
+// the abandoned queue return to the free list instead of being dropped
+// for the collector.
+func TestResetKeepsPoolWarm(t *testing.T) {
+	s := NewScheduler()
+	const depth = 16
+	for i := 0; i < depth; i++ {
+		s.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	s.Reset()
+	if got := len(s.free); got < depth {
+		t.Errorf("pool holds %d records after Reset, want >= %d (queue must recycle, not leak)", got, depth)
+	}
+	// Stale handles into the pre-Reset world must be inert.
+	ev := s.At(time.Millisecond, func() {})
+	s.Reset()
+	if ev.Cancel() {
+		t.Error("stale handle canceled into a Reset scheduler")
+	}
+	if ev.Pending() {
+		t.Error("stale handle still Pending after Reset")
+	}
+}
