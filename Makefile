@@ -2,7 +2,7 @@ GO       ?= go
 PKGS     := ./...
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint lint-fix lint-purity lint-budget fuzz-smoke bench bench-parallel bench-json bench-smoke fleet-smoke trace-smoke check
+.PHONY: build test race lint lint-fix lint-purity lint-units lint-baseline-check lint-budget fuzz-smoke bench bench-parallel bench-json bench-smoke fleet-smoke trace-smoke check
 
 build:
 	$(GO) build $(PKGS)
@@ -28,6 +28,19 @@ lint-fix:
 lint-purity:
 	$(GO) run ./cmd/rtclint -run transitivepurity,globalmut,shardsafe $(PKGS)
 
+# Just the two dataflow passes: dimensional unit flow over internal/units
+# types and name suffixes, and the wrap-aware sequence-arithmetic prover.
+# See DESIGN.md §13.
+lint-units:
+	$(GO) run ./cmd/rtclint -run unitflow,seqarith $(PKGS)
+
+# Fail when the committed accepted-debt file records more findings than
+# the tree still has: paid-down debt must shrink the baseline in the same
+# change. The committed baseline is empty — the tree carries zero debt —
+# so this also guards against anyone quietly introducing some.
+lint-baseline-check:
+	$(GO) run ./cmd/rtclint -baseline lint-baseline.json -baseline-check $(PKGS)
+
 # CI smoke gate: the full suite over this module must finish inside the
 # wall-clock budget, so whole-module analysis can't become the long pole.
 RTCLINT_BUDGET_SECONDS ?= 120
@@ -44,6 +57,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/video
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/obs
+	$(GO) test -run='^$$' -fuzz=FuzzBaseline -fuzztime=$(FUZZTIME) ./internal/lint
 
 # Record a short figure-1 session in all three export formats, then diff
 # a same-seed re-run against the first recording: any divergence is a
@@ -95,6 +109,6 @@ fleet-smoke:
 		> build/fleet-smoke/shards8.csv
 	cmp build/fleet-smoke/shards1.csv build/fleet-smoke/shards8.csv
 	$(GO) test -run='^$$' -bench=BenchmarkFleet -benchmem -benchtime=1x ./internal/fleet \
-		| $(GO) run ./cmd/benchjson -against $(BENCHJSON_OUT) -max-ns-ratio 2.0
+		| $(GO) run ./cmd/benchjson -against auto -max-ns-ratio 2.0
 
 check: build lint test race

@@ -7,6 +7,11 @@
 //	go test -bench . -benchmem ./... | benchjson -o BENCH.json
 //	benchjson -diff BENCH_old.json BENCH_new.json
 //	go test -bench . -benchmem ./... | benchjson -against BENCH.json -max-ns-ratio 1.3
+//	go test -bench . -benchmem ./... | benchjson -against auto -max-ns-ratio 1.3
+//
+// `-against auto` resolves the baseline to the highest-numbered
+// BENCH_<n>.json in the current directory, so compare runs follow the
+// newest committed generation without hard-coding it.
 package main
 
 import (
@@ -14,6 +19,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"rtcadapt/internal/benchjson"
 	"rtcadapt/internal/cli"
@@ -41,7 +49,7 @@ func runCmd(args []string, stdin io.Reader, stdout *cli.Printer, stderrW io.Writ
 	var (
 		out        = fs.String("o", "", "write canonical JSON to this file (default stdout)")
 		diff       = fs.String("diff", "", "compare this baseline JSON against a second JSON file argument")
-		against    = fs.String("against", "", "compare parsed stdin against this baseline JSON")
+		against    = fs.String("against", "", "compare parsed stdin against this baseline JSON (\"auto\": highest-numbered BENCH_<n>.json here)")
 		maxNsRatio = fs.Float64("max-ns-ratio", 0, "with -against/-diff: fail when new/old ns/op exceeds this (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,7 +77,15 @@ func runCmd(args []string, stdin io.Reader, stdout *cli.Printer, stderrW io.Writ
 		}
 		return report(benchjson.Diff(oldEs, newEs), *maxNsRatio, stdout)
 	case *against != "":
-		oldEs, err := benchjson.ReadFile(*against)
+		path := *against
+		if path == "auto" {
+			var err error
+			if path, err = latestBaseline("."); err != nil {
+				return fail(err)
+			}
+			stdout.Printf("benchjson: comparing against %s\n", path)
+		}
+		oldEs, err := benchjson.ReadFile(path)
 		if err != nil {
 			return fail(err)
 		}
@@ -103,6 +119,42 @@ func runCmd(args []string, stdin io.Reader, stdout *cli.Printer, stderrW io.Writ
 		}
 		return 0
 	}
+}
+
+// latestBaseline returns the highest-numbered BENCH_<n>.json in dir —
+// the newest committed baseline generation. Numeric comparison, not
+// lexical: BENCH_10.json beats BENCH_7.json.
+func latestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best := -1
+	bestName := ""
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		rest, ok := strings.CutPrefix(e.Name(), "BENCH_")
+		if !ok {
+			continue
+		}
+		numStr, ok := strings.CutSuffix(rest, ".json")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(numStr)
+		if err != nil || n < 0 {
+			continue
+		}
+		if n > best {
+			best, bestName = n, e.Name()
+		}
+	}
+	if best < 0 {
+		return "", fmt.Errorf("no BENCH_<n>.json baseline found in %s", dir)
+	}
+	return filepath.Join(dir, bestName), nil
 }
 
 // report prints a before/after table and returns 1 when any benchmark

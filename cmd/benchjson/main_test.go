@@ -60,3 +60,26 @@ func TestAgainstGate(t *testing.T) {
 		t.Fatalf("identical run failed the gate: %s", stdout.String())
 	}
 }
+
+// TestLatestBaseline: -against auto must resolve the newest committed
+// baseline generation numerically, not lexically.
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_7.json", "BENCH_10.json", "BENCH_x.json", "NOTBENCH_99.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("[]"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_10.json"); got != want {
+		t.Errorf("latestBaseline = %q, want %q", got, want)
+	}
+
+	empty := t.TempDir()
+	if _, err := latestBaseline(empty); err == nil {
+		t.Error("latestBaseline on a dir with no baselines: want error, got nil")
+	}
+}

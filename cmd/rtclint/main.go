@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rtclint [-C dir] [-list] [-json] [-fix] [-run a,b] [-baseline file] [-write-baseline file] [packages]
+//	rtclint [-C dir] [-list] [-json] [-fix] [-run a,b] [-baseline file] [-baseline-check] [-write-baseline file] [packages]
 //
 // The only supported package pattern is "./..." (the default): the suite
 // always analyzes the whole module, because the invariants it enforces are
@@ -15,8 +15,11 @@
 // subset (stale-ignore reporting is disabled under a partial suite).
 // -baseline filters findings through an accepted-debt file so only new
 // findings report; -write-baseline records the current findings as that
-// file. Output is byte-deterministic: analyzers are listed sorted by name
-// and findings sorted by (file, line, col, analyzer).
+// file; -baseline-check additionally fails (exit 2) when an entry's
+// accepted count exceeds the current finding count — stale debt that
+// should have shrunk with the tree. Output is byte-deterministic:
+// analyzers are listed sorted by name and findings sorted by (file,
+// line, col, analyzer).
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
@@ -51,9 +54,10 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 	fix := fs.Bool("fix", false, "apply suggested fixes, then report remaining findings")
 	runOnly := fs.String("run", "", "comma-separated analyzer subset to run (default: full suite)")
 	baseline := fs.String("baseline", "", "filter findings through this accepted-debt file; only new findings report")
+	baselineCheck := fs.Bool("baseline-check", false, "with -baseline: fail (exit 2) when an entry's accepted-debt count exceeds the current finding count (stale debt; regenerate with -write-baseline)")
 	writeBaseline := fs.String("write-baseline", "", "record current findings to this file and exit clean")
 	fs.Usage = func() {
-		stderr.printf("usage: rtclint [-C dir] [-list] [-json] [-fix] [-run a,b] [-baseline file] [-write-baseline file] [./...]\n")
+		stderr.printf("usage: rtclint [-C dir] [-list] [-json] [-fix] [-run a,b] [-baseline file] [-baseline-check] [-write-baseline file] [./...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -134,6 +138,10 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 		stderr.printf("rtclint: wrote baseline with %d finding(s) to %s\n", len(diags), *writeBaseline)
 		return exitStatus(0, stdout, stderrW)
 	}
+	if *baselineCheck && *baseline == "" {
+		stderr.printf("rtclint: -baseline-check requires -baseline\n")
+		return 2
+	}
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -144,6 +152,16 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 		if err != nil {
 			stderr.printf("rtclint: %s: %v\n", *baseline, err)
 			return 2
+		}
+		if *baselineCheck {
+			if stale := lint.StaleBaseline(diags, entries); len(stale) > 0 {
+				for _, e := range stale {
+					stderr.printf("rtclint: stale baseline entry: %s [%s] %q accepts %d finding(s), tree has fewer\n",
+						e.File, e.Analyzer, e.Message, e.Count)
+				}
+				stderr.printf("rtclint: %d stale baseline entr(y/ies) in %s; regenerate with -write-baseline\n", len(stale), *baseline)
+				return 2
+			}
 		}
 		diags = lint.FilterBaseline(diags, entries)
 	}

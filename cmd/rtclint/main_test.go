@@ -69,8 +69,8 @@ func TestListByteDeterministic(t *testing.T) {
 		t.Errorf("-list output differs between runs:\n%s\nvs\n%s", out1, out2)
 	}
 	lines := strings.Split(strings.TrimRight(out1, "\n"), "\n")
-	if len(lines) != 13 {
-		t.Errorf("-list printed %d analyzers, want 13:\n%s", len(lines), out1)
+	if len(lines) != 15 {
+		t.Errorf("-list printed %d analyzers, want 15:\n%s", len(lines), out1)
 	}
 	if !sort.StringsAreSorted(lines) {
 		t.Errorf("-list output is not sorted by name:\n%s", out1)
@@ -78,7 +78,7 @@ func TestListByteDeterministic(t *testing.T) {
 	for _, name := range []string{
 		"nowallclock", "seededrand", "floateq", "unitsuffix", "ctorvalidate",
 		"maporder", "rawgo", "errdrop", "importlayer", "hotpathalloc",
-		"transitivepurity", "globalmut", "shardsafe",
+		"transitivepurity", "globalmut", "shardsafe", "unitflow", "seqarith",
 	} {
 		if !strings.Contains(out1, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out1)
@@ -253,6 +253,47 @@ var shared = map[string]int{}
 	}
 	if code, _, _ := runCLI(t, "-C", dir, "-baseline", baseline); code != 2 {
 		t.Errorf("garbage baseline exit = %d, want 2", code)
+	}
+}
+
+// TestBaselineCheckStaleDebt: -baseline-check fails the run when the
+// tree has fewer findings than the baseline accepts — paid-down debt
+// must shrink the baseline in the same change.
+func TestBaselineCheckStaleDebt(t *testing.T) {
+	mod := map[string]string{
+		"internal/metrics/m.go": `// Package metrics is a baseline-test fixture.
+package metrics
+
+// shared is deliberate debt recorded in the baseline.
+var shared = map[string]int{}
+`,
+	}
+	dir := writeModule(t, mod)
+	baseline := filepath.Join(dir, "lint-baseline.json")
+
+	if code, _, _ := runCLI(t, "-C", dir, "-baseline-check"); code != 2 {
+		t.Errorf("-baseline-check without -baseline: exit %d, want 2", code)
+	}
+	if code, _, stderr := runCLI(t, "-C", dir, "-write-baseline", baseline); code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	// Debt matches the tree: check passes and filtering still applies.
+	code, out, _ := runCLI(t, "-C", dir, "-baseline", baseline, "-baseline-check")
+	if code != 0 || out != "" {
+		t.Fatalf("-baseline-check on matching tree: exit %d output %q, want clean", code, out)
+	}
+	// Pay down the debt without regenerating the baseline: stale, exit 2.
+	clean := filepath.Join(dir, "internal", "metrics", "m.go")
+	if err := os.WriteFile(clean, []byte("// Package metrics is a baseline-test fixture.\npackage metrics\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-C", dir, "-baseline", baseline, "-baseline-check")
+	if code != 2 || !strings.Contains(stderr, "stale baseline entry") {
+		t.Errorf("-baseline-check with paid-down debt: exit %d stderr %q, want 2 reporting stale entry", code, stderr)
+	}
+	// Without the check flag, stale debt filters silently (old behavior).
+	if code, _, _ := runCLI(t, "-C", dir, "-baseline", baseline); code != 0 {
+		t.Errorf("-baseline without -baseline-check on stale file: exit %d, want 0", code)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"rtcadapt/internal/plot"
 	"rtcadapt/internal/session"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -47,7 +48,7 @@ func main() {
 			Duration:    *duration,
 			Seed:        *seed,
 			Content:     video.TalkingHead,
-			Trace:       trace.StepDrop(*before, *after, *dropAt),
+			Trace:       trace.StepDrop(units.BitsPerSec(*before), units.BitsPerSec(*after), *dropAt),
 			InitialRate: 1e6,
 			Controller:  ctrl,
 		})
@@ -77,11 +78,11 @@ func main() {
 		for _, p := range res.Timeline {
 			t := p.At.Seconds()
 			capS.X = append(capS.X, t)
-			capS.Y = append(capS.Y, p.Capacity/1e6)
+			capS.Y = append(capS.Y, p.Capacity.Mbps())
 			estS.X = append(estS.X, t)
-			estS.Y = append(estS.Y, p.Estimate/1e6)
+			estS.Y = append(estS.Y, p.Estimate.Mbps())
 			encS.X = append(encS.X, t)
-			encS.Y = append(encS.Y, p.EncoderTarget/1e6)
+			encS.Y = append(encS.Y, p.EncoderTarget.Mbps())
 		}
 		fmt.Printf("control plane, %s controller\n\n", *controller)
 		fmt.Print(plot.Line(cfg, capS, estS, encS))

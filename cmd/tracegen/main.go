@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 )
 
 func main() {
@@ -42,20 +43,21 @@ func main() {
 		end := points[len(points)-1].At + time.Second
 		fmt.Printf("trace %s: %d breakpoints, span %v\n", tr.Name(), len(points), points[len(points)-1].At)
 		fmt.Printf("mean %.2f Mbps, min %.2f Mbps\n",
-			tr.MeanRate(0, end)/1e6, tr.MinRate(0, end)/1e6)
+			tr.MeanRate(0, end).Mbps(), tr.MinRate(0, end).Mbps())
 		return
 	}
 
 	var tr *trace.Trace
 	switch *kind {
 	case "const":
-		tr = trace.Constant(*mean)
+		tr = trace.Constant(units.BitsPerSec(*mean))
 	case "drop":
-		tr = trace.StepDrop(*before, *after, *dropAt)
+		tr = trace.StepDrop(units.BitsPerSec(*before), units.BitsPerSec(*after), *dropAt)
 	case "staircase":
-		tr = trace.Staircase(10*time.Second, *before, (*before+*after)/2, *after)
+		tr = trace.Staircase(10*time.Second, units.BitsPerSec(*before),
+			units.BitsPerSec((*before+*after)/2), units.BitsPerSec(*after))
 	case "oscillating":
-		tr = trace.Oscillating(*before, *after, 5*time.Second, *duration)
+		tr = trace.Oscillating(units.BitsPerSec(*before), units.BitsPerSec(*after), 5*time.Second, *duration)
 	case "lte":
 		tr = trace.LTE(*seed, *duration, trace.LTEConfig{Mean: *mean})
 	case "wifi":

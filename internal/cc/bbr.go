@@ -6,6 +6,7 @@ import (
 
 	"rtcadapt/internal/fb"
 	"rtcadapt/internal/stats"
+	"rtcadapt/internal/units"
 )
 
 // BBR is a simplified delivery-rate estimator in the spirit of BBR's
@@ -33,12 +34,12 @@ type BBR struct {
 }
 
 // NewBBR returns a BBR-style estimator seeded at initialRate.
-func NewBBR(initialRate float64) *BBR {
+func NewBBR(initialRate units.BitsPerSec) *BBR {
 	if initialRate <= 0 {
 		initialRate = 1e6
 	}
 	return &BBR{
-		target:    initialRate,
+		target:    float64(initialRate),
 		minRate:   50e3,
 		maxRate:   20e6,
 		btlbw:     stats.NewWindowedMax(20), // ~1 s (~10 RTTs of feedback), as in BBR's BtlBw filter
@@ -125,10 +126,10 @@ func (b *BBR) Snapshot(now time.Duration) Snapshot {
 		}
 	}
 	return Snapshot{
-		Target:       b.target,
+		Target:       units.BitsPerSec(b.target),
 		Usage:        usage,
 		QueueDelay:   qd,
 		LossFraction: b.lossEWMA.Value(),
-		AckRate:      b.ackMeter.Rate(now.Seconds()),
+		AckRate:      units.BitsPerSec(b.ackMeter.Rate(now.Seconds())),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rtcadapt/internal/fb"
+	"rtcadapt/internal/units"
 )
 
 // linkSim is a minimal single-bottleneck model for driving estimators in
@@ -13,7 +14,7 @@ import (
 // batched every 50 ms.
 type linkSim struct {
 	est      Estimator
-	capacity func(time.Duration) float64
+	capacity func(time.Duration) units.BitsPerSec
 	prop     time.Duration
 
 	now        time.Duration
@@ -23,7 +24,7 @@ type linkSim struct {
 	nextFB     time.Duration
 }
 
-func newLinkSim(est Estimator, capacity func(time.Duration) float64) *linkSim {
+func newLinkSim(est Estimator, capacity func(time.Duration) units.BitsPerSec) *linkSim {
 	return &linkSim{
 		est:      est,
 		capacity: capacity,
@@ -34,12 +35,12 @@ func newLinkSim(est Estimator, capacity func(time.Duration) float64) *linkSim {
 
 // sendAtRate sends packets pacing at rate bps for dur, delivering feedback
 // as time passes. rate may be re-read every packet via the callback.
-func (s *linkSim) run(dur time.Duration, rate func(time.Duration) float64) {
+func (s *linkSim) run(dur time.Duration, rate func(time.Duration) units.BitsPerSec) {
 	const pktBytes = 1200
 	end := s.now + dur
 	for s.now < end {
 		bits := float64(pktBytes * 8)
-		r := rate(s.now)
+		r := float64(rate(s.now))
 		if r < 1e3 {
 			r = 1e3
 		}
@@ -48,7 +49,7 @@ func (s *linkSim) run(dur time.Duration, rate func(time.Duration) float64) {
 		if s.linkFreeAt > txStart {
 			txStart = s.linkFreeAt
 		}
-		cap := s.capacity(txStart)
+		cap := float64(s.capacity(txStart))
 		txDur := time.Duration(bits / cap * float64(time.Second))
 		s.linkFreeAt = txStart + txDur
 		arrival := s.linkFreeAt + s.prop
@@ -85,15 +86,15 @@ func (s *linkSim) flush(at time.Duration) {
 	}
 }
 
-func constCap(bps float64) func(time.Duration) float64 {
-	return func(time.Duration) float64 { return bps }
+func constCap(bps units.BitsPerSec) func(time.Duration) units.BitsPerSec {
+	return func(time.Duration) units.BitsPerSec { return bps }
 }
 
 func TestGCCDetectsOveruse(t *testing.T) {
 	g := NewGCC(GCCConfig{InitialRate: 2e6})
 	sim := newLinkSim(g, constCap(1e6))
 	// Blast at 2 Mbps into a 1 Mbps link: the queue grows monotonically.
-	sim.run(3*time.Second, func(time.Duration) float64 { return 2e6 })
+	sim.run(3*time.Second, func(time.Duration) units.BitsPerSec { return 2e6 })
 	snap := g.Snapshot(sim.now)
 	if snap.Usage != UsageOver && snap.Target >= 1.5e6 {
 		t.Errorf("after 3s of 2x overload: usage=%v target=%.2f Mbps; expected overuse detection",
@@ -111,7 +112,7 @@ func TestGCCIncreasesWhenUnderutilized(t *testing.T) {
 	g := NewGCC(GCCConfig{InitialRate: 1e6})
 	sim := newLinkSim(g, constCap(5e6))
 	// Closed loop: send at the current estimate.
-	sim.run(20*time.Second, func(now time.Duration) float64 {
+	sim.run(20*time.Second, func(now time.Duration) units.BitsPerSec {
 		return g.Snapshot(now).Target
 	})
 	got := g.Snapshot(sim.now).Target
@@ -127,14 +128,14 @@ func TestGCCTracksDrop(t *testing.T) {
 	// The paper's core scenario: capacity 2.5 -> 0.8 Mbps at t=10 s. GCC
 	// must pull its estimate under ~1.2x the new capacity within ~2.5 s.
 	g := NewGCC(GCCConfig{InitialRate: 2e6})
-	capacity := func(at time.Duration) float64 {
+	capacity := func(at time.Duration) units.BitsPerSec {
 		if at < 10*time.Second {
 			return 2.5e6
 		}
 		return 0.8e6
 	}
 	sim := newLinkSim(g, capacity)
-	sim.run(12500*time.Millisecond, func(now time.Duration) float64 {
+	sim.run(12500*time.Millisecond, func(now time.Duration) units.BitsPerSec {
 		return g.Snapshot(now).Target
 	})
 	got := g.Snapshot(sim.now).Target
@@ -147,7 +148,7 @@ func TestGCCTracksDrop(t *testing.T) {
 func TestGCCSteadyStateStaysNearCapacity(t *testing.T) {
 	g := NewGCC(GCCConfig{InitialRate: 1e6})
 	sim := newLinkSim(g, constCap(2e6))
-	sim.run(30*time.Second, func(now time.Duration) float64 {
+	sim.run(30*time.Second, func(now time.Duration) units.BitsPerSec {
 		return g.Snapshot(now).Target
 	})
 	got := g.Snapshot(sim.now).Target
@@ -190,7 +191,7 @@ func TestGCCEmptyResultsNoop(t *testing.T) {
 	g := NewGCC(GCCConfig{})
 	before := g.Snapshot(0).Target
 	g.OnPacketResults(time.Second, nil)
-	if after := g.Snapshot(time.Second).Target; math.Abs(after-before) > before*0.2 {
+	if after := g.Snapshot(time.Second).Target; math.Abs(float64(after-before)) > float64(before)*0.2 {
 		t.Errorf("empty feedback moved target %v -> %v", before, after)
 	}
 }
@@ -206,7 +207,7 @@ func TestLossBasedIgnoresDelay(t *testing.T) {
 	// nothing is lost — this blindness is why it is the worst baseline.
 	l := NewLossBased(1e6)
 	sim := newLinkSim(l, constCap(0.9e6))
-	sim.run(5*time.Second, func(time.Duration) float64 { return 1e6 })
+	sim.run(5*time.Second, func(time.Duration) units.BitsPerSec { return 1e6 })
 	if got := l.Snapshot(sim.now).Target; got < 1e6 {
 		t.Errorf("loss-based decreased to %.2f Mbps without loss", got/1e6)
 	}
@@ -239,17 +240,17 @@ func TestLossBasedCutsOnLoss(t *testing.T) {
 }
 
 func TestOracleTracksCapacityInstantly(t *testing.T) {
-	capacity := func(at time.Duration) float64 {
+	capacity := func(at time.Duration) units.BitsPerSec {
 		if at < 10*time.Second {
 			return 2.5e6
 		}
 		return 0.8e6
 	}
 	o := NewOracle(capacity, 0.95)
-	if got := o.Snapshot(5 * time.Second).Target; math.Abs(got-0.95*2.5e6) > 1 {
+	if got := o.Snapshot(5 * time.Second).Target; math.Abs(float64(got)-0.95*2.5e6) > 1 {
 		t.Errorf("pre-drop oracle = %v", got)
 	}
-	if got := o.Snapshot(10 * time.Second).Target; math.Abs(got-0.95*0.8e6) > 1 {
+	if got := o.Snapshot(10 * time.Second).Target; math.Abs(float64(got)-0.95*0.8e6) > 1 {
 		t.Errorf("post-drop oracle = %v", got)
 	}
 	if o.Name() != "oracle" {
@@ -259,7 +260,7 @@ func TestOracleTracksCapacityInstantly(t *testing.T) {
 
 func TestOracleDefaultMargin(t *testing.T) {
 	o := NewOracle(constCap(1e6), 0)
-	if got := o.Snapshot(0).Target; math.Abs(got-0.95e6) > 1 {
+	if got := o.Snapshot(0).Target; math.Abs(float64(got)-0.95e6) > 1 {
 		t.Errorf("default margin target = %v, want 950000", got)
 	}
 }
@@ -295,7 +296,7 @@ func TestUsageString(t *testing.T) {
 func TestBBRConvergesToCapacity(t *testing.T) {
 	b := NewBBR(1e6)
 	sim := newLinkSim(b, constCap(3e6))
-	sim.run(20*time.Second, func(now time.Duration) float64 {
+	sim.run(20*time.Second, func(now time.Duration) units.BitsPerSec {
 		return b.Snapshot(now).Target
 	})
 	got := b.Snapshot(sim.now).Target
@@ -306,14 +307,14 @@ func TestBBRConvergesToCapacity(t *testing.T) {
 
 func TestBBRTracksDrop(t *testing.T) {
 	b := NewBBR(2e6)
-	capacity := func(at time.Duration) float64 {
+	capacity := func(at time.Duration) units.BitsPerSec {
 		if at < 10*time.Second {
 			return 2.5e6
 		}
 		return 0.8e6
 	}
 	sim := newLinkSim(b, capacity)
-	sim.run(15*time.Second, func(now time.Duration) float64 {
+	sim.run(15*time.Second, func(now time.Duration) units.BitsPerSec {
 		return b.Snapshot(now).Target
 	})
 	got := b.Snapshot(sim.now).Target
@@ -350,10 +351,10 @@ func TestGCCRecoversAfterDrain(t *testing.T) {
 	// off its trough.
 	g := NewGCC(GCCConfig{InitialRate: 2e6})
 	sim := newLinkSim(g, constCap(1e6))
-	sim.run(1500*time.Millisecond, func(time.Duration) float64 { return 2e6 })
+	sim.run(1500*time.Millisecond, func(time.Duration) units.BitsPerSec { return 2e6 })
 	trough := g.Snapshot(sim.now).Target
 	for i := 0; i < 30; i++ { // 15 s closed loop, tracking the trough
-		sim.run(500*time.Millisecond, func(now time.Duration) float64 {
+		sim.run(500*time.Millisecond, func(now time.Duration) units.BitsPerSec {
 			return g.Snapshot(now).Target
 		})
 		if cur := g.Snapshot(sim.now).Target; cur < trough {
@@ -397,7 +398,7 @@ func TestGCCThresholdBounded(t *testing.T) {
 func TestSnapshotFieldsPopulated(t *testing.T) {
 	g := NewGCC(GCCConfig{InitialRate: 1e6})
 	sim := newLinkSim(g, constCap(2e6))
-	sim.run(5*time.Second, func(now time.Duration) float64 {
+	sim.run(5*time.Second, func(now time.Duration) units.BitsPerSec {
 		return g.Snapshot(now).Target
 	})
 	snap := g.Snapshot(sim.now)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rtcadapt/internal/fb"
+	"rtcadapt/internal/units"
 )
 
 // Usage is the overuse detector's verdict on the bottleneck queue.
@@ -41,8 +42,8 @@ func (u Usage) String() string {
 // Snapshot is the estimator's externally visible state at a point in time.
 // The adaptive encoder controller consumes Snapshots.
 type Snapshot struct {
-	// Target is the estimated safe send rate in bits/s.
-	Target float64
+	// Target is the estimated safe send rate.
+	Target units.BitsPerSec
 	// Usage is the current overuse verdict.
 	Usage Usage
 	// QueueDelay is the estimated standing queue delay at the
@@ -50,9 +51,9 @@ type Snapshot struct {
 	QueueDelay time.Duration
 	// LossFraction is the recent loss fraction.
 	LossFraction float64
-	// AckRate is the measured acknowledged throughput in bits/s (zero
-	// until enough feedback has arrived).
-	AckRate float64
+	// AckRate is the measured acknowledged throughput (zero until
+	// enough feedback has arrived).
+	AckRate units.BitsPerSec
 }
 
 // Estimator consumes per-packet feedback and produces rate estimates.

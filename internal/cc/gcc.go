@@ -8,15 +8,16 @@ import (
 	"rtcadapt/internal/fb"
 	"rtcadapt/internal/obs"
 	"rtcadapt/internal/stats"
+	"rtcadapt/internal/units"
 )
 
 // GCCConfig parameterizes the GCC estimator. Defaults follow the published
 // algorithm and libwebrtc's implementation.
 type GCCConfig struct {
 	// InitialRate seeds the estimate. Default 1 Mbps.
-	InitialRate float64
+	InitialRate units.BitsPerSec
 	// MinRate and MaxRate bound the estimate. Defaults 50 kbps, 20 Mbps.
-	MinRate, MaxRate float64
+	MinRate, MaxRate units.BitsPerSec
 	// Beta is the multiplicative decrease factor applied to the
 	// acknowledged rate on overuse. Default 0.85.
 	Beta float64
@@ -46,16 +47,16 @@ type GCCConfig struct {
 // the constructor.
 func (c *GCCConfig) Validate() error {
 	if c.InitialRate < 0 {
-		return fmt.Errorf("cc: negative GCCConfig.InitialRate %v", c.InitialRate)
+		return fmt.Errorf("cc: negative GCCConfig.InitialRate %v", float64(c.InitialRate))
 	}
 	if c.MinRate < 0 {
-		return fmt.Errorf("cc: negative GCCConfig.MinRate %v", c.MinRate)
+		return fmt.Errorf("cc: negative GCCConfig.MinRate %v", float64(c.MinRate))
 	}
 	if c.MaxRate < 0 {
-		return fmt.Errorf("cc: negative GCCConfig.MaxRate %v", c.MaxRate)
+		return fmt.Errorf("cc: negative GCCConfig.MaxRate %v", float64(c.MaxRate))
 	}
 	if c.MinRate != 0 && c.MaxRate != 0 && c.MinRate > c.MaxRate {
-		return fmt.Errorf("cc: GCCConfig.MinRate %v exceeds MaxRate %v", c.MinRate, c.MaxRate)
+		return fmt.Errorf("cc: GCCConfig.MinRate %v exceeds MaxRate %v", float64(c.MinRate), float64(c.MaxRate))
 	}
 	if c.Beta < 0 || c.Beta > 1 {
 		return fmt.Errorf("cc: GCCConfig.Beta %v outside [0, 1]", c.Beta)
@@ -165,7 +166,7 @@ func NewGCC(cfg GCCConfig) *GCC {
 		cfg:       cfg,
 		trend:     stats.NewLinReg(cfg.TrendlineWindow),
 		threshold: 12.5, // libwebrtc initial threshold, ms
-		target:    cfg.InitialRate,
+		target:    float64(cfg.InitialRate),
 		state:     rcIncrease,
 		ackMeter:  stats.NewRateMeter(0.5),
 		lossEWMA:  stats.NewEWMA(0.3),
@@ -205,8 +206,8 @@ func (g *GCC) OnPacketResults(now time.Duration, results []fb.PacketResult) {
 	g.updateRate(now)
 	if g.cfg.Recorder != nil {
 		snap := g.Snapshot(now)
-		g.cfg.Recorder.EstimateUpdated(snap.Target, snap.Usage.String(),
-			snap.QueueDelay, snap.LossFraction, snap.AckRate)
+		g.cfg.Recorder.EstimateUpdated(float64(snap.Target), snap.Usage.String(),
+			snap.QueueDelay, snap.LossFraction, float64(snap.AckRate))
 	}
 }
 
@@ -283,9 +284,11 @@ func (g *GCC) detect(latestDeltaMs float64) {
 	_ = latestDeltaMs
 }
 
-// updateRate runs the AIMD controller.
+// updateRate runs the AIMD controller. Internals stay in float64; the
+// config bounds are unwrapped once here.
 func (g *GCC) updateRate(now time.Duration) {
 	ack := g.ackMeter.Rate(now.Seconds())
+	minRate, maxRate := float64(g.cfg.MinRate), float64(g.cfg.MaxRate)
 	dt := (now - g.lastChange).Seconds()
 	if dt < 0 {
 		dt = 0
@@ -305,11 +308,11 @@ func (g *GCC) updateRate(now time.Duration) {
 			if base <= 0 || g.resultCount < 10 {
 				base = g.target
 			}
-			next := stats.Clamp(g.cfg.Beta*base, g.cfg.MinRate, g.cfg.MaxRate)
+			next := stats.Clamp(g.cfg.Beta*base, minRate, maxRate)
 			if next < g.target {
 				g.target = next
 			} else {
-				g.target = stats.Clamp(g.cfg.Beta*g.target, g.cfg.MinRate, g.cfg.MaxRate)
+				g.target = stats.Clamp(g.cfg.Beta*g.target, minRate, maxRate)
 			}
 			g.lastChange = now
 		}
@@ -334,7 +337,7 @@ func (g *GCC) updateRate(now time.Duration) {
 			}
 		}
 		if next > g.target {
-			g.target = stats.Clamp(next, g.cfg.MinRate, g.cfg.MaxRate)
+			g.target = stats.Clamp(next, minRate, maxRate)
 			g.lastChange = now
 		}
 	}
@@ -344,7 +347,7 @@ func (g *GCC) updateRate(now time.Duration) {
 	if loss := g.lossEWMA.Value(); loss > 0.10 {
 		capped := g.target * (1 - 0.5*loss)
 		if capped < g.target {
-			g.target = stats.Clamp(capped, g.cfg.MinRate, g.cfg.MaxRate)
+			g.target = stats.Clamp(capped, minRate, maxRate)
 		}
 	}
 }
@@ -354,10 +357,10 @@ func (g *GCC) updateRate(now time.Duration) {
 // delivered at rate bps without queue growth proves capacity, so the
 // target jumps there immediately instead of waiting for multiplicative
 // increase. Only upward moves are applied.
-func (g *GCC) ApplyProbe(bps float64) {
-	proven := 0.89 * bps // libwebrtc applies a safety factor to probe results
+func (g *GCC) ApplyProbe(bps units.BitsPerSec) {
+	proven := float64(bps.Scale(0.89)) // libwebrtc applies a safety factor to probe results
 	if proven > g.target {
-		g.target = stats.Clamp(proven, g.cfg.MinRate, g.cfg.MaxRate)
+		g.target = stats.Clamp(proven, float64(g.cfg.MinRate), float64(g.cfg.MaxRate))
 	}
 }
 
@@ -369,10 +372,10 @@ func (g *GCC) Snapshot(now time.Duration) Snapshot {
 		qd = time.Duration((g.lastOwd - base) * float64(time.Second))
 	}
 	return Snapshot{
-		Target:       g.target,
+		Target:       units.BitsPerSec(g.target),
 		Usage:        g.usage,
 		QueueDelay:   qd,
 		LossFraction: g.lossEWMA.Value(),
-		AckRate:      g.ackMeter.Rate(now.Seconds()),
+		AckRate:      units.BitsPerSec(g.ackMeter.Rate(now.Seconds())),
 	}
 }

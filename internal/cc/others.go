@@ -6,6 +6,7 @@ import (
 
 	"rtcadapt/internal/fb"
 	"rtcadapt/internal/stats"
+	"rtcadapt/internal/units"
 )
 
 // LossBased is a loss-only AIMD estimator (no delay signal), the classic
@@ -23,12 +24,12 @@ type LossBased struct {
 }
 
 // NewLossBased returns a loss-based estimator seeded at initialRate.
-func NewLossBased(initialRate float64) *LossBased {
+func NewLossBased(initialRate units.BitsPerSec) *LossBased {
 	if initialRate <= 0 {
 		initialRate = 1e6
 	}
 	return &LossBased{
-		target:    initialRate,
+		target:    float64(initialRate),
 		minRate:   50e3,
 		maxRate:   20e6,
 		lossEWMA:  stats.NewEWMA(0.3),
@@ -82,17 +83,17 @@ func (l *LossBased) Snapshot(now time.Duration) Snapshot {
 		qd = time.Duration((l.lastOwd - base) * float64(time.Second))
 	}
 	return Snapshot{
-		Target:       l.target,
+		Target:       units.BitsPerSec(l.target),
 		Usage:        UsageNormal,
 		QueueDelay:   qd,
 		LossFraction: l.lossEWMA.Value(),
-		AckRate:      l.ackMeter.Rate(now.Seconds()),
+		AckRate:      units.BitsPerSec(l.ackMeter.Rate(now.Seconds())),
 	}
 }
 
-// CapacityFunc returns the true bottleneck capacity in bits/s at a given
-// time. The netem link's trace satisfies this.
-type CapacityFunc func(at time.Duration) float64
+// CapacityFunc returns the true bottleneck capacity at a given time.
+// The netem link's trace satisfies this.
+type CapacityFunc func(at time.Duration) units.BitsPerSec
 
 // Oracle is an estimator that reads the true capacity, scaled by a margin.
 // It bounds what any real estimator could achieve and is used in the
@@ -152,10 +153,10 @@ func (o *Oracle) Snapshot(now time.Duration) Snapshot {
 		qd = time.Duration((o.lastOwd - base) * float64(time.Second))
 	}
 	return Snapshot{
-		Target:       o.margin * o.capacity(now),
+		Target:       o.capacity(now).Scale(o.margin),
 		Usage:        UsageNormal,
 		QueueDelay:   qd,
 		LossFraction: o.loss.Value(),
-		AckRate:      o.ackMeter.Rate(now.Seconds()),
+		AckRate:      units.BitsPerSec(o.ackMeter.Rate(now.Seconds())),
 	}
 }

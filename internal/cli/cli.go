@@ -10,6 +10,7 @@ import (
 
 	"rtcadapt/internal/core"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -27,9 +28,9 @@ func BuildTrace(kind, file string, before, after float64, dropAt time.Duration,
 	}
 	switch kind {
 	case "const":
-		return trace.Constant(before), nil
+		return trace.Constant(units.BitsPerSec(before)), nil
 	case "drop":
-		return trace.StepDrop(before, after, dropAt), nil
+		return trace.StepDrop(units.BitsPerSec(before), units.BitsPerSec(after), dropAt), nil
 	case "lte":
 		return trace.LTE(seed, dur, trace.LTEConfig{Mean: before}), nil
 	case "wifi":

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -93,7 +94,7 @@ func frames(class video.Class, seed int64, n int) []video.Frame {
 
 func TestEncoderHitsTargetBitrate(t *testing.T) {
 	for _, class := range []video.Class{video.TalkingHead, video.Gaming} {
-		for _, target := range []float64{0.5e6, 1e6, 2.5e6} {
+		for _, target := range []units.BitsPerSec{0.5e6, 1e6, 2.5e6} {
 			enc := NewEncoder(Config{TargetBitrate: target, Seed: 1})
 			var bits float64
 			const n = 600 // 20 s at 30 fps
@@ -101,7 +102,7 @@ func TestEncoderHitsTargetBitrate(t *testing.T) {
 				bits += float64(enc.Encode(f, Directives{}).Bits)
 			}
 			rate := bits / (float64(n) / 30.0)
-			if rate < 0.85*target || rate > 1.15*target {
+			if rate < 0.85*float64(target) || rate > 1.15*float64(target) {
 				t.Errorf("%v @ %.1f Mbps: achieved %.2f Mbps (want within 15%%)",
 					class, target/1e6, rate/1e6)
 			}
@@ -313,14 +314,14 @@ func TestDirectivesActFast(t *testing.T) {
 	for i := 0; i < 150; i++ {
 		enc.Encode(src.Next(), Directives{})
 	}
-	capBytes := 1_000_000 / 30 / 8 // one frame at the new rate
+	capBytes := units.Bytes(1_000_000 / 30 / 8) // one frame at the new rate
 	got := enc.Encode(src.Next(), Directives{
 		TargetBitrate:     1e6,
 		FrameSizeCapBytes: capBytes,
 		ReinitVBV:         true,
 		VBVFillFraction:   0.1,
 	})
-	if got.Bytes() > capBytes {
+	if units.Bytes(got.Bytes()) > capBytes {
 		t.Errorf("directive-capped frame is %d bytes, cap %d", got.Bytes(), capBytes)
 	}
 }
@@ -357,7 +358,7 @@ func TestEncodeTimePlausible(t *testing.T) {
 func TestEncoderInvariantProperty(t *testing.T) {
 	f := func(seed int64, classRaw, targetRaw uint8) bool {
 		class := video.Classes()[int(classRaw)%4]
-		target := 0.2e6 + float64(targetRaw)*20e3 // 0.2..5.3 Mbps
+		target := units.BitsPerSec(0.2e6 + float64(targetRaw)*20e3) // 0.2..5.3 Mbps
 		enc := NewEncoder(Config{TargetBitrate: target, Seed: seed})
 		src := video.NewSource(video.SourceConfig{Class: class, Seed: seed + 1})
 		for i := 0; i < 200; i++ {

@@ -7,6 +7,7 @@ import (
 
 	"rtcadapt/internal/obs"
 	"rtcadapt/internal/stats"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -40,8 +41,8 @@ func (t FrameType) String() string {
 // Config configures an Encoder. The zero value is completed with defaults
 // documented per field.
 type Config struct {
-	// TargetBitrate is the initial ABR target in bits/s. Default 1 Mbps.
-	TargetBitrate float64
+	// TargetBitrate is the initial ABR target. Default 1 Mbps.
+	TargetBitrate units.BitsPerSec
 	// FPS is the encode rate. Default 30.
 	FPS int
 	// VBVBufferSeconds sizes the VBV buffer in seconds of target
@@ -88,7 +89,7 @@ type Config struct {
 // straight to the constructor.
 func (c *Config) Validate() error {
 	if c.TargetBitrate < 0 {
-		return fmt.Errorf("codec: negative Config.TargetBitrate %v", c.TargetBitrate)
+		return fmt.Errorf("codec: negative Config.TargetBitrate %v", float64(c.TargetBitrate))
 	}
 	if c.FPS < 0 {
 		return fmt.Errorf("codec: negative Config.FPS %d", c.FPS)
@@ -162,13 +163,13 @@ func (c *Config) defaults() {
 type Directives struct {
 	// TargetBitrate, if positive, retargets the encoder before this
 	// frame (equivalent to x264_encoder_reconfig).
-	TargetBitrate float64
+	TargetBitrate units.BitsPerSec
 	// MinQPFloor, if positive, forces this frame's QP to at least the
 	// given value, bypassing the per-frame step limit upward.
 	MinQPFloor int
 	// FrameSizeCapBytes, if positive, hard-caps this frame's predicted
 	// size, raising QP as needed (bypasses the step limit upward).
-	FrameSizeCapBytes int
+	FrameSizeCapBytes units.Bytes
 	// ForbidKeyframe suppresses scene-cut keyframes for this frame; the
 	// frame is coded as P at its (high) residual cost instead.
 	ForbidKeyframe bool
@@ -259,12 +260,12 @@ func NewEncoder(cfg Config) *Encoder {
 	return e
 }
 
-func (e *Encoder) setTarget(bps float64) {
+func (e *Encoder) setTarget(bps units.BitsPerSec) {
 	if bps <= 0 {
 		return
 	}
-	e.target = bps
-	e.vbvSize = bps * e.cfg.VBVBufferSeconds
+	e.target = float64(bps)
+	e.vbvSize = float64(bps) * e.cfg.VBVBufferSeconds
 	if e.vbvFill > e.vbvSize {
 		e.vbvFill = e.vbvSize
 	}
@@ -273,10 +274,10 @@ func (e *Encoder) setTarget(bps float64) {
 // SetTargetBitrate retargets the encoder (x264_encoder_reconfig). The ABR
 // error history is preserved, so convergence to the new rate is gradual —
 // exactly the behaviour the paper's controller works around.
-func (e *Encoder) SetTargetBitrate(bps float64) { e.setTarget(bps) }
+func (e *Encoder) SetTargetBitrate(bps units.BitsPerSec) { e.setTarget(bps) }
 
-// TargetBitrate returns the current ABR target in bits/s.
-func (e *Encoder) TargetBitrate() float64 { return e.target }
+// TargetBitrate returns the current ABR target.
+func (e *Encoder) TargetBitrate() units.BitsPerSec { return units.BitsPerSec(e.target) }
 
 // VBVFill returns the current VBV fill in bits.
 func (e *Encoder) VBVFill() float64 { return e.vbvFill }
@@ -382,8 +383,8 @@ func (e *Encoder) Encode(f video.Frame, d Directives) EncodedFrame {
 	}
 	// The size cap is a hard promise: re-quantization in a real encoder
 	// (row-level QP adaptation) enforces it even against size noise.
-	if d.FrameSizeCapBytes > 0 && bits > float64(d.FrameSizeCapBytes*8) {
-		bits = float64(d.FrameSizeCapBytes * 8)
+	if d.FrameSizeCapBytes > 0 && bits > float64(d.FrameSizeCapBytes.Bits()) {
+		bits = float64(d.FrameSizeCapBytes.Bits())
 		// Recover the effective QP implied by the cap for bookkeeping.
 		qp = stats.Clamp(QscaleToQP(QscaleForBits(cplx, bits)), qp, float64(e.cfg.MaxQP))
 	}
@@ -488,7 +489,7 @@ func (e *Encoder) decideQP(cplx float64, d Directives) float64 {
 		qp = float64(d.MinQPFloor)
 	}
 	if d.FrameSizeCapBytes > 0 {
-		capBits := float64(d.FrameSizeCapBytes * 8)
+		capBits := float64(d.FrameSizeCapBytes.Bits())
 		if minQP := QscaleToQP(QscaleForBits(cplx, capBits)); qp < minQP {
 			qp = minQP
 		}

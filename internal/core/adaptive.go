@@ -8,6 +8,7 @@ import (
 	"rtcadapt/internal/codec"
 	"rtcadapt/internal/obs"
 	"rtcadapt/internal/stats"
+	"rtcadapt/internal/units"
 )
 
 // AdaptiveConfig parameterizes the adaptive controller. Zero values take
@@ -120,7 +121,7 @@ type Adaptive struct {
 	skipping    bool
 	skipRun     int // consecutive frames skipped in the current run
 	drainedFor  int // consecutive feedbacks below DrainedDelay
-	target      float64
+	target      units.BitsPerSec
 
 	// Counters exposed for tests and experiment output.
 	drops, skips, suppressedKF int
@@ -136,7 +137,7 @@ type Adaptive struct {
 // scale doesn't flap. Rungs follow common simulcast ladders
 // (1.0 / 0.75 / 0.5 / 0.375 of native linear resolution).
 var resolutionLadder = [...]struct {
-	minRate float64 // bits/s required to hold this rung
+	minRate units.BitsPerSec // rate required to hold this rung
 	scale   float64
 }{
 	{1.2e6, 1.0},
@@ -147,11 +148,11 @@ var resolutionLadder = [...]struct {
 
 // desiredScale returns the ladder rung for a target rate, given the
 // current scale (for hysteresis).
-func desiredScale(target, current float64) float64 {
+func desiredScale(target units.BitsPerSec, current float64) float64 {
 	for _, rung := range resolutionLadder {
 		need := rung.minRate
 		if rung.scale > current {
-			need *= 1.25 // switch up only with clear headroom
+			need = need.Scale(1.25) // switch up only with clear headroom
 		}
 		if target >= need {
 			return rung.scale
@@ -202,8 +203,8 @@ func (a *Adaptive) OnFeedback(now time.Duration, snap cc.Snapshot) {
 	}
 	a.latest = snap
 	a.haveSnap = true
-	a.fast.Update(snap.Target)
-	a.slow.Update(snap.Target)
+	a.fast.Update(float64(snap.Target))
+	a.slow.Update(float64(snap.Target))
 
 	dropSignal := a.fast.Value() < a.cfg.DropRatio*a.slow.Value()
 	overuseSignal := snap.Usage == cc.UsageOver && snap.QueueDelay > 60*time.Millisecond
@@ -222,7 +223,7 @@ func (a *Adaptive) OnFeedback(now time.Duration, snap cc.Snapshot) {
 			if a.drainedFor >= 3 {
 				a.mode = modeRecovery
 				a.skipping = false
-				a.rec.ControllerAction("enter-recovery", a.target)
+				a.rec.ControllerAction("enter-recovery", float64(a.target))
 			}
 		} else {
 			a.drainedFor = 0
@@ -234,20 +235,20 @@ func (a *Adaptive) OnFeedback(now time.Duration, snap cc.Snapshot) {
 		}
 		// Ramp back toward the estimate without a second overshoot.
 		dt := 0.05 // feedback cadence; exact value only affects ramp speed
-		a.target *= 1 + a.cfg.RecoveryRatePerSec*dt
+		a.target = a.target.Scale(1 + a.cfg.RecoveryRatePerSec*dt)
 		if a.target >= snap.Target {
 			a.target = snap.Target
 			a.mode = modeNormal
-			a.rec.ControllerAction("enter-normal", a.target)
+			a.rec.ControllerAction("enter-normal", float64(a.target))
 		}
 	}
 }
 
-func (a *Adaptive) dropTarget(estimate float64) float64 {
+func (a *Adaptive) dropTarget(estimate units.BitsPerSec) units.BitsPerSec {
 	if a.cfg.DisableDropMargin {
 		return estimate
 	}
-	return a.cfg.Margin * estimate
+	return estimate.Scale(a.cfg.Margin)
 }
 
 func (a *Adaptive) enterDrop(now time.Duration) {
@@ -258,10 +259,10 @@ func (a *Adaptive) enterDrop(now time.Duration) {
 	a.drainedFor = 0
 	a.drops++
 	a.target = a.dropTarget(a.latest.Target)
-	a.rec.DropDetected(a.target, a.fast.Value(), a.slow.Value())
+	a.rec.DropDetected(float64(a.target), a.fast.Value(), a.slow.Value())
 	// Reset the slow tracker so a sustained lower rate becomes the new
 	// normal instead of re-triggering forever.
-	a.slow.Set(a.latest.Target)
+	a.slow.Set(float64(a.latest.Target))
 }
 
 // backlogDelay estimates end-to-end backlog: sender pacer queue plus the
@@ -322,10 +323,11 @@ func (a *Adaptive) BeforeEncode(ctx FrameContext) codec.Directives {
 
 	// Hard frame-size cap sized to the post-drop capacity.
 	if !a.cfg.DisableFrameCap {
-		capBits := a.target * ctx.FrameInterval.Seconds() * a.cfg.FrameCapRatio
-		d.FrameSizeCapBytes = int(capBits / 8)
-		if d.FrameSizeCapBytes < 250 {
-			d.FrameSizeCapBytes = 250
+		const minFrameCap units.Bytes = 250
+		capBits := float64(a.target) * ctx.FrameInterval.Seconds() * a.cfg.FrameCapRatio
+		d.FrameSizeCapBytes = units.Bytes(capBits / 8)
+		if d.FrameSizeCapBytes < minFrameCap {
+			d.FrameSizeCapBytes = minFrameCap
 		}
 	}
 

@@ -25,6 +25,7 @@ import (
 	"rtcadapt/internal/cc"
 	"rtcadapt/internal/codec"
 	"rtcadapt/internal/stats"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -37,8 +38,8 @@ type FrameContext struct {
 	Frame video.Frame
 	// FrameInterval is the capture period (1/fps).
 	FrameInterval time.Duration
-	// EncoderTarget is the encoder's current ABR target in bits/s.
-	EncoderTarget float64
+	// EncoderTarget is the encoder's current ABR target.
+	EncoderTarget units.BitsPerSec
 	// EncoderScale is the encoder's current resolution scale (1 =
 	// native).
 	EncoderScale float64
@@ -104,7 +105,7 @@ func (n *NativeRC) Name() string { return "native-rc" }
 // OnFeedback implements Controller.
 func (n *NativeRC) OnFeedback(now time.Duration, snap cc.Snapshot) {
 	if snap.Target > 0 {
-		n.smoothed.Update(snap.Target)
+		n.smoothed.Update(float64(snap.Target))
 	}
 }
 
@@ -118,7 +119,7 @@ func (n *NativeRC) BeforeEncode(ctx FrameContext) codec.Directives {
 		return d
 	}
 	if !n.hasReconfig || ctx.Now-n.lastReconfig >= n.ReconfigInterval {
-		d.TargetBitrate = n.smoothed.Value()
+		d.TargetBitrate = units.BitsPerSec(n.smoothed.Value())
 		n.lastReconfig = ctx.Now
 		n.hasReconfig = true
 	}
@@ -131,7 +132,7 @@ func (n *NativeRC) OnEncoded(time.Duration, codec.EncodedFrame) {}
 // ResetOnly retargets the encoder to the raw estimate before every frame
 // but performs none of the codec-parameter interventions.
 type ResetOnly struct {
-	latest float64
+	latest units.BitsPerSec
 }
 
 // NewResetOnly returns the reset-only controller.

@@ -6,10 +6,11 @@ import (
 
 	"rtcadapt/internal/cc"
 	"rtcadapt/internal/codec"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
-func snap(target float64) cc.Snapshot {
+func snap(target units.BitsPerSec) cc.Snapshot {
 	return cc.Snapshot{Target: target, Usage: cc.UsageNormal}
 }
 
@@ -88,7 +89,7 @@ func TestResetOnlyImmediateRetarget(t *testing.T) {
 }
 
 // driveSteady feeds n steady feedbacks at the given rate.
-func driveSteady(a *Adaptive, start time.Duration, rate float64, n int) time.Duration {
+func driveSteady(a *Adaptive, start time.Duration, rate units.BitsPerSec, n int) time.Duration {
 	now := start
 	for i := 0; i < n; i++ {
 		a.OnFeedback(now, snap(rate))
@@ -144,7 +145,7 @@ func TestAdaptiveDropDirectives(t *testing.T) {
 		t.Error("no frame size cap in drop mode")
 	}
 	wantCapBits := 0.9 * 0.8e6 * 0.033 * 1.25
-	wantCap := int(wantCapBits / 8)
+	wantCap := units.Bytes(wantCapBits / 8)
 	if d.FrameSizeCapBytes < wantCap/2 || d.FrameSizeCapBytes > wantCap*2 {
 		t.Errorf("frame cap %d far from expected ~%d", d.FrameSizeCapBytes, wantCap)
 	}
@@ -215,7 +216,7 @@ func TestAdaptiveRecoveryRampsWithoutOvershoot(t *testing.T) {
 	}
 	// During recovery the target never exceeds the estimate and
 	// eventually reaches it, returning to normal.
-	prev := 0.0
+	prev := units.BitsPerSec(0)
 	for i := 0; i < 100 && a.Mode() == "recovery"; i++ {
 		now += 50 * time.Millisecond
 		a.OnFeedback(now, cc.Snapshot{Target: 0.8e6, QueueDelay: 5 * time.Millisecond})
@@ -361,7 +362,8 @@ var _ = codec.Directives{} // keep codec import obvious for readers
 
 func TestDesiredScaleLadder(t *testing.T) {
 	cases := []struct {
-		target, current, want float64
+		target        units.BitsPerSec
+		current, want float64
 	}{
 		{2e6, 1.0, 1.0},
 		{1e6, 1.0, 0.75},  // below the 1.2 Mbps rung
@@ -374,7 +376,7 @@ func TestDesiredScaleLadder(t *testing.T) {
 	}
 	for _, c := range cases {
 		if got := desiredScale(c.target, c.current); got != c.want {
-			t.Errorf("desiredScale(%.1e, %v) = %v, want %v", c.target, c.current, got, c.want)
+			t.Errorf("desiredScale(%.1e, %v) = %v, want %v", float64(c.target), c.current, got, c.want)
 		}
 	}
 }
@@ -434,7 +436,7 @@ func TestNativeRCFirstReconfigImmediate(t *testing.T) {
 
 func TestNativeRCSmoothingConverges(t *testing.T) {
 	n := NewNativeRC()
-	var last float64
+	var last units.BitsPerSec
 	for i := 0; i < 100; i++ {
 		now := time.Duration(i) * 600 * time.Millisecond
 		n.OnFeedback(now, snap(2e6))

@@ -19,6 +19,7 @@ import (
 	"rtcadapt/internal/session"
 	"rtcadapt/internal/stats"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -26,8 +27,8 @@ import (
 type DropScenario struct {
 	// Name labels the scenario in tables, e.g. "2.5->1.0".
 	Name string
-	// Before and After are the capacities in bits/s.
-	Before, After float64
+	// Before and After are the capacities.
+	Before, After units.BitsPerSec
 	// DropAt is when the capacity steps down.
 	DropAt time.Duration
 	// Content is the video class.
@@ -53,7 +54,7 @@ func DefaultSeeds() []int64 {
 func DropMatrix() []DropScenario {
 	drops := []struct {
 		name          string
-		before, after float64
+		before, after units.BitsPerSec
 	}{
 		{"2.5->1.8", 2.5e6, 1.8e6},
 		{"2.5->1.5", 2.5e6, 1.5e6},

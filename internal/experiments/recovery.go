@@ -8,6 +8,7 @@ import (
 	"rtcadapt/internal/metrics"
 	"rtcadapt/internal/session"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -77,9 +78,10 @@ func (r *Runner) Figure10(seeds []int64) []Figure10Row {
 			cfg.Controller = core.NewAdaptive(core.AdaptiveConfig{})
 		}
 		res := session.Run(cfg)
+		const reclaimedAt units.BitsPerSec = 1.8e6
 		rt := dur - restoreAt // cap: never reclaimed
 		for _, p := range res.Timeline {
-			if p.At >= restoreAt && p.EncoderTarget >= 1.8e6 {
+			if p.At >= restoreAt && p.EncoderTarget >= reclaimedAt {
 				rt = p.At - restoreAt
 				break
 			}

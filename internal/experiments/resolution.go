@@ -8,6 +8,7 @@ import (
 	"rtcadapt/internal/metrics"
 	"rtcadapt/internal/session"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -76,7 +77,7 @@ func (r *Runner) Figure6(seeds []int64) []Figure6Row {
 			Duration:    dropAt + 20*time.Second,
 			Seed:        c.seed,
 			Content:     video.Gaming,
-			Trace:       trace.StepDrop(2.5e6, c.after, dropAt),
+			Trace:       trace.StepDrop(2.5e6, units.BitsPerSec(c.after), dropAt),
 			InitialRate: 1e6,
 			Controller:  ctrl,
 		})

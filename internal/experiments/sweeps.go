@@ -8,6 +8,7 @@ import (
 	"rtcadapt/internal/metrics"
 	"rtcadapt/internal/session"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -44,7 +45,7 @@ func (r *Runner) Figure2(seeds []int64) []Figure2Point {
 		sc := DropScenario{
 			Name:    fmt.Sprintf("sev-%.1f", sev),
 			Before:  2.5e6,
-			After:   2.5e6 * (1 - sev),
+			After:   units.BitsPerSec(2.5e6 * (1 - sev)),
 			DropAt:  10 * time.Second,
 			Content: video.TalkingHead,
 		}

@@ -7,6 +7,7 @@ import (
 	"rtcadapt/internal/core"
 	"rtcadapt/internal/session"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -23,8 +24,8 @@ func ScenarioNames() []string {
 
 // fleetDrops are the step-drop magnitudes the "drop" scenario cycles
 // through — the same grid the per-session experiments sweep.
-func fleetDrops() [][2]float64 {
-	return [][2]float64{
+func fleetDrops() [][2]units.BitsPerSec {
+	return [][2]units.BitsPerSec{
 		{2.5e6, 1.8e6},
 		{2.5e6, 1.5e6},
 		{2.5e6, 1.0e6},

@@ -83,6 +83,25 @@ func ParseBaseline(data []byte) ([]BaselineEntry, error) {
 	return entries, nil
 }
 
+// StaleBaseline returns the entries whose accepted-debt count exceeds
+// the number of matching current findings: debt that has been paid down
+// (or findings whose message changed) without the baseline being
+// regenerated. CI fails on stale entries so the recorded debt only ever
+// shrinks in lockstep with the tree.
+func StaleBaseline(diags []Diagnostic, entries []BaselineEntry) []BaselineEntry {
+	current := make(map[baselineKey]int)
+	for _, d := range diags {
+		current[baselineKey{d.Pos.Filename, d.Analyzer, d.Message}]++
+	}
+	var stale []BaselineEntry
+	for _, e := range entries {
+		if e.Count > current[baselineKey{e.File, e.Analyzer, e.Message}] {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}
+
 // FilterBaseline drops findings covered by the baseline, consuming at
 // most Count matches per entry (the first findings in sorted order are
 // the ones suppressed; extras beyond the recorded count still report).

@@ -185,6 +185,23 @@ func TestShardSafeFixture(t *testing.T) {
 	runOn(t, loader, byPath, []*Analyzer{ShardSafe}, "internal/shardfix", "internal/obs")
 }
 
+// TestUnitFlowFixture: the fixture units package provides the declared
+// types (and is itself exempt by package name); unitflowfix holds the
+// violations and the blessed conversions.
+func TestUnitFlowFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{UnitFlow}, "internal/units", "unitflowfix", "scopecheck")
+}
+
+// TestSeqArithFixture: the fixture rtp package hosts the blessed Seq*
+// helpers (silent bodies, one unblessed in-package violation); seqfix
+// exercises taint flow through locals, params, collections, and the PR 7
+// SeqLess-orders-a-sort reconstruction.
+func TestSeqArithFixture(t *testing.T) {
+	loader, byPath := loadFixtures(t)
+	runOn(t, loader, byPath, []*Analyzer{SeqArith}, "internal/rtp", "internal/seqfix", "scopecheck")
+}
+
 // TestIgnoreFixture runs the full suite so directives interact with every
 // analyzer the way they do in production (including importlayer's
 // package-level finding, suppressed on the package clause).
@@ -248,6 +265,9 @@ func TestFixtureWantsPresent(t *testing.T) {
 		"fixture/floateqfix",
 		"fixture/unitfix",
 		"fixture/ctorfix/use",
+		"fixture/unitflowfix",
+		"fixture/internal/rtp",
+		"fixture/internal/seqfix",
 	} {
 		if perPkg[path] == 0 {
 			t.Errorf("fixture %s has no want expectations", path)

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"testing"
+)
+
+// FuzzBaseline: parsing arbitrary bytes as a baseline must never panic,
+// and for any parseable input the write/parse/write round trip must be
+// byte-stable — the property the CI baseline-check and the committed-file
+// diffs rely on. Part of the fuzz-smoke CI target.
+func FuzzBaseline(f *testing.F) {
+	f.Add([]byte("[\n  {\"file\":\"a.go\",\"analyzer\":\"floateq\",\"message\":\"m\",\"count\":2}\n]\n"))
+	f.Add([]byte("[]"))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`[{"file":"b.go","analyzer":"maporder","message":"x","count":1},` +
+		`{"file":"b.go","analyzer":"maporder","message":"x","count":3}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ParseBaseline(data)
+		if err != nil {
+			return // rejecting garbage loudly is the contract; only panics fail
+		}
+		total := 0
+		for _, e := range entries {
+			total += e.Count
+		}
+		if total > 4096 {
+			return // fuzzer-invented counts; expanding them buys no coverage
+		}
+		first := WriteBaseline(entriesToDiags(entries))
+		reparsed, err := ParseBaseline(first)
+		if err != nil {
+			t.Fatalf("reparsing written baseline failed: %v\n%s", err, first)
+		}
+		second := WriteBaseline(entriesToDiags(reparsed))
+		if !bytes.Equal(first, second) {
+			t.Fatalf("baseline round trip not byte-stable:\n%s\nvs\n%s", first, second)
+		}
+		// A baseline must fully cover the findings it was written from,
+		// and none of it may be stale against them.
+		if kept := FilterBaseline(entriesToDiags(reparsed), reparsed); len(kept) != 0 {
+			t.Fatalf("baseline does not cover its own findings: %d left over", len(kept))
+		}
+		if stale := StaleBaseline(entriesToDiags(reparsed), reparsed); len(stale) != 0 {
+			t.Fatalf("baseline stale against its own findings: %+v", stale)
+		}
+	})
+}
+
+// entriesToDiags expands accepted-debt entries back into the diagnostics
+// they would have been written from (Count copies per class).
+func entriesToDiags(entries []BaselineEntry) []Diagnostic {
+	var diags []Diagnostic
+	for _, e := range entries {
+		for i := 0; i < e.Count; i++ {
+			diags = append(diags, Diagnostic{
+				Pos:      token.Position{Filename: e.File, Line: i + 1, Column: 1},
+				Analyzer: e.Analyzer,
+				Message:  e.Message,
+			})
+		}
+	}
+	return diags
+}

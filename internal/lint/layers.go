@@ -25,7 +25,7 @@ import "strings"
 //	data         internal/audio  internal/fb  internal/metrics
 //	  |          internal/obs  internal/trace
 //	  |
-//	foundation   internal/simtime  internal/stats
+//	foundation   internal/simtime  internal/stats  internal/units
 //
 // A package may import module packages from strictly lower layers, plus
 // (where AllowIntra is set) siblings in its own layer. In particular:
@@ -51,7 +51,7 @@ type Layer struct {
 // module package must appear in exactly one layer; importlayer reports
 // packages the table does not place.
 var LayerTable = []Layer{
-	{Name: "foundation", Pkgs: []string{"internal/simtime", "internal/stats"}},
+	{Name: "foundation", Pkgs: []string{"internal/simtime", "internal/stats", "internal/units"}},
 	{Name: "data", Pkgs: []string{"internal/audio", "internal/fb", "internal/metrics", "internal/obs", "internal/trace"}},
 	{Name: "model", AllowIntra: true, Pkgs: []string{"internal/cc", "internal/codec", "internal/fec", "internal/netem", "internal/pacer", "internal/rtp", "internal/video"}},
 	{Name: "engine", Pkgs: []string{"internal/core"}},

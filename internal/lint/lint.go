@@ -123,7 +123,9 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in stable order: the five file-local
 // analyzers from the original suite, the four cross-package ones, the
-// hot-path advisory check, then the three interprocedural provers.
+// hot-path advisory check, the three interprocedural provers, then the
+// two dataflow passes (dimensional unit flow and wrap-aware sequence
+// arithmetic).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoWallClock,
@@ -139,6 +141,8 @@ func Analyzers() []*Analyzer {
 		TransitivePurity,
 		GlobalMut,
 		ShardSafe,
+		UnitFlow,
+		SeqArith,
 	}
 }
 

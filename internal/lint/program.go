@@ -21,6 +21,8 @@ type Program struct {
 	graph     *CallGraph
 	purity    *purityResult
 	globalMut *globalMutResult
+	unitFlow  *unitFlowResult
+	seqArith  *seqArithResult
 }
 
 // Graph returns the module call graph, building it on first use.

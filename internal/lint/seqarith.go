@@ -1,0 +1,511 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeqArith proves that mod-2^16 RTP sequence numbers are never ordered or
+// differenced with raw machine arithmetic. uint16 sequence values have no
+// total order — a < b is wrong for any pair straddling the wrap, and a - b
+// is ambiguous by 2^16 — so every comparison and distance computation must
+// go through the wrap-aware helpers in internal/rtp (RFC 3550 arithmetic).
+// PR 7's NACK bug is the motivating instance: SeqLess is non-transitive
+// past half the sequence space, so using it (or raw <) to order a sort
+// left eviction at the sort algorithm's mercy.
+//
+// The analysis is a whole-module taint over the shared Program: seed
+// objects are uint16-typed identifiers whose names mark them as sequence
+// numbers (rtp.Header.SequenceNumber, NackGenerator's seq parameters, any
+// *seq*/*Seq* field or local); taint then propagates through assignments,
+// uint16 arithmetic, map keys, slice elements, range statements, and —
+// via the memoized callgraph's interface resolution — call boundaries, so
+// a sequence number that crosses three functions and a map is still
+// recognized at the comparison site.
+//
+// Blessed helpers: functions whose name starts with Seq or seq declared
+// in a package named rtp are the one sanctioned home of raw mod-2^16
+// arithmetic (SeqLess, SeqDiff, SeqAge); their bodies are exempt and
+// their results are treated as clean, ordinary integers (an age against a
+// fixed anchor IS totally ordered). Each helper carries a 2^16-wrap
+// regression test. Additionally, passing SeqLess as a sort comparator is
+// flagged even though SeqLess itself is blessed: non-transitivity is
+// exactly what a sort must not see.
+var SeqArith = &Analyzer{
+	Name: "seqarith",
+	Doc: "flag raw </>/- arithmetic on uint16 RTP sequence numbers outside the " +
+		"wrap-aware rtp.Seq* helpers (taint-propagated from SequenceNumber and friends)",
+	Run: runSeqArith,
+}
+
+// seqFinding is one computed violation bucketed by owning package.
+type seqFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// seqArithResult is the memoized whole-program analysis.
+type seqArithResult struct {
+	byPkg map[string][]seqFinding
+}
+
+func runSeqArith(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	if prog.seqArith == nil {
+		prog.seqArith = computeSeqArith(prog)
+	}
+	for _, f := range prog.seqArith.byPkg[pass.Path] {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// seqTaint is the whole-module taint state.
+type seqTaint struct {
+	prog *Program
+	// vals are uint16-typed objects holding sequence-space values.
+	vals map[types.Object]bool
+	// keys are map objects whose uint16 keys are sequence numbers.
+	keys map[types.Object]bool
+	// elems are slice/array objects whose uint16 elements are sequence
+	// numbers.
+	elems map[types.Object]bool
+	// results are functions returning a sequence-space uint16.
+	results map[*types.Func]bool
+	changed bool
+}
+
+// isUint16 reports whether t's underlying type is uint16.
+func isUint16(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint16
+}
+
+// seqNamed reports whether an identifier names a sequence number by
+// convention: any name containing "seq" (SequenceNumber, seq, nextSeq,
+// seqs, highestSeq...).
+func seqNamed(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seq")
+}
+
+// seqBlessedFunc reports whether fn is a wrap-aware helper: a Seq*/seq*
+// function or method declared in a package named rtp.
+func seqBlessedFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "rtp" {
+		return false
+	}
+	name := fn.Name()
+	return strings.HasPrefix(name, "Seq") || strings.HasPrefix(name, "seq")
+}
+
+// mark sets a value taint, recording the change for the fixpoint.
+func (t *seqTaint) mark(m map[types.Object]bool, obj types.Object) {
+	if obj == nil || m[obj] {
+		return
+	}
+	m[obj] = true
+	t.changed = true
+}
+
+// objOf resolves an lvalue-ish expression to its object: an identifier or
+// the field of a selector.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Defs[v]; obj != nil {
+			return obj
+		}
+		return info.Uses[v]
+	case *ast.SelectorExpr:
+		return info.Uses[v.Sel]
+	}
+	return nil
+}
+
+// tainted reports whether expression e evaluates to a sequence-space
+// value under the current taint state.
+func (t *seqTaint) tainted(info *types.Info, e ast.Expr) bool {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		return t.vals[objOf(info, v)]
+	case *ast.SelectorExpr:
+		return t.vals[objOf(info, v)]
+	case *ast.BinaryExpr:
+		return isUint16(info.TypeOf(v)) && (t.tainted(info, v.X) || t.tainted(info, v.Y))
+	case *ast.UnaryExpr:
+		return t.tainted(info, v.X)
+	case *ast.IndexExpr:
+		if obj := objOf(info, v.X); obj != nil {
+			if t.elems[obj] {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if tv, ok := info.Types[v.Fun]; ok && tv.IsType() {
+			// Conversion: uint16(x) stays in sequence space.
+			return isUint16(tv.Type) && len(v.Args) == 1 && t.tainted(info, v.Args[0])
+		}
+		for _, callee := range t.callees(info, v) {
+			if seqBlessedFunc(callee) {
+				continue // helper results are clean, comparable integers
+			}
+			if t.results[callee] {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// callees resolves a call to its possible targets: the static callee,
+// widened through the memoized callgraph's interface resolution when the
+// receiver is an interface.
+func (t *seqTaint) callees(info *types.Info, call *ast.CallExpr) []*types.Func {
+	fun := unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if types.IsInterface(sel.Recv()) {
+					g := t.prog.Graph()
+					return append(g.implementers(sel.Recv(), fn), fn)
+				}
+				return []*types.Func{fn}
+			}
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	}
+	return nil
+}
+
+// computeSeqArith runs the taint fixpoint and the report pass once per
+// Runner.Run.
+func computeSeqArith(prog *Program) *seqArithResult {
+	t := &seqTaint{
+		prog:    prog,
+		vals:    make(map[types.Object]bool),
+		keys:    make(map[types.Object]bool),
+		elems:   make(map[types.Object]bool),
+		results: make(map[*types.Func]bool),
+	}
+
+	// Seeds: declared objects whose name marks them as sequence numbers.
+	for _, pkg := range prog.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, obj := range pkg.Info.Defs {
+			v, ok := obj.(*types.Var)
+			if !ok || !seqNamed(v.Name()) {
+				continue
+			}
+			switch u := v.Type().Underlying().(type) {
+			case *types.Basic:
+				if isUint16(v.Type()) {
+					t.vals[v] = true
+				}
+			case *types.Map:
+				if isUint16(u.Key()) {
+					t.keys[v] = true
+				}
+			case *types.Slice:
+				if isUint16(u.Elem()) {
+					t.elems[v] = true
+				}
+			case *types.Array:
+				if isUint16(u.Elem()) {
+					t.elems[v] = true
+				}
+			}
+		}
+	}
+
+	// Fixpoint: propagate through assignments, calls, returns, ranges,
+	// map stores, and appends until stable. Each round walks packages in
+	// loader order, so inference is deterministic.
+	for round := 0; round < 32; round++ {
+		t.changed = false
+		for _, pkg := range prog.Pkgs {
+			if pkg.Info == nil {
+				continue
+			}
+			for _, f := range pkg.Files {
+				t.propagateFile(pkg.Info, f)
+			}
+		}
+		if !t.changed {
+			break
+		}
+	}
+
+	res := &seqArithResult{byPkg: make(map[string][]seqFinding)}
+	for _, pkg := range prog.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			t.reportFile(res, pkg, f)
+		}
+	}
+	return res
+}
+
+// propagateFile runs one propagation round over a file.
+func (t *seqTaint) propagateFile(info *types.Info, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				t.propagateAssign(info, n.Lhs[i], n.Rhs[i])
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i := range vs.Names {
+					t.propagateAssign(info, vs.Names[i], vs.Values[i])
+				}
+			}
+		case *ast.RangeStmt:
+			obj := objOf(info, n.X)
+			if obj == nil {
+				return true
+			}
+			switch obj.Type().Underlying().(type) {
+			case *types.Map:
+				if t.keys[obj] && n.Key != nil {
+					t.mark(t.vals, objOf(info, n.Key))
+				}
+			case *types.Slice, *types.Array:
+				if t.elems[obj] && n.Value != nil {
+					t.mark(t.vals, objOf(info, n.Value))
+				}
+			}
+		case *ast.CallExpr:
+			t.propagateCall(info, n)
+		case *ast.FuncDecl:
+			t.propagateReturns(info, n)
+			return true
+		}
+		return true
+	})
+}
+
+// propagateAssign handles one lhs = rhs pair, including map stores and
+// appends.
+func (t *seqTaint) propagateAssign(info *types.Info, lhs, rhs ast.Expr) {
+	// Map store m[k] = v taints m's key set; slice store s[i] = v taints
+	// the element set.
+	if idx, ok := unparen(lhs).(*ast.IndexExpr); ok {
+		base := objOf(info, idx.X)
+		if base == nil {
+			return
+		}
+		switch u := base.Type().Underlying().(type) {
+		case *types.Map:
+			if isUint16(u.Key()) && t.tainted(info, idx.Index) {
+				t.mark(t.keys, base)
+			}
+		case *types.Slice, *types.Array:
+			if t.tainted(info, rhs) {
+				t.mark(t.elems, base)
+			}
+		}
+		return
+	}
+	lobj := objOf(info, lhs)
+	if lobj == nil {
+		return
+	}
+	// dst = append(dst, seq...) taints dst's elements.
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if src := objOf(info, call.Args[0]); src != nil && t.elems[src] {
+				t.mark(t.elems, lobj)
+			}
+			for _, a := range call.Args[1:] {
+				if t.tainted(info, a) {
+					t.mark(t.elems, lobj)
+				}
+			}
+			return
+		}
+	}
+	if isUint16(lobj.Type()) && t.tainted(info, rhs) {
+		t.mark(t.vals, lobj)
+	}
+	// Aliasing a tainted collection propagates its taint.
+	if robj := objOf(info, rhs); robj != nil {
+		if t.keys[robj] {
+			t.mark(t.keys, lobj)
+		}
+		if t.elems[robj] {
+			t.mark(t.elems, lobj)
+		}
+	}
+}
+
+// propagateCall taints callee parameters fed by tainted arguments.
+func (t *seqTaint) propagateCall(info *types.Info, call *ast.CallExpr) {
+	callees := t.callees(info, call)
+	if len(callees) == 0 {
+		return
+	}
+	for _, fn := range callees {
+		if seqBlessedFunc(fn) {
+			continue // the helpers' internals are exempt by design
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		params := sig.Params()
+		for i, arg := range call.Args {
+			pi := i
+			if sig.Variadic() && pi >= params.Len()-1 {
+				pi = params.Len() - 1
+			}
+			if pi >= params.Len() {
+				break
+			}
+			p := params.At(pi)
+			if isUint16(p.Type()) && t.tainted(info, arg) {
+				t.mark(t.vals, p)
+			}
+		}
+	}
+}
+
+// propagateReturns taints a function's result when any return statement
+// returns a sequence-space uint16.
+func (t *seqTaint) propagateReturns(info *types.Info, decl *ast.FuncDecl) {
+	fn, ok := info.Defs[decl.Name].(*types.Func)
+	if !ok || seqBlessedFunc(fn) || t.results[fn] {
+		return
+	}
+	found := false
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Results of closures are not attributed to the declaration.
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			if isUint16(info.TypeOf(e)) && t.tainted(info, e) {
+				found = true
+			}
+		}
+		return true
+	})
+	if found {
+		t.results[fn] = true
+		t.changed = true
+	}
+}
+
+// reportFile walks one file's unblessed functions and reports raw
+// sequence arithmetic.
+func (t *seqTaint) reportFile(res *seqArithResult, pkg *Package, f *ast.File) {
+	info := pkg.Info
+	report := func(pos token.Pos, msg string) {
+		res.byPkg[pkg.Path] = append(res.byPkg[pkg.Path], seqFinding{pos: pos, msg: msg})
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fn, ok := info.Defs[fd.Name].(*types.Func); ok && seqBlessedFunc(fn) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ:
+					if (isUint16(info.TypeOf(n.X)) && t.tainted(info, n.X)) ||
+						(isUint16(info.TypeOf(n.Y)) && t.tainted(info, n.Y)) {
+						report(n.OpPos,
+							"wrap-unsafe "+n.Op.String()+" on RTP sequence numbers (mod-2^16 values have no total order); "+
+								"use the wrap-aware rtp.SeqLess, or rtp.SeqAge against a fixed anchor")
+					}
+				case token.SUB:
+					if isUint16(info.TypeOf(n.X)) &&
+						t.tainted(info, n.X) && t.tainted(info, n.Y) {
+						report(n.OpPos,
+							"raw subtraction of RTP sequence numbers is ambiguous across the 2^16 wrap; "+
+								"use rtp.SeqDiff (signed distance) or rtp.SeqAge (age behind an anchor)")
+					}
+				}
+			case *ast.CallExpr:
+				t.reportSortComparator(info, n, report)
+			}
+			return true
+		})
+	}
+}
+
+// reportSortComparator flags SeqLess used to order a sort: the helper is
+// wrap-aware pairwise but non-transitive past 2^15, so a sort seeded with
+// it produces an implementation-defined order — the PR 7 NACK bug.
+func (t *seqTaint) reportSortComparator(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+		return
+	}
+	switch fn.Name() {
+	case "Slice", "SliceStable", "SliceIsSorted", "Search":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range t.callees(info, inner) {
+				if seqBlessedFunc(callee) && callee.Name() == "SeqLess" {
+					report(inner.Pos(),
+						"SeqLess is non-transitive across the 2^16 wrap and must not order a sort; "+
+							"sort by rtp.SeqAge against a fixed anchor instead")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,31 @@
+// Package rtp is a lint fixture mirroring the real internal/rtp: the
+// one sanctioned home of raw mod-2^16 sequence arithmetic. Seq*-named
+// functions are blessed — their bodies are exempt and their results are
+// clean — but anything else in the package plays by the normal rules.
+package rtp
+
+// Header carries the taint root: SequenceNumber is a seq-named uint16.
+type Header struct {
+	SequenceNumber uint16
+	Timestamp      uint32
+}
+
+// SeqLess reports whether a precedes b in RFC 3550 order. Blessed: the
+// raw subtraction below must not be flagged.
+func SeqLess(a, b uint16) bool { return a != b && int16(b-a) > 0 }
+
+// SeqDiff returns the signed mod-2^16 distance from b to a. Blessed.
+func SeqDiff(a, b uint16) int { return int(int16(a - b)) }
+
+// SeqAge returns how far s trails the anchor. Blessed, and its result is
+// a clean, totally ordered integer.
+func SeqAge(anchor, s uint16) uint16 { return anchor - s }
+
+// Newer is not a Seq* helper: even inside package rtp, raw ordering of
+// sequence numbers is flagged.
+func Newer(h, g Header) Header {
+	if h.SequenceNumber > g.SequenceNumber { // want `wrap-unsafe > on RTP sequence numbers`
+		return h
+	}
+	return g
+}

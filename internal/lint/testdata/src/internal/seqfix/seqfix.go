@@ -1,0 +1,90 @@
+// Package seqfix is a lint fixture for the wrap-aware sequence
+// arithmetic prover: raw ordering and subtraction of sequence numbers
+// must be flagged wherever the taint flows (locals, params, map keys,
+// slice elements, call results), wrap-aware helper usage must stay
+// silent, and the PR 7 bug — SeqLess ordering a sort — is reconstructed.
+package seqfix
+
+import (
+	"sort"
+
+	"fixture/internal/rtp"
+)
+
+// newest launders the sequence number through two unsuffixed locals; the
+// taint survives and the raw < is still caught.
+func newest(hs []rtp.Header) uint16 {
+	best := hs[0].SequenceNumber
+	for _, h := range hs {
+		cur := h.SequenceNumber
+		if best < cur { // want `wrap-unsafe < on RTP sequence numbers`
+			best = cur
+		}
+	}
+	return best
+}
+
+// newestAge is the wrap-aware rewrite: ages against a fixed anchor are
+// totally ordered, so nothing here is flagged.
+func newestAge(hs []rtp.Header, anchor uint16) uint16 {
+	best := hs[0].SequenceNumber
+	bestAge := rtp.SeqAge(anchor, best)
+	for _, h := range hs {
+		if age := rtp.SeqAge(anchor, h.SequenceNumber); age < bestAge {
+			bestAge = age
+			best = h.SequenceNumber
+		}
+	}
+	return best
+}
+
+// gap receives its second sequence number through a call boundary (see
+// driver); both operands are tainted, so the raw subtraction is flagged.
+func gap(h rtp.Header, last uint16) uint16 {
+	return h.SequenceNumber - last // want `raw subtraction of RTP sequence numbers`
+}
+
+func driver(hs []rtp.Header) uint16 {
+	prev := hs[0].SequenceNumber
+	return gap(hs[1], prev)
+}
+
+// tracker exercises collection taint: bySeq's keys are seeded by name,
+// order's elements by the append below.
+type tracker struct {
+	bySeq map[uint16]rtp.Header
+	order []uint16
+}
+
+func (t *tracker) add(h rtp.Header) {
+	t.bySeq[h.SequenceNumber] = h
+	t.order = append(t.order, h.SequenceNumber)
+}
+
+// countUpTo ranges over the tainted key set; the raw <= is flagged.
+func (t *tracker) countUpTo(cut uint16) int {
+	n := 0
+	for s := range t.bySeq {
+		if s <= cut { // want `wrap-unsafe <= on RTP sequence numbers`
+			n++
+		}
+	}
+	return n
+}
+
+// sortBad is the PR 7 NACK bug: SeqLess is wrap-aware pairwise but
+// non-transitive past 2^15, so handing it to a sort produces an
+// implementation-defined order.
+func (t *tracker) sortBad() {
+	sort.Slice(t.order, func(i, j int) bool {
+		return rtp.SeqLess(t.order[i], t.order[j]) // want `SeqLess is non-transitive across the 2\^16 wrap and must not order a sort`
+	})
+}
+
+// sortGood orders by age behind a fixed anchor — a total order — and
+// stays silent.
+func (t *tracker) sortGood(anchor uint16) {
+	sort.Slice(t.order, func(i, j int) bool {
+		return rtp.SeqAge(anchor, t.order[i]) > rtp.SeqAge(anchor, t.order[j])
+	})
+}

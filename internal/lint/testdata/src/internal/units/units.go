@@ -1,0 +1,28 @@
+// Package units is a lint fixture mirroring the real internal/units
+// package: declared unit types seed the unitflow lattice, and the
+// package's own body — the one sanctioned home of raw unit arithmetic —
+// is exempt from unitflow reporting by package name.
+package units
+
+// Bits is a data size in bits.
+type Bits int64
+
+// Bytes is a data size in bytes.
+type Bytes int64
+
+// BitsPerSec is a data rate in bits per second.
+type BitsPerSec float64
+
+// Bytes converts a bit count to whole bytes, rounding up. The bare
+// literals here must not be flagged: the units package is exempt.
+func (b Bits) Bytes() Bytes { return Bytes((b + 7) / 8) }
+
+// Bits converts a byte count to bits.
+func (b Bytes) Bits() Bits { return Bits(b) * 8 }
+
+// Scale multiplies the rate by a dimensionless factor — the blessed
+// alternative to raw multiplication.
+func (r BitsPerSec) Scale(f float64) BitsPerSec { return BitsPerSec(float64(r) * f) }
+
+// Mbps returns the rate in megabits per second as a bare float.
+func (r BitsPerSec) Mbps() float64 { return float64(r) / 1e6 }

@@ -1,0 +1,74 @@
+// Package unitflowfix is a lint fixture for the dimensional unit-flow
+// analyzer: units seed from declared internal/units types and from name
+// suffixes, survive assignments and call boundaries, and mixed-unit
+// arithmetic, undressed literals, and unit-destroying multiplication are
+// flagged at the expression that mixes them.
+package unitflowfix
+
+import "fixture/internal/units"
+
+// link carries declared unit types; its fields seed the lattice without
+// any naming convention.
+type link struct {
+	Rate    units.BitsPerSec
+	Backlog units.Bytes
+}
+
+// overloaded compares a rate against an undressed magnitude. The zero
+// comparison is exempt: sign checks are dimensionless.
+func overloaded(l link) bool {
+	if l.Rate <= 0 {
+		return false
+	}
+	return l.Rate > 2.5e6 // want `bare numeric literal 2\.5e6 meets bits/s-typed l\.Rate in > expression`
+}
+
+// mbps launders through float64 first — the sanctioned conversion point —
+// so the bare 1e6 meets a dimensionless float, not a rate.
+func mbps(l link) float64 {
+	return float64(l.Rate) / 1e6
+}
+
+// mbpsBad divides the still-united rate by a bare literal.
+func mbpsBad(l link) units.BitsPerSec {
+	return l.Rate / 1e6 // want `bare numeric literal 1e6 meets bits/s-typed l\.Rate in / expression`
+}
+
+// doubled applies a dimensionless factor the blessed way.
+func doubled(l link) units.BitsPerSec {
+	return l.Rate.Scale(2)
+}
+
+// doubledBad multiplies a united quantity raw; the product's unit is
+// outside the lattice.
+func doubledBad(l link) units.BitsPerSec {
+	return l.Rate * 2 // want `multiplying l\.Rate \(bits/s\) by 2 \(bits/s\) destroys the unit`
+}
+
+// refill converts sizes through the helper; bits never meet bytes.
+func refill(l *link, budgetBits units.Bits) {
+	l.Backlog = budgetBits.Bytes()
+}
+
+// deadline mixes time scales two hops from the suffixed names: elapsed
+// inherits milliseconds from spanMs through the assignment.
+func deadline(startSec, spanMs float64) float64 {
+	elapsed := spanMs
+	return startSec + elapsed // want `unit mismatch in \+ expression: startSec is seconds but elapsed is milliseconds`
+}
+
+// resetBad overwrites a seconds-denominated variable with milliseconds.
+func resetBad(spanSec, delayMs float64) float64 {
+	spanSec = delayMs // want `unit mismatch in assignment: spanSec is seconds but delayMs is milliseconds`
+	return spanSec
+}
+
+// window is a helper whose parameter name declares its unit.
+func window(spanSec float64) float64 {
+	return spanSec
+}
+
+// misuse feeds milliseconds to a seconds parameter.
+func misuse(delayMs float64) float64 {
+	return window(delayMs) // want `unit mismatch in call to window: argument delayMs is milliseconds but parameter "spanSec" is seconds`
+}

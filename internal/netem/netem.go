@@ -14,6 +14,7 @@ import (
 	"rtcadapt/internal/simtime"
 	"rtcadapt/internal/stats"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 )
 
 // Packet is anything the link can carry: a size and an opaque payload.
@@ -56,7 +57,7 @@ type Config struct {
 	BurstLoss *GilbertElliott
 	// QueueLimitBytes bounds the droptail queue. Default 150 KB
 	// (a typical shallow last-mile buffer: ~500 ms at 2.5 Mbps).
-	QueueLimitBytes int
+	QueueLimitBytes units.Bytes
 	// Seed seeds the link's private PRNG (jitter, loss).
 	Seed int64
 	// Recorder receives PacketLost and PacketDelivered events (the
@@ -184,7 +185,7 @@ func (l *Link) QueueDelay() time.Duration {
 		return 0
 	}
 	bps := l.rateAt(l.sched.Now())
-	return time.Duration(float64(l.queuedBytes*8) / bps * float64(time.Second))
+	return bps.DurationToSend(units.Bytes(l.queuedBytes).Bits())
 }
 
 // rateAt reads the trace capacity with a defensive guard: dividing by a
@@ -192,17 +193,17 @@ func (l *Link) QueueDelay() time.Duration {
 // overflowed serialization deadlines. Trace constructors validate rates at
 // load, so tripping this panic means a Trace was built by hand around the
 // constructors.
-func (l *Link) rateAt(at time.Duration) float64 {
+func (l *Link) rateAt(at time.Duration) units.BitsPerSec {
 	bps, _ := l.cfg.Trace.RateAt(at)
 	if !(bps > 0) {
 		panic(fmt.Sprintf("netem: trace %q yields non-positive capacity %v bits/s at t=%v; trace rates must be validated at load",
-			l.cfg.Trace.Name(), bps, at))
+			l.cfg.Trace.Name(), float64(bps), at))
 	}
 	return bps
 }
 
-// Capacity returns the link's current capacity in bits/s.
-func (l *Link) Capacity() float64 {
+// Capacity returns the link's current capacity.
+func (l *Link) Capacity() units.BitsPerSec {
 	bps, _ := l.cfg.Trace.RateAt(l.sched.Now())
 	return bps
 }
@@ -210,7 +211,7 @@ func (l *Link) Capacity() float64 {
 // Send offers a packet to the link at the current virtual time. It returns
 // false if the droptail queue rejected it.
 func (l *Link) Send(pkt Packet) bool {
-	if l.queuedBytes+pkt.Size > l.cfg.QueueLimitBytes {
+	if units.Bytes(l.queuedBytes+pkt.Size) > l.cfg.QueueLimitBytes {
 		l.stats.DroppedQueue++
 		l.cfg.Recorder.PacketLost(obs.TrackNetem, pkt.Size, "queue")
 		return false
@@ -247,7 +248,8 @@ func (l *Link) serializeEnd(start time.Duration, bits float64) time.Duration {
 	cur := start
 	remaining := bits
 	for {
-		bps, until := l.cfg.Trace.RateAt(cur)
+		rate, until := l.cfg.Trace.RateAt(cur)
+		bps := float64(rate)
 		if !(bps > 0) {
 			// A zero/negative/NaN segment rate would make the division
 			// below return +Inf or NaN and wedge the link forever at an

@@ -10,6 +10,7 @@ import (
 
 	"rtcadapt/internal/obs"
 	"rtcadapt/internal/simtime"
+	"rtcadapt/internal/units"
 )
 
 // SendFunc transmits one object of the given wire size at the current
@@ -18,14 +19,14 @@ type SendFunc func(payload any, wireSize int)
 
 // Config configures a Pacer.
 type Config struct {
-	// Rate is the initial pacing base rate in bits/s. Default 1 Mbps.
-	Rate float64
+	// Rate is the initial pacing base rate. Default 1 Mbps.
+	Rate units.BitsPerSec
 	// Factor multiplies Rate to form the actual pacing rate.
 	// Default 1.5.
 	Factor float64
 	// MaxQueueBytes bounds the pacer queue; excess packets are dropped
 	// and counted. Default 1 MB.
-	MaxQueueBytes int
+	MaxQueueBytes units.Bytes
 	// Recorder receives a PacketLost event per queue-overflow drop (the
 	// flight recorder's pacer track). Nil disables recording at zero
 	// cost.
@@ -71,14 +72,14 @@ func New(sched *simtime.Scheduler, cfg Config, send SendFunc) *Pacer {
 }
 
 // SetRate updates the pacing base rate.
-func (p *Pacer) SetRate(bps float64) {
+func (p *Pacer) SetRate(bps units.BitsPerSec) {
 	if bps > 0 {
 		p.cfg.Rate = bps
 	}
 }
 
 // Rate returns the pacing base rate.
-func (p *Pacer) Rate() float64 { return p.cfg.Rate }
+func (p *Pacer) Rate() units.BitsPerSec { return p.cfg.Rate }
 
 // QueueBytes returns bytes waiting in the pacer.
 func (p *Pacer) QueueBytes() int { return p.queuedBytes }
@@ -89,8 +90,8 @@ func (p *Pacer) QueueDelay() time.Duration {
 	if p.queuedBytes == 0 {
 		return 0
 	}
-	rate := p.cfg.Rate * p.cfg.Factor
-	return time.Duration(float64(p.queuedBytes*8) / rate * float64(time.Second))
+	rate := p.cfg.Rate.Scale(p.cfg.Factor)
+	return rate.DurationToSend(units.Bytes(p.queuedBytes).Bits())
 }
 
 // Dropped returns packets discarded due to queue overflow.
@@ -101,7 +102,7 @@ func (p *Pacer) Sent() (packets int, bytes int64) { return p.sentPkts, p.sentByt
 
 // Enqueue adds packets to the pacer queue and starts transmission if idle.
 func (p *Pacer) Enqueue(payload any, wireSize int) {
-	if p.queuedBytes+wireSize > p.cfg.MaxQueueBytes {
+	if units.Bytes(p.queuedBytes+wireSize) > p.cfg.MaxQueueBytes {
 		p.dropped++
 		p.cfg.Recorder.PacketLost(obs.TrackPacer, wireSize, "overflow")
 		return
@@ -131,7 +132,7 @@ func (p *Pacer) pump() {
 		p.sending = false
 		return
 	}
-	rate := p.cfg.Rate * p.cfg.Factor
-	gap := time.Duration(float64(it.size*8) / rate * float64(time.Second))
+	rate := p.cfg.Rate.Scale(p.cfg.Factor)
+	gap := rate.DurationToSend(units.Bytes(it.size).Bits())
 	p.sched.AfterArg(gap, pumpArg, p)
 }

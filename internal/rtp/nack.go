@@ -5,12 +5,6 @@ import (
 	"time"
 )
 
-// SeqLess compares RTP sequence numbers with 16-bit wraparound (RFC 3550
-// arithmetic): a < b iff the signed distance from a to b is positive.
-func SeqLess(a, b uint16) bool {
-	return a != b && int16(b-a) > 0
-}
-
 // NackGenerator tracks received RTP sequence numbers, detects gaps, and
 // emits NACK lists for feedback packets. Each missing sequence is
 // requested up to MaxRetries times with at least RetryInterval between
@@ -84,13 +78,12 @@ func (g *NackGenerator) OnPacket(seq uint16) {
 }
 
 // seqAge returns how far missing sequence s trails the highest received
-// sequence, with 16-bit wraparound. Unlike a SeqLess-based comparison —
-// which is only transitive on sets spanning less than 2^15 — age against
-// a single anchor induces a true total order over the whole sequence
-// space, so ordering stays correct even when an entry has lingered
-// through enough Collect cycles for the missing set to straddle the
-// 2^16 wrap by more than half the space.
-func (g *NackGenerator) seqAge(s uint16) uint16 { return g.highest - s }
+// sequence — SeqAge anchored at g.highest. Unlike a SeqLess-based
+// comparison, age against a single anchor induces a true total order
+// over the whole sequence space, so ordering stays correct even when an
+// entry has lingered through enough Collect cycles for the missing set
+// to straddle the 2^16 wrap by more than half the space.
+func (g *NackGenerator) seqAge(s uint16) uint16 { return SeqAge(g.highest, s) }
 
 // abandonOldest drops the missing entry that trails highest furthest
 // (wrap-aware).

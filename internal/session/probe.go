@@ -7,6 +7,7 @@ import (
 	"rtcadapt/internal/fb"
 	"rtcadapt/internal/netem"
 	"rtcadapt/internal/rtp"
+	"rtcadapt/internal/units"
 )
 
 // probePayloadType marks padding probe packets.
@@ -63,13 +64,13 @@ func (pc *probeController) fire() {
 	if pc.s.pc.QueueBytes() > 0 {
 		return
 	}
-	rate := pc.s.est.Snapshot(now).Target * pc.gain
+	rate := pc.s.est.Snapshot(now).Target.Scale(pc.gain)
 	if rate <= 0 {
 		return
 	}
 	pc.clusters++
 	const size = 1200
-	gap := time.Duration(float64(size*8) / rate * float64(time.Second))
+	gap := rate.DurationToSend(units.Bytes(size).Bits())
 	for i := 0; i < pc.clusterLen; i++ {
 		i := i
 		pc.s.sched.After(time.Duration(i)*gap, func() {
@@ -134,7 +135,7 @@ func (pc *probeController) onResults(results []fb.PacketResult) {
 	}
 	rate := float64(bytes*8) / (last - first).Seconds()
 	if g, ok := pc.s.est.(*cc.GCC); ok {
-		g.ApplyProbe(rate)
+		g.ApplyProbe(units.BitsPerSec(rate))
 		pc.applied++
 	}
 }

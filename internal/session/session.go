@@ -28,6 +28,7 @@ import (
 	"rtcadapt/internal/rtp"
 	"rtcadapt/internal/simtime"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
@@ -77,7 +78,7 @@ type Config struct {
 	// (feedback packets).
 	FeedbackLossProb float64
 	// QueueLimitBytes bounds the forward bottleneck queue (zero: 150 KB).
-	QueueLimitBytes int
+	QueueLimitBytes units.Bytes
 
 	// NACK enables receiver NACKs and sender retransmission (RFC 4585
 	// style loss recovery). Off by default.
@@ -98,7 +99,7 @@ type Config struct {
 	FeedbackInterval time.Duration
 
 	// InitialRate seeds the estimator and encoder (zero: 1 Mbps).
-	InitialRate float64
+	InitialRate units.BitsPerSec
 
 	// LatenessBudget is the receiver's interactive rendering budget
 	// (see rtp.JitterBuffer). Zero keeps the 600 ms default; negative
@@ -133,9 +134,9 @@ type Config struct {
 // TimelinePoint is a periodic sample of the control plane, for plotting.
 type TimelinePoint struct {
 	At            time.Duration
-	Capacity      float64 // true link capacity, bits/s
-	Estimate      float64 // estimator target, bits/s
-	EncoderTarget float64 // encoder ABR target, bits/s
+	Capacity      units.BitsPerSec // true link capacity
+	Estimate      units.BitsPerSec // estimator target
+	EncoderTarget units.BitsPerSec // encoder ABR target
 	LinkQueue     time.Duration
 	PacerQueue    time.Duration
 }
@@ -272,7 +273,7 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("session: negative Config.MTU %d", c.MTU)
 	}
 	if c.InitialRate < 0 {
-		return fmt.Errorf("session: negative Config.InitialRate %v", c.InitialRate)
+		return fmt.Errorf("session: negative Config.InitialRate %v", float64(c.InitialRate))
 	}
 	if err := c.Encoder.Validate(); err != nil {
 		return fmt.Errorf("session: Config.Encoder: %w", err)
@@ -347,7 +348,7 @@ func New(sched *simtime.Scheduler, cfg Config) *Session {
 		})
 		s.forward.SetReceiver(netem.ReceiverFunc(s.Deliver))
 	}
-	s.capacityFn = func(time.Duration) float64 { return s.forward.Capacity() }
+	s.capacityFn = func(time.Duration) units.BitsPerSec { return s.forward.Capacity() }
 
 	if cfg.NewEstimator != nil {
 		s.est = cfg.NewEstimator(s.capacityFn)
@@ -590,7 +591,7 @@ func (s *Session) onFeedback(np netem.Packet, at time.Duration) {
 	// With FEC on, the controller budgets the media share of the
 	// estimate; repairs consume the rest.
 	if s.fecEnc != nil {
-		snap.Target /= 1 + s.fecEnc.Overhead()
+		snap.Target = units.BitsPerSec(float64(snap.Target) / (1 + s.fecEnc.Overhead()))
 	}
 	s.cfg.Controller.OnFeedback(at, snap)
 	if rep.PLI {

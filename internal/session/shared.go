@@ -6,6 +6,7 @@ import (
 	"rtcadapt/internal/netem"
 	"rtcadapt/internal/simtime"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 )
 
 // SharedConfig describes the common bottleneck of a multi-flow run.
@@ -15,7 +16,7 @@ type SharedConfig struct {
 	// PropDelay, QueueLimitBytes, LossProb configure the shared link
 	// (defaults as in netem.Config).
 	PropDelay       time.Duration
-	QueueLimitBytes int
+	QueueLimitBytes units.Bytes
 	LossProb        float64
 	// Seed seeds the shared link's PRNG.
 	Seed int64

@@ -19,6 +19,7 @@ import (
 	"rtcadapt/internal/session"
 	"rtcadapt/internal/simtime"
 	"rtcadapt/internal/stats"
+	"rtcadapt/internal/units"
 )
 
 // Node is the forwarding unit. Construct with NewNode, attach as the
@@ -112,7 +113,7 @@ type ReceiverConfig struct {
 	// (zero: 50 ms). Reports drive the SFU's per-receiver estimator.
 	FeedbackInterval time.Duration
 	// InitialRate seeds the downlink estimator (zero: 1 Mbps).
-	InitialRate float64
+	InitialRate units.BitsPerSec
 }
 
 // Receiver is one downstream participant: a downlink, a receive pipeline,
@@ -185,7 +186,7 @@ func (r *Receiver) allowedLayer() int {
 	if up <= 0 {
 		return r.layer
 	}
-	est := r.est.Snapshot(r.sched.Now()).Target
+	est := float64(r.est.Snapshot(r.sched.Now()).Target)
 	switch {
 	case r.layer == 1 && est < 0.75*up:
 		r.layer = 0

@@ -11,12 +11,13 @@ import (
 	"rtcadapt/internal/session"
 	"rtcadapt/internal/simtime"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
 // buildCall wires a one-sender, two-receiver SFU call: a strong receiver
 // (3 Mbps downlink) and a weak one (weakRate).
-func buildCall(t *testing.T, layerSelection bool, weakRate float64, dur time.Duration) (
+func buildCall(t *testing.T, layerSelection bool, weakRate units.BitsPerSec, dur time.Duration) (
 	sender *session.Session, node *Node, strong, weak *Receiver, run func()) {
 	t.Helper()
 	sched := simtime.NewScheduler()

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"time"
+
+	"rtcadapt/internal/units"
 )
 
 // WriteCSV writes the trace as "seconds,bps" rows with a header line.
@@ -17,7 +19,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	for _, p := range t.points {
 		rec := []string{
 			strconv.FormatFloat(p.At.Seconds(), 'f', 6, 64),
-			strconv.FormatFloat(p.Bps, 'f', 1, 64),
+			strconv.FormatFloat(float64(p.Bps), 'f', 1, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -54,7 +56,7 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: csv line %d: bad bps %q", line, rec[1])
 		}
-		points = append(points, Point{At: time.Duration(sec * float64(time.Second)), Bps: bps})
+		points = append(points, Point{At: time.Duration(sec * float64(time.Second)), Bps: units.BitsPerSec(bps)})
 	}
 	return New(name, points...)
 }

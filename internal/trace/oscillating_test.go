@@ -3,6 +3,8 @@ package trace
 import (
 	"testing"
 	"time"
+
+	"rtcadapt/internal/units"
 )
 
 // TestOscillatingPhaseRegression pins the high/low alternation across many
@@ -11,7 +13,7 @@ import (
 // the phase is now tracked with a boolean and this test guards the
 // rewrite.
 func TestOscillatingPhaseRegression(t *testing.T) {
-	const hi, lo = 3.7e6, 1.1e6
+	const hi, lo units.BitsPerSec = 3.7e6, 1.1e6
 	half := 250 * time.Millisecond
 	tr := Oscillating(hi, lo, half, 20*time.Second)
 	for i := 0; i < 80; i++ {

@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"rtcadapt/internal/stats"
+
+	"rtcadapt/internal/units"
 )
 
 // LTEConfig parameterizes the synthetic cellular capacity model.
@@ -68,7 +70,7 @@ func LTE(seed int64, dur time.Duration, cfg LTEConfig) *Trace {
 			fadeLeft = time.Duration(rng.Exponential(float64(cfg.FadeHold)))
 			bps = level * cfg.FadeDepth
 		}
-		ps = append(ps, Point{At: at, Bps: bps})
+		ps = append(ps, Point{At: at, Bps: units.BitsPerSec(bps)})
 	}
 	return MustNew("lte", ps...)
 }
@@ -120,7 +122,7 @@ func WiFi(seed int64, dur time.Duration, cfg WiFiConfig) *Trace {
 			bps *= cfg.ContentionDepth
 		}
 		bps = stats.Clamp(bps, 0.05*cfg.Mean, 2*cfg.Mean)
-		ps = append(ps, Point{At: at, Bps: bps})
+		ps = append(ps, Point{At: at, Bps: units.BitsPerSec(bps)})
 	}
 	return MustNew("wifi", ps...)
 }
@@ -136,7 +138,7 @@ func RandomWalk(seed int64, dur, step time.Duration, start, lo, hi float64) *Tra
 	level := start
 	for at := time.Duration(0); at < dur; at += step {
 		level = stats.Clamp(rng.Jitter(level, 0.1), lo, hi)
-		ps = append(ps, Point{At: at, Bps: level})
+		ps = append(ps, Point{At: at, Bps: units.BitsPerSec(level)})
 	}
 	return MustNew("randomwalk", ps...)
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rtcadapt/internal/stats"
+	"rtcadapt/internal/units"
 )
 
 // Forever marks a segment with no later breakpoint.
@@ -24,7 +25,7 @@ const Forever = time.Duration(math.MaxInt64)
 // Point is one breakpoint: from At onward the capacity is Bps.
 type Point struct {
 	At  time.Duration
-	Bps float64
+	Bps units.BitsPerSec
 }
 
 // Trace is an immutable piecewise-constant capacity function. The zero value
@@ -51,8 +52,8 @@ func New(name string, points ...Point) (*Trace, error) {
 		// !(p.Bps > 0) rather than p.Bps <= 0: NaN compares false both
 		// ways and would sail through a <= check, then poison every
 		// serialization deadline downstream in netem.
-		if !(p.Bps > 0) || math.IsInf(p.Bps, 1) {
-			return nil, fmt.Errorf("trace: rate %v at %v is not a positive finite number", p.Bps, p.At)
+		if !(p.Bps > 0) || math.IsInf(float64(p.Bps), 1) {
+			return nil, fmt.Errorf("trace: rate %v at %v is not a positive finite number", float64(p.Bps), p.At)
 		}
 		if i > 0 && ps[i-1].At == p.At {
 			return nil, fmt.Errorf("trace: duplicate breakpoint at %v", p.At)
@@ -82,7 +83,7 @@ func (t *Trace) Points() []Point {
 
 // RateAt returns the capacity in bits/s at time at, plus the time of the
 // next breakpoint (Forever if none). at must be non-negative.
-func (t *Trace) RateAt(at time.Duration) (bps float64, validUntil time.Duration) {
+func (t *Trace) RateAt(at time.Duration) (bps units.BitsPerSec, validUntil time.Duration) {
 	if at < 0 {
 		at = 0
 	}
@@ -99,7 +100,7 @@ func (t *Trace) RateAt(at time.Duration) (bps float64, validUntil time.Duration)
 }
 
 // MeanRate returns the time-weighted mean capacity over [from, to).
-func (t *Trace) MeanRate(from, to time.Duration) float64 {
+func (t *Trace) MeanRate(from, to time.Duration) units.BitsPerSec {
 	if to <= from {
 		return 0
 	}
@@ -111,25 +112,25 @@ func (t *Trace) MeanRate(from, to time.Duration) float64 {
 		if next < end {
 			end = next
 		}
-		bits += bps * (end - cur).Seconds()
+		bits += float64(bps) * (end - cur).Seconds()
 		cur = end
 	}
-	return bits / (to - from).Seconds()
+	return units.BitsPerSec(bits / (to - from).Seconds())
 }
 
 // MinRate returns the lowest capacity in [from, to).
-func (t *Trace) MinRate(from, to time.Duration) float64 {
+func (t *Trace) MinRate(from, to time.Duration) units.BitsPerSec {
 	lo := math.Inf(1)
 	cur := from
 	for cur < to {
 		bps, next := t.RateAt(cur)
-		lo = math.Min(lo, bps)
+		lo = math.Min(lo, float64(bps))
 		if next >= to {
 			break
 		}
 		cur = next
 	}
-	return lo
+	return units.BitsPerSec(lo)
 }
 
 // Scale returns a new trace with every rate multiplied by factor.
@@ -139,16 +140,16 @@ func (t *Trace) Scale(factor float64) *Trace {
 	}
 	ps := t.Points()
 	for i := range ps {
-		ps[i].Bps *= factor
+		ps[i].Bps = ps[i].Bps.Scale(factor)
 	}
 	return &Trace{name: fmt.Sprintf("%s*%.2g", t.name, factor), points: ps}
 }
 
 // Clamp returns a new trace with every rate limited to [lo, hi].
-func (t *Trace) Clamp(lo, hi float64) *Trace {
+func (t *Trace) Clamp(lo, hi units.BitsPerSec) *Trace {
 	ps := t.Points()
 	for i := range ps {
-		ps[i].Bps = stats.Clamp(ps[i].Bps, lo, hi)
+		ps[i].Bps = units.BitsPerSec(stats.Clamp(float64(ps[i].Bps), float64(lo), float64(hi)))
 	}
 	return &Trace{name: t.name + "#clamped", points: ps}
 }
@@ -187,15 +188,15 @@ func (t *Trace) Splice(at time.Duration, other *Trace) *Trace {
 }
 
 // Constant returns a trace with a fixed capacity.
-func Constant(bps float64) *Trace {
-	return MustNew(fmt.Sprintf("const-%.0fbps", bps), Point{At: 0, Bps: bps})
+func Constant(bps units.BitsPerSec) *Trace {
+	return MustNew(fmt.Sprintf("const-%.0fbps", float64(bps)), Point{At: 0, Bps: bps})
 }
 
 // StepDrop returns the paper's motivating scenario: capacity before until
 // dropAt, then capacity after.
-func StepDrop(before, after float64, dropAt time.Duration) *Trace {
+func StepDrop(before, after units.BitsPerSec, dropAt time.Duration) *Trace {
 	return MustNew(
-		fmt.Sprintf("drop-%.1f-to-%.1fMbps", before/1e6, after/1e6),
+		fmt.Sprintf("drop-%.1f-to-%.1fMbps", before.Mbps(), after.Mbps()),
 		Point{At: 0, Bps: before},
 		Point{At: dropAt, Bps: after},
 	)
@@ -203,12 +204,12 @@ func StepDrop(before, after float64, dropAt time.Duration) *Trace {
 
 // StepDropRecover is StepDrop with capacity restored to before at
 // recoverAt.
-func StepDropRecover(before, after float64, dropAt, recoverAt time.Duration) *Trace {
+func StepDropRecover(before, after units.BitsPerSec, dropAt, recoverAt time.Duration) *Trace {
 	if recoverAt <= dropAt {
 		panic("trace: recoverAt must follow dropAt")
 	}
 	return MustNew(
-		fmt.Sprintf("droprec-%.1f-to-%.1fMbps", before/1e6, after/1e6),
+		fmt.Sprintf("droprec-%.1f-to-%.1fMbps", before.Mbps(), after.Mbps()),
 		Point{At: 0, Bps: before},
 		Point{At: dropAt, Bps: after},
 		Point{At: recoverAt, Bps: before},
@@ -217,7 +218,7 @@ func StepDropRecover(before, after float64, dropAt, recoverAt time.Duration) *Tr
 
 // Staircase returns a trace that steps through the given rates, holding
 // each for hold.
-func Staircase(hold time.Duration, rates ...float64) *Trace {
+func Staircase(hold time.Duration, rates ...units.BitsPerSec) *Trace {
 	if len(rates) == 0 {
 		panic("trace: Staircase needs at least one rate")
 	}
@@ -230,7 +231,7 @@ func Staircase(hold time.Duration, rates ...float64) *Trace {
 
 // Oscillating returns a square wave alternating between hi and lo with the
 // given half-period, for the given duration.
-func Oscillating(hi, lo float64, halfPeriod, dur time.Duration) *Trace {
+func Oscillating(hi, lo units.BitsPerSec, halfPeriod, dur time.Duration) *Trace {
 	var ps []Point
 	atHi := true
 	for at := time.Duration(0); at < dur; at += halfPeriod {

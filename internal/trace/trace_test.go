@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"rtcadapt/internal/units"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -22,9 +24,9 @@ func TestNewValidation(t *testing.T) {
 		{"duplicate", []Point{{At: 0, Bps: 1}, {At: 0, Bps: 2}}, false},
 		// NaN compares false against any threshold, so a naive Bps <= 0
 		// check admits it; these pin the !(Bps > 0) form.
-		{"nan-rate", []Point{{At: 0, Bps: math.NaN()}}, false},
-		{"pos-inf-rate", []Point{{At: 0, Bps: math.Inf(1)}}, false},
-		{"neg-inf-rate", []Point{{At: 0, Bps: math.Inf(-1)}}, false},
+		{"nan-rate", []Point{{At: 0, Bps: units.BitsPerSec(math.NaN())}}, false},
+		{"pos-inf-rate", []Point{{At: 0, Bps: units.BitsPerSec(math.Inf(1))}}, false},
+		{"neg-inf-rate", []Point{{At: 0, Bps: units.BitsPerSec(math.Inf(-1))}}, false},
 		{"valid", []Point{{At: 0, Bps: 1e6}, {At: time.Second, Bps: 2e6}}, true},
 		{"unsorted-valid", []Point{{At: time.Second, Bps: 2e6}, {At: 0, Bps: 1e6}}, true},
 	}
@@ -40,7 +42,7 @@ func TestRateAt(t *testing.T) {
 	tr := StepDrop(2.5e6, 0.8e6, 10*time.Second)
 	cases := []struct {
 		at        time.Duration
-		wantBps   float64
+		wantBps   units.BitsPerSec
 		wantUntil time.Duration
 	}{
 		{0, 2.5e6, 10 * time.Second},
@@ -60,7 +62,7 @@ func TestRateAt(t *testing.T) {
 func TestMeanRate(t *testing.T) {
 	tr := StepDrop(2e6, 1e6, 5*time.Second)
 	got := tr.MeanRate(0, 10*time.Second)
-	if math.Abs(got-1.5e6) > 1 {
+	if math.Abs(float64(got)-1.5e6) > 1 {
 		t.Errorf("MeanRate = %v, want 1.5e6", got)
 	}
 	if tr.MeanRate(5*time.Second, 5*time.Second) != 0 {
@@ -101,7 +103,7 @@ func TestSplice(t *testing.T) {
 	sp := a.Splice(10*time.Second, b)
 	checks := []struct {
 		at   time.Duration
-		want float64
+		want units.BitsPerSec
 	}{
 		{0, 3e6},
 		{9 * time.Second, 3e6},
@@ -119,7 +121,7 @@ func TestOscillating(t *testing.T) {
 	tr := Oscillating(2e6, 1e6, time.Second, 4*time.Second)
 	for i := 0; i < 4; i++ {
 		at := time.Duration(i)*time.Second + 500*time.Millisecond
-		want := 2e6
+		want := units.BitsPerSec(2e6)
 		if i%2 == 1 {
 			want = 1e6
 		}
@@ -145,7 +147,7 @@ func TestLTEDeterministicAndBounded(t *testing.T) {
 	cfg.defaults()
 	for _, p := range pa {
 		// Deep fades can push rate to FadeDepth * clamped level.
-		if p.Bps < 0.1*cfg.Mean*cfg.FadeDepth-1 || p.Bps > 3*cfg.Mean+1 {
+		if p.Bps < units.BitsPerSec(0.1*cfg.Mean*cfg.FadeDepth-1) || p.Bps > units.BitsPerSec(3*cfg.Mean+1) {
 			t.Fatalf("LTE rate %v out of bounds at %v", p.Bps, p.At)
 		}
 	}
@@ -160,7 +162,7 @@ func TestLTEHasFades(t *testing.T) {
 	tr := LTE(7, 60*time.Second, cfg)
 	cfg.defaults()
 	min := tr.MinRate(0, 60*time.Second)
-	if min > 0.5*cfg.Mean {
+	if min > units.BitsPerSec(0.5*cfg.Mean) {
 		t.Errorf("LTE trace with FadeProb=0.05 never faded: min=%v mean=%v", min, cfg.Mean)
 	}
 }
@@ -170,7 +172,7 @@ func TestWiFiBounds(t *testing.T) {
 	tr := WiFi(5, 30*time.Second, cfg)
 	cfg.defaults()
 	for _, p := range tr.Points() {
-		if p.Bps < 0.05*cfg.Mean-1 || p.Bps > 2*cfg.Mean+1 {
+		if p.Bps < units.BitsPerSec(0.05*cfg.Mean-1) || p.Bps > units.BitsPerSec(2*cfg.Mean+1) {
 			t.Fatalf("WiFi rate %v out of bounds", p.Bps)
 		}
 	}
@@ -200,7 +202,7 @@ func TestCSVRoundTrip(t *testing.T) {
 		t.Fatalf("round trip changed point count: %d -> %d", len(po), len(pg))
 	}
 	for i := range po {
-		if math.Abs(po[i].Bps-pg[i].Bps) > 0.5 {
+		if math.Abs(float64(po[i].Bps-pg[i].Bps)) > 0.5 {
 			t.Errorf("point %d bps %v -> %v", i, po[i].Bps, pg[i].Bps)
 		}
 		if d := po[i].At - pg[i].At; d < -time.Microsecond || d > time.Microsecond {
@@ -239,9 +241,9 @@ func TestMeanWithinBoundsProperty(t *testing.T) {
 		tr := RandomWalk(seed, 10*time.Second, 250*time.Millisecond, 1e6, 0.2e6, 5e6)
 		mean := tr.MeanRate(0, 10*time.Second)
 		lo := tr.MinRate(0, 10*time.Second)
-		hi := 0.0
+		hi := units.BitsPerSec(0)
 		for _, p := range tr.Points() {
-			hi = math.Max(hi, p.Bps)
+			hi = units.BitsPerSec(math.Max(float64(hi), float64(p.Bps)))
 		}
 		return mean >= lo-1 && mean <= hi+1
 	}

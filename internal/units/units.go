@@ -1,0 +1,84 @@
+// Package units defines dimensioned numeric types for the quantities
+// the adaptive pipeline passes around — data sizes (bits, bytes) and
+// data rates (bits per second) — so the type checker and the unitflow
+// analyzer can prove that bits never meet bytes and rates never meet
+// sizes without an explicit conversion.
+//
+// Conventions (enforced by unitflow; see DESIGN.md §13):
+//
+//   - A quantity crosses a package boundary as a units type; internal
+//     float scratch math converts once at the boundary with float64(x)
+//     and converts back when done. float64(x) deliberately erases the
+//     unit — it is the laundering point, and keeping it rare keeps the
+//     analysis meaningful.
+//   - Dimensionless factors (pacing gain, margins, FEC overhead) apply
+//     to rates through Scale, never through raw multiplication.
+//   - Untyped constants may initialize unit-typed fields directly
+//     (Rate: 1e6); Go's assignment typing dresses the constant. A bare
+//     literal meeting a unit-typed operand inside arithmetic is flagged.
+//
+// This package is foundation-layer: it imports nothing module-internal
+// and everything above it may import it.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Bits is a data size in bits.
+type Bits int64
+
+// Bytes is a data size in bytes.
+type Bytes int64
+
+// BitsPerSec is a data rate in bits per second. float64 underlying:
+// every estimator and trace computes rates in floating point.
+type BitsPerSec float64
+
+// Bytes converts a bit count to whole bytes, rounding up.
+func (b Bits) Bytes() Bytes { return Bytes((b + 7) / 8) }
+
+// Bits converts a byte count to bits.
+func (b Bytes) Bits() Bits { return Bits(b) * 8 }
+
+// Kbps returns a rate of v kilobits per second.
+func Kbps(v float64) BitsPerSec { return BitsPerSec(v * 1e3) }
+
+// Mbps returns a rate of v megabits per second.
+func Mbps(v float64) BitsPerSec { return BitsPerSec(v * 1e6) }
+
+// Kbps returns the rate in kilobits per second as a bare float.
+func (r BitsPerSec) Kbps() float64 { return float64(r) / 1e3 }
+
+// Mbps returns the rate in megabits per second as a bare float.
+func (r BitsPerSec) Mbps() float64 { return float64(r) / 1e6 }
+
+// Scale multiplies the rate by a dimensionless factor (pacing gain,
+// safety margin, FEC overhead correction). This is the blessed way to
+// apply a factor to a rate; unitflow flags raw multiplication.
+func (r BitsPerSec) Scale(f float64) BitsPerSec { return BitsPerSec(float64(r) * f) }
+
+// DurationToSend returns the serialization time of b bits at rate r.
+// The arithmetic (bits / rate, widened through float64 seconds) matches
+// the pre-units pacer and netem formulas bit for bit.
+func (r BitsPerSec) DurationToSend(b Bits) time.Duration {
+	return time.Duration(float64(b) / float64(r) * float64(time.Second))
+}
+
+// Over returns how many bits pass at rate r during d, truncated.
+func (r BitsPerSec) Over(d time.Duration) Bits {
+	return Bits(float64(r) * d.Seconds())
+}
+
+// String formats the rate with an adaptive Mbps/kbps/bps suffix.
+func (r BitsPerSec) String() string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fMbps", r.Mbps())
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fkbps", r.Kbps())
+	default:
+		return fmt.Sprintf("%.0fbps", float64(r))
+	}
+}

@@ -1,0 +1,96 @@
+package units
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	if got := Bytes(1200).Bits(); got != 9600 {
+		t.Fatalf("Bytes(1200).Bits() = %d, want 9600", got)
+	}
+	if got := Bits(9600).Bytes(); got != 1200 {
+		t.Fatalf("Bits(9600).Bytes() = %d, want 1200", got)
+	}
+	// Rounding up: 9 bits needs 2 bytes on the wire.
+	if got := Bits(9).Bytes(); got != 2 {
+		t.Fatalf("Bits(9).Bytes() = %d, want 2", got)
+	}
+	if got := Bits(0).Bytes(); got != 0 {
+		t.Fatalf("Bits(0).Bytes() = %d, want 0", got)
+	}
+}
+
+func TestRateConstructorsAndAccessors(t *testing.T) {
+	r := Mbps(2.5)
+	if r != 2.5e6 {
+		t.Fatalf("Mbps(2.5) = %v, want 2.5e6", float64(r))
+	}
+	if got := r.Mbps(); got != 2.5 {
+		t.Fatalf("Mbps accessor = %v, want 2.5", got)
+	}
+	if got := Kbps(300); got != 3e5 {
+		t.Fatalf("Kbps(300) = %v, want 3e5", float64(got))
+	}
+	if got := Kbps(300).Kbps(); got != 300 {
+		t.Fatalf("Kbps accessor = %v, want 300", got)
+	}
+}
+
+func TestScaleMatchesRawMultiply(t *testing.T) {
+	r := BitsPerSec(1.37e6)
+	for _, f := range []float64{0.5, 0.85, 1.0, 1.25, 2.0} {
+		if got, want := r.Scale(f), BitsPerSec(float64(r)*f); got != want {
+			t.Fatalf("Scale(%v) = %v, want %v", f, float64(got), float64(want))
+		}
+	}
+}
+
+// The serialization-delay formula must match the historical pacer and
+// netem expression time.Duration(float64(bits)/rate*float64(time.Second))
+// bit for bit, or every golden trace in the repo shifts.
+func TestDurationToSendMatchesLegacyFormula(t *testing.T) {
+	cases := []struct {
+		bytes int
+		rate  float64
+	}{
+		{1200, 1e6},
+		{1200, 1.5e6},
+		{64, 50e3},
+		{65535, 20e6},
+		{1, 333},
+	}
+	for _, c := range cases {
+		legacy := time.Duration(float64(c.bytes*8) / c.rate * float64(time.Second))
+		got := BitsPerSec(c.rate).DurationToSend(Bytes(c.bytes).Bits())
+		if got != legacy {
+			t.Fatalf("DurationToSend(%d bytes @ %v bps) = %v, legacy %v",
+				c.bytes, c.rate, got, legacy)
+		}
+	}
+}
+
+func TestOver(t *testing.T) {
+	if got := Mbps(1).Over(time.Second); got != 1_000_000 {
+		t.Fatalf("1Mbps over 1s = %d bits, want 1000000", got)
+	}
+	if got := Mbps(1).Over(33 * time.Millisecond); got != 33_000 {
+		t.Fatalf("1Mbps over 33ms = %d bits, want 33000", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		r    BitsPerSec
+		want string
+	}{
+		{Mbps(2.5), "2.50Mbps"},
+		{Kbps(300), "300.0kbps"},
+		{BitsPerSec(42), "42bps"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Fatalf("String(%v) = %q, want %q", float64(c.r), got, c.want)
+		}
+	}
+}

@@ -33,8 +33,19 @@ import (
 	"rtcadapt/internal/metrics"
 	"rtcadapt/internal/session"
 	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
+
+// BitsPerSec is a data rate in bits per second (re-exported from
+// internal/units so public configs can be built with dimensioned values).
+type BitsPerSec = units.BitsPerSec
+
+// Bytes is a data size in bytes.
+type Bytes = units.Bytes
+
+// Bits is a data size in bits.
+type Bits = units.Bits
 
 // SessionConfig configures one end-to-end simulated RTC session.
 type SessionConfig = session.Config
@@ -84,11 +95,11 @@ func NewOracle(capacity CapacityFunc, margin float64) Estimator {
 type Trace = trace.Trace
 
 // Constant returns a fixed-capacity trace.
-func Constant(bps float64) *Trace { return trace.Constant(bps) }
+func Constant(bps BitsPerSec) *Trace { return trace.Constant(bps) }
 
 // StepDrop returns the paper's motivating workload: capacity before until
 // dropAt, then after.
-func StepDrop(before, after float64, dropAt time.Duration) *Trace {
+func StepDrop(before, after BitsPerSec, dropAt time.Duration) *Trace {
 	return trace.StepDrop(before, after, dropAt)
 }
 

@@ -62,7 +62,7 @@ func TestPublicAPIEstimators(t *testing.T) {
 	if rtcadapt.NewGCC().Name() != "gcc" {
 		t.Error("gcc constructor")
 	}
-	oracle := rtcadapt.NewOracle(func(time.Duration) float64 { return 1e6 }, 0.9)
+	oracle := rtcadapt.NewOracle(func(time.Duration) rtcadapt.BitsPerSec { return 1e6 }, 0.9)
 	if oracle.Snapshot(0).Target != 0.9e6 {
 		t.Error("oracle constructor")
 	}
