@@ -2,7 +2,7 @@ GO       ?= go
 PKGS     := ./...
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint lint-fix lint-purity lint-units lint-baseline-check lint-budget fuzz-smoke bench bench-parallel bench-json bench-smoke fleet-smoke trace-smoke check
+.PHONY: build test race lint lint-fix lint-purity lint-units lint-baseline-check lint-budget fuzz-smoke bench bench-parallel bench-json bench-smoke fleet-smoke trace-smoke scenario-smoke check
 
 build:
 	$(GO) build $(PKGS)
@@ -58,6 +58,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/video
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run='^$$' -fuzz=FuzzBaseline -fuzztime=$(FUZZTIME) ./internal/lint
+	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=$(FUZZTIME) ./internal/scenario
 
 # Record a short figure-1 session in all three export formats, then diff
 # a same-seed re-run against the first recording: any divergence is a
@@ -70,6 +71,20 @@ trace-smoke:
 	$(GO) run ./cmd/rtctrace -exp figure1 -duration 5s -out build/trace-smoke/rerun.csv
 	$(GO) run ./cmd/rtctrace -diff build/trace-smoke/figure1.csv build/trace-smoke/rerun.csv
 	$(GO) run ./cmd/rtctrace -diff build/trace-smoke/figure1.json build/trace-smoke/figure1.csv
+
+# Scenario-corpus determinism gate. Enumerates the preset registry, runs
+# a small preset x controller mini-sweep on a parallel runner, and diffs
+# the result against the committed snapshot: a mismatch means a preset,
+# the sweep harness, or the parallel merge changed bytes. Regenerate the
+# snapshot (and review the diff) with:
+#   go run ./cmd/benchdrop -exp scenarios -scenario standard,lte,oscillating \
+#     -seeds 2 -duration 10s > docs/scenario_snapshot.txt
+scenario-smoke:
+	mkdir -p build/scenario-smoke
+	$(GO) run ./cmd/benchdrop -list-scenarios
+	$(GO) run ./cmd/benchdrop -exp scenarios -scenario standard,lte,oscillating \
+		-seeds 2 -duration 10s -parallel 4 > build/scenario-smoke/sweep.txt
+	diff docs/scenario_snapshot.txt build/scenario-smoke/sweep.txt
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x $(PKGS)

@@ -36,6 +36,19 @@ func TestRunBadInvocation(t *testing.T) {
 	}
 }
 
+// A preset name (not a population) runs as a homogeneous population.
+func TestRunPresetScenario(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-sessions", "2", "-scenario", "oscillating",
+		"-duration", "1s", "-out", "sessions"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if got := strings.Count(stdout.String(), "\n"); got != 3 {
+		t.Errorf("expected header + 2 rows, got %d lines:\n%s", got, stdout.String())
+	}
+}
+
 // A tiny fleet must produce identical stdout at different shard counts;
 // the wall-clock line stays on stderr.
 func TestRunStdoutDeterministicAcrossShards(t *testing.T) {

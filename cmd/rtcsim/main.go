@@ -5,6 +5,13 @@
 //	rtcsim -trace drop -before 2.5e6 -after 0.8e6 -dropat 10s -controller adaptive
 //	rtcsim -trace lte -controller native-rc -duration 60s -out frames
 //	rtcsim -tracefile lte.csv -controller adaptive -out timeline
+//	rtcsim -scenario flash-crowd -controller adaptive
+//	rtcsim -scenario path.yaml -controller native-rc
+//
+// -scenario names a preset from the declarative corpus or a YAML/JSON
+// scenario file; it pins the whole path (capacity trace, loss, RTT,
+// queue), overriding the individual path flags. The scenario's natural
+// duration is used unless -duration is given explicitly.
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 	"rtcadapt/internal/cli"
 	"rtcadapt/internal/metrics"
 	"rtcadapt/internal/netem"
+	"rtcadapt/internal/scenario"
 	"rtcadapt/internal/session"
+	"rtcadapt/internal/trace"
 )
 
 func main() {
@@ -45,6 +54,7 @@ func runCmd(args []string, stdout, stderr *cli.Printer, stderrW io.Writer) int {
 	var (
 		traceKind  = fs.String("trace", "drop", "capacity trace: const | drop | lte | wifi")
 		traceFile  = fs.String("tracefile", "", "CSV capacity trace (overrides -trace)")
+		scen       = fs.String("scenario", "", "scenario preset or YAML/JSON scenario file; pins the path, overriding -trace/-tracefile/-loss/-burstloss")
 		before     = fs.Float64("before", 2.5e6, "capacity before the drop, bits/s")
 		after      = fs.Float64("after", 0.8e6, "capacity after the drop, bits/s")
 		dropAt     = fs.Duration("dropat", 10*time.Second, "drop instant")
@@ -84,10 +94,38 @@ func runCmd(args []string, stdout, stderr *cli.Printer, stderrW io.Writer) int {
 		return 2
 	}
 
-	tr, err := cli.BuildTrace(*traceKind, *traceFile, *before, *after, *dropAt, *seed, *duration)
-	if err != nil {
-		stderr.Printf("rtcsim: %v\n", err)
-		return 2
+	// An explicit -duration beats the scenario's natural span; detect it
+	// so a plain "-scenario staircase" runs the whole staircase.
+	durationSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "duration" {
+			durationSet = true
+		}
+	})
+
+	var scPath *scenario.Path
+	if *scen != "" {
+		sc, err := cli.ResolveScenario(*scen)
+		if err != nil {
+			stderr.Printf("rtcsim: %v\n", err)
+			return 2
+		}
+		p, err := sc.Compile(scenario.CompileConfig{Seed: *seed, Duration: *duration})
+		if err != nil {
+			stderr.Printf("rtcsim: %v\n", err)
+			return 2
+		}
+		scPath = &p
+	}
+
+	var tr *trace.Trace
+	if scPath == nil {
+		var err error
+		tr, err = cli.BuildTrace(*traceKind, *traceFile, *before, *after, *dropAt, *seed, *duration)
+		if err != nil {
+			stderr.Printf("rtcsim: %v\n", err)
+			return 2
+		}
 	}
 	ctrl, err := cli.BuildController(*controller, *resolution)
 	if err != nil {
@@ -116,6 +154,15 @@ func runCmd(args []string, stdout, stderr *cli.Printer, stderrW io.Writer) int {
 	cfg.Encoder.TemporalLayers = *tlayers
 	if *burstLoss > 0 {
 		cfg.BurstLoss = netem.NewGilbertElliott(8, *burstLoss)
+	}
+	if scPath != nil {
+		if !durationSet {
+			cfg.Duration = 0 // let the scenario's natural span fill it
+		}
+		cli.ApplyScenario(&cfg, *scPath)
+		if cfg.Duration == 0 {
+			cfg.Duration = *duration
+		}
 	}
 	if *estimator == "oracle" {
 		cfg.NewEstimator = func(capacity cc.CapacityFunc) cc.Estimator {

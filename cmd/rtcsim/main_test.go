@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -20,6 +21,37 @@ func TestSummaryRuns(t *testing.T) {
 	}
 }
 
+// TestScenarioFlag pins the -scenario path: a preset pins the path and
+// its natural span unless -duration is given, and a scenario file works
+// the same way.
+func TestScenarioFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// "standard" spans 30s naturally; an explicit -duration 2s must win.
+	code := run([]string{"-scenario", "standard", "-duration", "2s"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "frames: 61") {
+		t.Errorf("-duration 2s did not bound the session:\n%s", stdout.String())
+	}
+
+	file := filepath.Join(t.TempDir(), "path.yaml")
+	doc := "name: test-drop\nphases:\n  - duration: 1s\n    capacity: 2Mbps\n  - duration: 1s\n    capacity: 800kbps\n"
+	if err := os.WriteFile(file, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	// No -duration: the file's 2s natural span decides.
+	code = run([]string{"-scenario", file}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "frames: 61") {
+		t.Errorf("scenario file's natural span not used:\n%s", stdout.String())
+	}
+}
+
 // TestBadInvocations: every malformed flag combination must print a
 // diagnostic to stderr and exit nonzero — never panic, never run the
 // session.
@@ -31,6 +63,8 @@ func TestBadInvocations(t *testing.T) {
 	}{
 		{"undefined flag", []string{"-frobnicate"}},
 		{"unknown trace kind", []string{"-trace", "carrier-pigeon"}},
+		{"unknown scenario", []string{"-scenario", "starlink"}},
+		{"missing scenario file", []string{"-scenario", missing + ".yaml"}},
 		{"missing trace file", []string{"-tracefile", missing}},
 		{"unknown controller", []string{"-controller", "psychic"}},
 		{"unknown estimator", []string{"-estimator", "astrology"}},

@@ -7,6 +7,7 @@
 //	rtctrace -exp figure1 -out trace.json   # Chrome trace JSON (load in Perfetto)
 //	rtctrace -exp figure1 -out trace.csv    # canonical CSV
 //	rtctrace -exp figure1                   # ASCII timeline on stdout
+//	rtctrace -scenario flash-crowd          # record a declarative scenario
 //	rtctrace -inspect trace.json            # counters + timeline of a saved trace
 //	rtctrace -diff a.csv b.json             # exit 1 at the first divergent event
 package main
@@ -22,7 +23,9 @@ import (
 	"rtcadapt/internal/cli"
 	"rtcadapt/internal/obs"
 	"rtcadapt/internal/plot"
+	"rtcadapt/internal/scenario"
 	"rtcadapt/internal/session"
+	"rtcadapt/internal/trace"
 )
 
 func main() {
@@ -47,6 +50,7 @@ func runCmd(args []string, stdout, stderr *cli.Printer, stderrW io.Writer) int {
 	fs.SetOutput(stderrW)
 	var (
 		exp        = fs.String("exp", "", "experiment preset: figure1 (2.5->0.8 Mbps drop at 10s, talking-head, adaptive)")
+		scen       = fs.String("scenario", "", "scenario preset or YAML/JSON scenario file; pins the path, overriding -trace/-tracefile/-loss")
 		traceKind  = fs.String("trace", "drop", "capacity trace: const | drop | lte | wifi")
 		traceFile  = fs.String("tracefile", "", "CSV capacity trace (overrides -trace)")
 		before     = fs.Float64("before", 2.5e6, "capacity before the drop, bits/s")
@@ -88,24 +92,33 @@ func runCmd(args []string, stdout, stderr *cli.Printer, stderrW io.Writer) int {
 		stderr.Printf("rtctrace: unexpected argument %q\n", fs.Arg(0))
 		return 2
 	}
+	durationSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "duration" {
+			durationSet = true
+		}
+	})
 	return runRecord(recordOpts{
-		exp: *exp, traceKind: *traceKind, traceFile: *traceFile,
+		exp: *exp, scenario: *scen, traceKind: *traceKind, traceFile: *traceFile,
 		before: *before, after: *after, dropAt: *dropAt,
 		controller: *controller, content: *content,
-		duration: *duration, seed: *seed, loss: *loss,
+		duration: *duration, durationSet: durationSet, seed: *seed, loss: *loss,
 		capacity: *capacity, out: *out, format: *format, width: *width,
 	}, stdout, stderr)
 }
 
 // recordOpts carries the record-mode flag values.
 type recordOpts struct {
-	exp, traceKind, traceFile string
-	before, after, loss       float64
-	dropAt, duration          time.Duration
-	controller, content, out  string
-	format                    string
-	seed                      int64
-	capacity, width           int
+	exp, scenario, traceKind, traceFile string
+	before, after, loss                 float64
+	dropAt, duration                    time.Duration
+	controller, content, out            string
+	format                              string
+	seed                                int64
+	capacity, width                     int
+	// durationSet records whether -duration was given explicitly; when
+	// not, a -scenario's natural span wins.
+	durationSet bool
 }
 
 // exportFormat resolves the output format from the -format override or
@@ -146,10 +159,28 @@ func runRecord(o recordOpts, stdout, stderr *cli.Printer) int {
 		stderr.Printf("rtctrace: %v\n", err)
 		return 2
 	}
-	tr, err := cli.BuildTrace(o.traceKind, o.traceFile, o.before, o.after, o.dropAt, o.seed, o.duration)
-	if err != nil {
-		stderr.Printf("rtctrace: %v\n", err)
-		return 2
+	var scPath *scenario.Path
+	if o.scenario != "" {
+		sc, err := cli.ResolveScenario(o.scenario)
+		if err != nil {
+			stderr.Printf("rtctrace: %v\n", err)
+			return 2
+		}
+		p, err := sc.Compile(scenario.CompileConfig{Seed: o.seed, Duration: o.duration})
+		if err != nil {
+			stderr.Printf("rtctrace: %v\n", err)
+			return 2
+		}
+		scPath = &p
+	}
+	var tr *trace.Trace
+	if scPath == nil {
+		var err error
+		tr, err = cli.BuildTrace(o.traceKind, o.traceFile, o.before, o.after, o.dropAt, o.seed, o.duration)
+		if err != nil {
+			stderr.Printf("rtctrace: %v\n", err)
+			return 2
+		}
 	}
 	ctrl, err := cli.BuildController(o.controller, false)
 	if err != nil {
@@ -170,6 +201,15 @@ func runRecord(o recordOpts, stdout, stderr *cli.Printer) int {
 		LossProb:   o.loss,
 		Controller: ctrl,
 		Recorder:   rec,
+	}
+	if scPath != nil {
+		if !o.durationSet {
+			cfg.Duration = 0 // let the scenario's natural span fill it
+		}
+		cli.ApplyScenario(&cfg, *scPath)
+		if cfg.Duration == 0 {
+			cfg.Duration = o.duration
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		stderr.Printf("rtctrace: %v\n", err)

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"rtcadapt/internal/scenario"
 )
 
 // CSV runs the named experiment on the default parallel runner.
@@ -107,6 +109,20 @@ func (r *Runner) CSV(id string, seeds []int64) (string, error) {
 		for _, r := range r.Figure9(seeds) {
 			row(r.Receiver, onoff(r.LayerSelection),
 				ms(r.P95), f4(r.DeliveredFrac), f4(r.MeanSSIM), f2(r.MOS))
+		}
+	case "frontier":
+		// The win-margin frontier over the default generated grid. Not
+		// part of "all": the grid is a corpus sweep, not a paper figure,
+		// and the pinned results snapshot must not change.
+		res, err := r.Frontier(scenario.Grid{}, seeds)
+		if err != nil {
+			return "", err
+		}
+		row("loss", "rtt_ms", "magnitude", "drop_s", "baseline_p95_ms", "adaptive_p95_ms", "win_pct")
+		for _, c := range res.Cells {
+			row(f4(c.Point.Loss), ms(c.Point.RTT), f2(c.Point.Magnitude),
+				strconv.FormatFloat(c.Point.DropDur.Seconds(), 'f', 1, 64),
+				ms(c.BaselineP95), ms(c.AdaptiveP95), f2(c.WinPct))
 		}
 	case "figure10":
 		row("controller", "probing", "reclaim_s", "post_restore_ssim")

@@ -111,6 +111,17 @@ func buildConfig(tr *trace.Trace, content video.Class, kind ControllerKind,
 		Trace:       tr,
 		InitialRate: 1e6,
 	}
+	attachController(&cfg, kind, adaptiveCfg)
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("experiments: bad scenario config: %v", err))
+	}
+	return cfg
+}
+
+// attachController installs the controller (and estimator override) for
+// a kind. Controllers are stateful and single-use, so this runs once per
+// session config.
+func attachController(cfg *session.Config, kind ControllerKind, adaptiveCfg core.AdaptiveConfig) {
 	switch kind {
 	case KindNative:
 		cfg.Controller = core.NewNativeRC()
@@ -126,10 +137,6 @@ func buildConfig(tr *trace.Trace, content video.Class, kind ControllerKind,
 	default:
 		panic(fmt.Sprintf("experiments: unknown controller kind %q", kind))
 	}
-	if err := cfg.Validate(); err != nil {
-		panic(fmt.Sprintf("experiments: bad scenario config: %v", err))
-	}
-	return cfg
 }
 
 // runDrop executes one drop scenario under one controller kind.

@@ -128,6 +128,9 @@ type shard struct {
 	sums     []session.Summary
 	recorded int
 	dropped  int
+	// done marks the shard finished; the streaming writer uses it to
+	// flush completed shards in index order (guarded by its own mutex).
+	done bool
 }
 
 // run executes the shard's batch sequentially and fills sums in index
@@ -151,14 +154,10 @@ func (sh *shard) run() {
 	}
 }
 
-// Run executes the fleet and merges per-shard results in canonical
-// shard order (= session index order, since shards hold contiguous
-// ranges). The merge loop runs after every shard finished, so the
-// Result bytes depend only on Config, never on scheduling.
-func Run(cfg Config) (Result, error) {
-	if err := cfg.normalize(); err != nil {
-		return Result{}, err
-	}
+// makeShards partitions a normalized Config's population into contiguous
+// per-shard index ranges, each with its own scheduler (and recorder when
+// Record is set).
+func makeShards(cfg Config) []*shard {
 	shards := make([]*shard, cfg.Shards)
 	base, rem := cfg.Sessions/cfg.Shards, cfg.Sessions%cfg.Shards
 	lo := 0
@@ -180,11 +179,28 @@ func Run(cfg Config) (Result, error) {
 		}
 		lo += size
 	}
+	return shards
+}
+
+// shardLabel names a shard for progress reporting.
+func shardLabel(shards []*shard) func(int) string {
+	return func(k int) string {
+		return fmt.Sprintf("shard %d (%d sessions)", k, shards[k].hi-shards[k].lo)
+	}
+}
+
+// Run executes the fleet and merges per-shard results in canonical
+// shard order (= session index order, since shards hold contiguous
+// ranges). The merge loop runs after every shard finished, so the
+// Result bytes depend only on Config, never on scheduling.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	shards := makeShards(cfg)
 
 	runner := &experiments.Runner{Workers: cfg.Workers, Progress: cfg.Progress}
-	experiments.Map(runner, len(shards), func(k int) string {
-		return fmt.Sprintf("shard %d (%d sessions)", k, shards[k].hi-shards[k].lo)
-	}, func(k int) struct{} {
+	experiments.Map(runner, len(shards), shardLabel(shards), func(k int) struct{} {
 		shards[k].run()
 		return struct{}{}
 	})

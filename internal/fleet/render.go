@@ -90,41 +90,54 @@ func WriteDistCSV(w io.Writer, res Result) error {
 	return cw.Error()
 }
 
-// WriteSessionsCSV writes one row per session in index order — the
-// full-granularity artifact the shard-invariance check compares
-// byte-for-byte.
-func WriteSessionsCSV(w io.Writer, res Result) error {
-	cw := csv.NewWriter(w)
+// sessionHeader returns the per-session CSV header row. It is shared by
+// the buffered and the streaming sessions writers, which must emit
+// byte-identical output.
+func sessionHeader() []string {
 	header := []string{"index", "frames", "delivered", "skipped", "dropped",
 		"accepted_pkts", "delivered_pkts", "queue_drops", "loss_drops",
 		"pacer_dropped", "pli", "nacks", "rtx", "fec_repairs", "fec_recovered"}
 	for _, m := range FleetMetrics() {
 		header = append(header, m.Name)
 	}
+	return header
+}
+
+// sessionRow renders one session summary as a CSV row, in sessionHeader
+// column order.
+func sessionRow(s session.Summary) []string {
+	row := []string{
+		strconv.Itoa(s.Index),
+		strconv.Itoa(s.Report.Frames),
+		strconv.Itoa(s.Report.DeliveredFrames),
+		strconv.Itoa(s.Report.SkippedFrames),
+		strconv.Itoa(s.Report.DroppedFrames),
+		strconv.Itoa(s.LinkStats.Accepted),
+		strconv.Itoa(s.LinkStats.Delivered),
+		strconv.Itoa(s.LinkStats.DroppedQueue),
+		strconv.Itoa(s.LinkStats.DroppedLoss),
+		strconv.Itoa(s.PacerDropped),
+		strconv.Itoa(s.PLISent),
+		strconv.Itoa(s.NacksSent),
+		strconv.Itoa(s.Retransmitted),
+		strconv.Itoa(s.FECRepairs),
+		strconv.Itoa(s.FECRecovered),
+	}
+	for _, m := range FleetMetrics() {
+		row = append(row, formatNum(m.Get(s)))
+	}
+	return row
+}
+
+// WriteSessionsCSV writes one row per session in index order — the
+// full-granularity artifact the shard-invariance check compares
+// byte-for-byte.
+func WriteSessionsCSV(w io.Writer, res Result) error {
+	cw := csv.NewWriter(w)
 	rows := make([][]string, 0, len(res.Sessions)+1)
-	rows = append(rows, header)
+	rows = append(rows, sessionHeader())
 	for _, s := range res.Sessions {
-		row := []string{
-			strconv.Itoa(s.Index),
-			strconv.Itoa(s.Report.Frames),
-			strconv.Itoa(s.Report.DeliveredFrames),
-			strconv.Itoa(s.Report.SkippedFrames),
-			strconv.Itoa(s.Report.DroppedFrames),
-			strconv.Itoa(s.LinkStats.Accepted),
-			strconv.Itoa(s.LinkStats.Delivered),
-			strconv.Itoa(s.LinkStats.DroppedQueue),
-			strconv.Itoa(s.LinkStats.DroppedLoss),
-			strconv.Itoa(s.PacerDropped),
-			strconv.Itoa(s.PLISent),
-			strconv.Itoa(s.NacksSent),
-			strconv.Itoa(s.Retransmitted),
-			strconv.Itoa(s.FECRepairs),
-			strconv.Itoa(s.FECRecovered),
-		}
-		for _, m := range FleetMetrics() {
-			row = append(row, formatNum(m.Get(s)))
-		}
-		rows = append(rows, row)
+		rows = append(rows, sessionRow(s))
 	}
 	if err := cw.WriteAll(rows); err != nil {
 		return err

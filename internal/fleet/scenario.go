@@ -5,33 +5,21 @@ import (
 	"time"
 
 	"rtcadapt/internal/core"
+	"rtcadapt/internal/netem"
+	"rtcadapt/internal/scenario"
 	"rtcadapt/internal/session"
-	"rtcadapt/internal/trace"
-	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
 )
 
-// Built-in fleet scenarios. Each maps (index, seed) to a session config
+// Built-in fleet scenarios, backed by the internal/scenario population
+// registry. Each maps (index, seed) to a session config
 // deterministically: the index steers the discrete population structure
 // (content class, drop magnitude, scenario mix) and the seed drives
 // every stochastic component, so the fleet's output is a pure function
 // of (scenario, duration, fleet seed, population size).
 
-// ScenarioNames lists the built-in fleet scenarios in canonical order.
-func ScenarioNames() []string {
-	return []string{"drop", "lte", "wifi", "mixed"}
-}
-
-// fleetDrops are the step-drop magnitudes the "drop" scenario cycles
-// through — the same grid the per-session experiments sweep.
-func fleetDrops() [][2]units.BitsPerSec {
-	return [][2]units.BitsPerSec{
-		{2.5e6, 1.8e6},
-		{2.5e6, 1.5e6},
-		{2.5e6, 1.0e6},
-		{2.5e6, 0.5e6},
-	}
-}
+// ScenarioNames lists the built-in fleet populations in canonical order.
+func ScenarioNames() []string { return scenario.PopulationNames() }
 
 // fleetContent alternates the two content classes across the population.
 func fleetContent(index int) video.Class {
@@ -42,68 +30,66 @@ func fleetContent(index int) video.Class {
 }
 
 // ScenarioBuild returns the pure per-session Config builder for a named
-// scenario with the given per-session duration. The returned function is
-// the fleet Config.Build: it constructs a fresh controller every call
-// (controllers are stateful and single-use) and never consults anything
-// but its arguments.
+// population with the given per-session duration.
 func ScenarioBuild(name string, dur time.Duration) (func(index int, seed int64) session.Config, error) {
 	if dur <= 0 {
 		return nil, fmt.Errorf("fleet: scenario duration must be positive, got %v", dur)
 	}
-	switch name {
-	case "drop":
-		return func(index int, seed int64) session.Config {
-			drops := fleetDrops()
-			d := drops[index%len(drops)]
-			return baseConfig(dur, seed, fleetContent(index),
-				trace.StepDrop(d[0], d[1], dur/3), false)
-		}, nil
-	case "lte":
-		return func(index int, seed int64) session.Config {
-			tr := trace.LTE(seed, dur+5*time.Second, trace.LTEConfig{Mean: 2.5e6})
-			return baseConfig(dur, seed, fleetContent(index), tr, false)
-		}, nil
-	case "wifi":
-		return func(index int, seed int64) session.Config {
-			tr := trace.WiFi(seed, dur+5*time.Second, trace.WiFiConfig{Mean: 2.5e6})
-			return baseConfig(dur, seed, fleetContent(index), tr, false)
-		}, nil
-	case "mixed":
-		// One-third each of step-drop, LTE, and WiFi channels, with
-		// NACK loss recovery enabled fleet-wide — the closest built-in
-		// analogue of a heterogeneous production population.
-		return func(index int, seed int64) session.Config {
-			var tr *trace.Trace
-			switch index % 3 {
-			case 0:
-				drops := fleetDrops()
-				d := drops[(index/3)%len(drops)]
-				tr = trace.StepDrop(d[0], d[1], dur/3)
-			case 1:
-				tr = trace.LTE(seed, dur+5*time.Second, trace.LTEConfig{Mean: 2.5e6})
-			default:
-				tr = trace.WiFi(seed, dur+5*time.Second, trace.WiFiConfig{Mean: 2.5e6})
-			}
-			cfg := baseConfig(dur, seed, fleetContent(index), tr, true)
-			cfg.LossProb = 0.005
-			return cfg
-		}, nil
+	pop, err := scenario.FleetPopulation(name, dur)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("fleet: unknown scenario %q (have %v)", name, ScenarioNames())
+	return PopulationBuild(pop, dur)
 }
 
-// baseConfig assembles the common session shape: the paper's adaptive
-// controller over the default GCC estimator.
-func baseConfig(dur time.Duration, seed int64, content video.Class,
-	tr *trace.Trace, nack bool) session.Config {
+// PopulationBuild returns the pure per-session Config builder over an
+// explicit population: session index i runs member i%len with seed-driven
+// randomness. The returned function is the fleet Config.Build: it
+// compiles the member and constructs a fresh controller every call
+// (controllers are stateful and single-use) and never consults anything
+// but its arguments.
+func PopulationBuild(pop scenario.Population, dur time.Duration) (func(index int, seed int64) session.Config, error) {
+	if dur <= 0 {
+		return nil, fmt.Errorf("fleet: scenario duration must be positive, got %v", dur)
+	}
+	if len(pop.Members) == 0 {
+		return nil, fmt.Errorf("fleet: population %q has no members", pop.Name)
+	}
+	for _, m := range pop.Members {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+	}
+	// Model members without their own span generate dur+5s of capacity so
+	// the trace outlives the session (the FleetPopulation convention).
+	modelDur := dur + 5*time.Second
+	return func(index int, seed int64) session.Config {
+		member := pop.Member(index)
+		path, err := member.Compile(scenario.CompileConfig{Seed: seed, Duration: modelDur})
+		if err != nil {
+			panic(fmt.Sprintf("fleet: scenario %q: %v", member.Name, err))
+		}
+		return pathConfig(path, dur, seed, fleetContent(index))
+	}, nil
+}
+
+// pathConfig assembles the common session shape over a compiled path:
+// the paper's adaptive controller over the default GCC estimator.
+func pathConfig(p scenario.Path, dur time.Duration, seed int64, content video.Class) session.Config {
 	cfg := session.Config{
-		Duration:    dur,
-		Seed:        seed,
-		Content:     content,
-		Trace:       tr,
-		InitialRate: 1e6,
-		NACK:        nack,
-		Controller:  core.NewAdaptive(core.AdaptiveConfig{}),
+		Duration:        dur,
+		Seed:            seed,
+		Content:         content,
+		Trace:           p.Trace,
+		LossProb:        p.Loss,
+		PropDelay:       p.PropDelay,
+		QueueLimitBytes: p.Queue,
+		NACK:            p.NACK,
+		InitialRate:     1e6,
+		Controller:      core.NewAdaptive(core.AdaptiveConfig{}),
+	}
+	if p.BurstLoss > 0 {
+		cfg.BurstLoss = netem.NewGilbertElliott(8, p.BurstLoss)
 	}
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("fleet: bad scenario config: %v", err))

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"encoding/csv"
+	"io"
+	"sync"
+
+	"rtcadapt/internal/experiments"
+)
+
+// The streaming sessions writer. A buffered fleet run holds every
+// session.Summary until the merge; at 1M sessions the per-session CSV is
+// the one artifact whose working set need not scale with the population,
+// because rows depend only on their own shard. RunSessionsCSV therefore
+// flushes each shard's rows as soon as every earlier shard has flushed,
+// releasing the summaries immediately after. Output is byte-identical
+// to Run + WriteSessionsCSV for any shard/worker count — rows leave in
+// canonical index order regardless of which shard finished first.
+
+// StreamStats summarizes a streaming fleet run. It carries everything
+// Result does except the per-session summaries, which were written out
+// and released.
+type StreamStats struct {
+	// Shards and Sessions echo the effective run shape.
+	Shards, Sessions int
+	// RecordedEvents and DroppedEvents total the flight-recorder
+	// activity (zero unless Config.Record).
+	RecordedEvents, DroppedEvents int
+	// PeakRetained is the maximum number of finished shards held in
+	// memory waiting for an earlier shard to finish. With one worker,
+	// shards finish in index order and it is exactly 1 — the memory
+	// bound the stream exists for. With W workers it is at most W.
+	PeakRetained int
+}
+
+// RunSessionsCSV executes the fleet and streams the per-session CSV to w
+// incrementally, releasing each shard's summaries once written.
+func RunSessionsCSV(cfg Config, w io.Writer) (StreamStats, error) {
+	if err := cfg.normalize(); err != nil {
+		return StreamStats{}, err
+	}
+	shards := makeShards(cfg)
+
+	cw := csv.NewWriter(w)
+	var (
+		mu   sync.Mutex
+		next int // first shard not yet flushed
+		held int // finished shards retained behind a straggler
+		peak int
+		werr error
+	)
+	if err := cw.Write(sessionHeader()); err != nil {
+		return StreamStats{}, err
+	}
+	// flush marks shard k done and drains the longest done prefix. It
+	// runs on worker goroutines; the mutex serializes both the bookkeeping
+	// and the CSV writes. A write error sticks and turns the remaining
+	// drains into releases.
+	flush := func(k int) {
+		mu.Lock()
+		defer mu.Unlock()
+		shards[k].done = true
+		held++
+		if held > peak {
+			peak = held
+		}
+		for next < len(shards) && shards[next].done {
+			for _, s := range shards[next].sums {
+				if werr == nil {
+					werr = cw.Write(sessionRow(s))
+				}
+			}
+			shards[next].sums = nil
+			next++
+			held--
+		}
+		cw.Flush()
+	}
+
+	runner := &experiments.Runner{Workers: cfg.Workers, Progress: cfg.Progress}
+	experiments.Map(runner, len(shards), shardLabel(shards), func(k int) struct{} {
+		shards[k].run()
+		flush(k)
+		return struct{}{}
+	})
+
+	st := StreamStats{Shards: cfg.Shards, Sessions: cfg.Sessions, PeakRetained: peak}
+	for _, sh := range shards {
+		st.RecordedEvents += sh.recorded
+		st.DroppedEvents += sh.dropped
+	}
+	if werr == nil {
+		werr = cw.Error()
+	}
+	return st, werr
+}

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStreamMatchesBuffered pins that the streaming sessions CSV is
+// byte-identical to Run + WriteSessionsCSV, across shard and worker
+// counts.
+func TestStreamMatchesBuffered(t *testing.T) {
+	const sessions = 11
+	res, err := Run(testConfig(t, sessions, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteSessionsCSV(&want, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ shards, workers int }{
+		{1, 1}, {4, 1}, {4, 3}, {8, 0},
+	} {
+		var got bytes.Buffer
+		st, err := RunSessionsCSV(testConfig(t, sessions, tc.shards, tc.workers), &got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("shards=%d workers=%d: streamed CSV differs from buffered", tc.shards, tc.workers)
+		}
+		if st.Sessions != sessions || st.Shards != tc.shards {
+			t.Errorf("shards=%d: stats %+v", tc.shards, st)
+		}
+	}
+}
+
+// TestStreamMemoryBound pins the point of streaming: with one worker,
+// shards finish in index order, every shard flushes (and releases its
+// summaries) before the next one starts, and at most one finished shard
+// is ever retained.
+func TestStreamMemoryBound(t *testing.T) {
+	var out bytes.Buffer
+	st, err := RunSessionsCSV(testConfig(t, 16, 8, 1), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakRetained != 1 {
+		t.Errorf("workers=1: PeakRetained = %d, want 1", st.PeakRetained)
+	}
+}
+
+// TestStreamRecorderTotals pins that the flight-recorder totals survive
+// the streaming path too.
+func TestStreamRecorderTotals(t *testing.T) {
+	cfg := testConfig(t, 5, 2, 2)
+	cfg.Record = true
+	cfg.EventCapacity = 64
+	var out bytes.Buffer
+	st, err := RunSessionsCSV(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecordedEvents == 0 {
+		t.Error("Record run emitted no events")
+	}
+
+	buffered, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecordedEvents != buffered.RecordedEvents || st.DroppedEvents != buffered.DroppedEvents {
+		t.Errorf("recorder totals differ: stream %d/%d vs buffered %d/%d",
+			st.RecordedEvents, st.DroppedEvents, buffered.RecordedEvents, buffered.DroppedEvents)
+	}
+}
+
+// TestStreamValidation pins the error path.
+func TestStreamValidation(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := RunSessionsCSV(Config{Sessions: 0}, &out); err == nil {
+		t.Error("Sessions=0 accepted")
+	}
+}

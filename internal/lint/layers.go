@@ -20,7 +20,7 @@ import "strings"
 //	  |
 //	model        internal/cc  internal/codec  internal/fec
 //	  |          internal/netem  internal/pacer  internal/rtp
-//	  |          internal/video
+//	  |          internal/scenario  internal/video
 //	  |
 //	data         internal/audio  internal/fb  internal/metrics
 //	  |          internal/obs  internal/trace
@@ -53,7 +53,7 @@ type Layer struct {
 var LayerTable = []Layer{
 	{Name: "foundation", Pkgs: []string{"internal/simtime", "internal/stats", "internal/units"}},
 	{Name: "data", Pkgs: []string{"internal/audio", "internal/fb", "internal/metrics", "internal/obs", "internal/trace"}},
-	{Name: "model", AllowIntra: true, Pkgs: []string{"internal/cc", "internal/codec", "internal/fec", "internal/netem", "internal/pacer", "internal/rtp", "internal/video"}},
+	{Name: "model", AllowIntra: true, Pkgs: []string{"internal/cc", "internal/codec", "internal/fec", "internal/netem", "internal/pacer", "internal/rtp", "internal/scenario", "internal/video"}},
 	{Name: "engine", Pkgs: []string{"internal/core"}},
 	{Name: "harness", AllowIntra: true, Pkgs: []string{"internal/session", "internal/sfu"}},
 	{Name: "measurement", AllowIntra: true, Pkgs: []string{"internal/cli", "internal/experiments", "internal/fleet", "internal/plot"}},

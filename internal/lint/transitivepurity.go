@@ -37,6 +37,7 @@ var purityEntryPkgs = map[string]bool{
 	"internal/core":        true,
 	"internal/experiments": true,
 	"internal/fleet":       true,
+	"internal/scenario":    true,
 	"internal/session":     true,
 }
 

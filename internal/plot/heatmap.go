@@ -1,0 +1,127 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shades is the heatmap intensity ramp, low to high. Ten levels is as
+// much resolution as a terminal glyph reads reliably.
+const shades = " .:-=+*#%@"
+
+// HeatmapConfig controls heatmap geometry and scaling.
+type HeatmapConfig struct {
+	// RowLabels and ColLabels name the cells; lengths must match the
+	// data (rows × cols).
+	RowLabels, ColLabels []string
+	// RowAxis and ColAxis annotate the axes in the legend.
+	RowAxis, ColAxis string
+	// CellWidth is the minimum column width in characters. Default 5.
+	CellWidth int
+	// Min and Max force the intensity scale; when equal (e.g. both
+	// zero) the scale is fit to the finite data.
+	Min, Max float64
+}
+
+// Heatmap renders a rows×cols matrix as an ASCII intensity map with a
+// calibration legend. Cells hold any float; NaN renders as '?'. The
+// output is a pure function of the inputs (byte-identical across runs).
+func Heatmap(cfg HeatmapConfig, cells [][]float64) string {
+	if len(cells) == 0 || len(cells) != len(cfg.RowLabels) {
+		return "(no data)\n"
+	}
+	cols := len(cfg.ColLabels)
+	for _, row := range cells {
+		if len(row) != cols {
+			return "(ragged heatmap data)\n"
+		}
+	}
+	if cfg.CellWidth <= 0 {
+		cfg.CellWidth = 5
+	}
+
+	lo, hi := cfg.Min, cfg.Max
+	if !(hi > lo) {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, row := range cells {
+			for _, v := range row {
+				if math.IsNaN(v) {
+					continue
+				}
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if !(hi > lo) { // all-NaN or constant data
+			if math.IsInf(lo, 1) {
+				lo, hi = 0, 1
+			} else {
+				lo, hi = lo-1, lo+1
+			}
+		}
+	}
+
+	rowW := 0
+	for _, l := range cfg.RowLabels {
+		if len(l) > rowW {
+			rowW = len(l)
+		}
+	}
+	colW := make([]int, cols)
+	for c, l := range cfg.ColLabels {
+		colW[c] = cfg.CellWidth
+		if len(l)+1 > colW[c] {
+			colW[c] = len(l) + 1
+		}
+	}
+
+	var b strings.Builder
+	// Header: column labels.
+	fmt.Fprintf(&b, "%*s |", rowW, "")
+	for c, l := range cfg.ColLabels {
+		fmt.Fprintf(&b, "%*s", colW[c], l)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s-+", strings.Repeat("-", rowW))
+	for c := range cfg.ColLabels {
+		b.WriteString(strings.Repeat("-", colW[c]))
+	}
+	b.WriteByte('\n')
+	// Body: one shade block per cell, right-aligned under its label.
+	for r, row := range cells {
+		fmt.Fprintf(&b, "%*s |", rowW, cfg.RowLabels[r])
+		for c, v := range row {
+			block := strings.Repeat(string(shadeFor(v, lo, hi)), cfg.CellWidth-1)
+			fmt.Fprintf(&b, "%*s", colW[c], block)
+		}
+		b.WriteByte('\n')
+	}
+	// Legend: the ramp with its calibration, plus axis names.
+	fmt.Fprintf(&b, "%*s  scale: '%c'=%.4g .. '%c'=%.4g", rowW, "",
+		shades[0], lo, shades[len(shades)-1], hi)
+	if cfg.RowAxis != "" || cfg.ColAxis != "" {
+		fmt.Fprintf(&b, "  (rows: %s, cols: %s)", cfg.RowAxis, cfg.ColAxis)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// shadeFor maps v onto the ramp over [lo, hi].
+func shadeFor(v, lo, hi float64) byte {
+	if math.IsNaN(v) {
+		return '?'
+	}
+	frac := (v - lo) / (hi - lo)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	i := int(frac * float64(len(shades)))
+	if i >= len(shades) {
+		i = len(shades) - 1
+	}
+	return shades[i]
+}

@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRendersRamp(t *testing.T) {
+	cfg := HeatmapConfig{
+		RowLabels: []string{"lo", "hi"},
+		ColLabels: []string{"a", "b"},
+		RowAxis:   "magnitude",
+		ColAxis:   "duration",
+	}
+	out := Heatmap(cfg, [][]float64{{0, 25}, {75, 100}})
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("short output:\n%s", out)
+	}
+	// Min maps to the lightest shade, max to the darkest.
+	if !strings.Contains(lines[2], " ") {
+		t.Errorf("min row has no blank shade: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "@") {
+		t.Errorf("max row has no full shade: %q", lines[3])
+	}
+	if !strings.Contains(out, "scale: ' '=0") || !strings.Contains(out, "'@'=100") {
+		t.Errorf("legend missing calibration:\n%s", out)
+	}
+	if !strings.Contains(out, "rows: magnitude, cols: duration") {
+		t.Errorf("legend missing axes:\n%s", out)
+	}
+}
+
+func TestHeatmapDeterministic(t *testing.T) {
+	cfg := HeatmapConfig{RowLabels: []string{"r"}, ColLabels: []string{"c1", "c2"}}
+	cells := [][]float64{{1.5, 2.5}}
+	if Heatmap(cfg, cells) != Heatmap(cfg, cells) {
+		t.Error("heatmap is not deterministic")
+	}
+}
+
+func TestHeatmapNaN(t *testing.T) {
+	out := Heatmap(HeatmapConfig{
+		RowLabels: []string{"r"},
+		ColLabels: []string{"a", "b"},
+	}, [][]float64{{math.NaN(), 1}})
+	if !strings.Contains(out, "?") {
+		t.Errorf("NaN cell not marked:\n%s", out)
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	if out := Heatmap(HeatmapConfig{}, nil); !strings.Contains(out, "no data") {
+		t.Errorf("empty input: %q", out)
+	}
+	if out := Heatmap(HeatmapConfig{
+		RowLabels: []string{"r"},
+		ColLabels: []string{"a", "b"},
+	}, [][]float64{{1}}); !strings.Contains(out, "ragged") {
+		t.Errorf("ragged input: %q", out)
+	}
+	// Constant data must not divide by zero.
+	out := Heatmap(HeatmapConfig{
+		RowLabels: []string{"r"},
+		ColLabels: []string{"a"},
+	}, [][]float64{{5}})
+	if strings.Contains(out, "NaN") {
+		t.Errorf("constant data rendered NaN:\n%s", out)
+	}
+}
+
+func TestHeatmapForcedScale(t *testing.T) {
+	cfg := HeatmapConfig{
+		RowLabels: []string{"r"},
+		ColLabels: []string{"a"},
+		Min:       0,
+		Max:       200,
+	}
+	out := Heatmap(cfg, [][]float64{{100}})
+	if !strings.Contains(out, "'@'=200") {
+		t.Errorf("forced scale ignored:\n%s", out)
+	}
+}

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"rtcadapt/internal/trace"
+	"rtcadapt/internal/units"
+)
+
+// These tests pin the tentpole equivalence claim: every hardcoded
+// internal/trace scenario constructor has a declarative preset that
+// compiles to the byte-identical trace (CSV form — the full observable
+// content of a trace). The constructors stay as conveniences; the
+// presets are the canonical definitions.
+
+func TestPresetTraceEquivalence(t *testing.T) {
+	const (
+		seed = int64(42)
+		dur  = 60 * time.Second
+	)
+	legacy := map[string]*trace.Trace{
+		"constant":    trace.Constant(2.5e6),
+		"standard":    trace.StepDrop(2.5e6, 0.8e6, 10*time.Second),
+		"flash-crowd": trace.StepDropRecover(2.5e6, 0.8e6, 10*time.Second, 20*time.Second),
+		"staircase":   trace.Staircase(5*time.Second, 2.5e6, 2.0e6, 1.5e6, 1.0e6, 0.5e6),
+		"oscillating": trace.Oscillating(2.5e6, 0.8e6, 2*time.Second, 40*time.Second),
+		"lte":         trace.LTE(seed, dur, trace.LTEConfig{}),
+		"wifi":        trace.WiFi(seed, dur, trace.WiFiConfig{}),
+		"randomwalk":  trace.RandomWalk(seed, dur, 200*time.Millisecond, 2.5e6, 0.5e6, 5e6),
+	}
+	for _, name := range PresetNames() {
+		want, ok := legacy[name]
+		if !ok {
+			continue // no legacy constructor to pin against (double-drop)
+		}
+		t.Run(name, func(t *testing.T) {
+			s := MustPreset(name)
+			p, err := s.Compile(CompileConfig{Seed: seed, Duration: dur})
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			got, wantCSV := traceCSV(t, p.Trace), traceCSV(t, want)
+			if got != wantCSV {
+				t.Errorf("preset %q is not byte-identical to its trace constructor:\ngot:\n%s\nwant:\n%s",
+					name, got, wantCSV)
+			}
+		})
+	}
+	// Every legacy constructor must be covered by a preset.
+	names := map[string]bool{}
+	for _, n := range PresetNames() {
+		names[n] = true
+	}
+	for n := range legacy {
+		if !names[n] {
+			t.Errorf("legacy scenario %q has no preset", n)
+		}
+	}
+}
+
+// TestFleetPopulationEquivalence pins the populations against the exact
+// trace expressions cmd/rtcfleet used before the registry existed (the
+// drop|lte|wifi|mixed switch over index and seed).
+func TestFleetPopulationEquivalence(t *testing.T) {
+	const dur = 10 * time.Second
+	legacyDrops := [][2]units.BitsPerSec{
+		{2.5e6, 1.8e6}, {2.5e6, 1.5e6}, {2.5e6, 1.0e6}, {2.5e6, 0.5e6},
+	}
+	legacy := func(name string, index int, seed int64) *trace.Trace {
+		switch name {
+		case "drop":
+			d := legacyDrops[index%len(legacyDrops)]
+			return trace.StepDrop(d[0], d[1], dur/3)
+		case "lte":
+			return trace.LTE(seed, dur+5*time.Second, trace.LTEConfig{Mean: 2.5e6})
+		case "wifi":
+			return trace.WiFi(seed, dur+5*time.Second, trace.WiFiConfig{Mean: 2.5e6})
+		case "mixed":
+			switch index % 3 {
+			case 0:
+				d := legacyDrops[(index/3)%len(legacyDrops)]
+				return trace.StepDrop(d[0], d[1], dur/3)
+			case 1:
+				return trace.LTE(seed, dur+5*time.Second, trace.LTEConfig{Mean: 2.5e6})
+			default:
+				return trace.WiFi(seed, dur+5*time.Second, trace.WiFiConfig{Mean: 2.5e6})
+			}
+		}
+		t.Fatalf("unknown population %q", name)
+		return nil
+	}
+	for _, name := range PopulationNames() {
+		t.Run(name, func(t *testing.T) {
+			pop, err := FleetPopulation(name, dur)
+			if err != nil {
+				t.Fatalf("FleetPopulation: %v", err)
+			}
+			// Two full cycles: the member cycle must reproduce the legacy
+			// per-index arithmetic, not just the first lap.
+			for index := 0; index < 2*len(pop.Members); index++ {
+				seed := int64(1000 + index)
+				m := pop.Member(index)
+				p, err := m.Compile(CompileConfig{Seed: seed})
+				if err != nil {
+					t.Fatalf("index %d: Compile: %v", index, err)
+				}
+				want := legacy(name, index, seed)
+				if traceCSV(t, p.Trace) != traceCSV(t, want) {
+					t.Errorf("index %d: trace differs from the legacy fleet switch", index)
+				}
+				wantLoss, wantNACK := 0.0, false
+				if name == "mixed" {
+					wantLoss, wantNACK = 0.005, true
+				}
+				if p.Loss != wantLoss || p.NACK != wantNACK {
+					t.Errorf("index %d: impairments loss=%v nack=%v", index, p.Loss, p.NACK)
+				}
+			}
+		})
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("5g"); err == nil {
+		t.Fatal("Preset accepted an unknown name")
+	}
+	if _, err := FleetPopulation("5g", time.Second); err == nil {
+		t.Fatal("FleetPopulation accepted an unknown name")
+	}
+}
+
+func TestPresetsValidateAndAreFresh(t *testing.T) {
+	for _, name := range PresetNames() {
+		s := MustPreset(name)
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("preset %q has Name %q", name, s.Name)
+		}
+		// Mutating one copy must not leak into the next.
+		if len(s.Phases) > 0 {
+			s.Phases[0].Capacity = 1
+			if again := MustPreset(name); again.Phases[0].Capacity == 1 {
+				t.Errorf("preset %q shares phase storage across calls", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden corpus pins the canonical serialization of every preset.
+// Regenerate after an intentional schema change with:
+//
+//	UPDATE_SCENARIO_GOLDEN=1 go test ./internal/scenario
+//
+// (the same pattern as UPDATE_LINT_GOLDEN for the lint suite). The
+// corpus also seeds FuzzParseScenario.
+func TestGoldenCorpus(t *testing.T) {
+	update := os.Getenv("UPDATE_SCENARIO_GOLDEN") != ""
+	for _, name := range PresetNames() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", name+".yaml")
+			got := Marshal(MustPreset(name))
+			if update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatalf("regen: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regen with UPDATE_SCENARIO_GOLDEN=1): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("preset %q serialization drifted from golden:\ngot:\n%s\nwant:\n%s",
+					name, got, want)
+			}
+			// Round trip: the golden file must parse back to a scenario
+			// that re-serializes identically.
+			back, err := Parse(want)
+			if err != nil {
+				t.Fatalf("golden does not parse: %v", err)
+			}
+			if string(Marshal(back)) != string(want) {
+				t.Errorf("golden for %q is not a marshal fixpoint", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"rtcadapt/internal/stats"
+	"rtcadapt/internal/units"
+)
+
+// Grid is the seeded deterministic scenario generator: it sweeps the
+// drop-magnitude × drop-duration × RTT × loss space and emits one
+// drop-and-recover scenario per cell. The frontier experiment runs the
+// adaptive controller and a baseline over every cell to map where the
+// adaptive scheme's win margin collapses (deep-and-long drops favor it;
+// shallow-and-short drops are where the margin should vanish).
+//
+// The zero value sweeps the default grid; set Seed+Jitter to perturb
+// capacities reproducibly (the same Grid always yields the same
+// scenarios: jitter draws come from one PRNG consumed in enumeration
+// order).
+type Grid struct {
+	// Before is the pre-drop capacity. Default 2.5 Mbps (the paper's
+	// uplink).
+	Before units.BitsPerSec
+	// DropAt is when capacity steps down. Default 5s (enough for every
+	// controller to converge to steady state).
+	DropAt time.Duration
+	// Tail is how long capacity stays recovered after the drop ends —
+	// the post-recovery observation window. Default 5s.
+	Tail time.Duration
+
+	// Magnitudes are the drop fractions: capacity falls to
+	// Before*(1-m). Default {0.3, 0.5, 0.7, 0.8, 0.9}.
+	Magnitudes []float64
+	// Durations are the drop hold times before recovery.
+	// Default {500ms, 1s, 3s, 10s}.
+	Durations []time.Duration
+	// RTTs are the path round-trip propagation delays.
+	// Default {50ms, 200ms}.
+	RTTs []time.Duration
+	// Losses are the random loss probabilities. Default {0, 0.02}.
+	Losses []float64
+
+	// Seed drives the capacity jitter; ignored when Jitter is zero.
+	Seed int64
+	// Jitter perturbs each cell's before/after capacity by a uniform
+	// relative factor in [1-Jitter, 1+Jitter], so the frontier is not
+	// an artifact of round-number capacities. Zero disables it.
+	Jitter float64
+}
+
+// Point is one grid cell: the compiled-ready scenario plus the cell
+// coordinates (post-jitter capacities live in the scenario; the
+// coordinates are the nominal sweep values for table axes).
+type Point struct {
+	Scenario  Scenario
+	Magnitude float64
+	DropDur   time.Duration
+	RTT       time.Duration
+	Loss      float64
+}
+
+// withDefaults fills unset fields.
+func (g Grid) withDefaults() Grid {
+	if g.Before == 0 {
+		g.Before = 2.5e6
+	}
+	if g.DropAt == 0 {
+		g.DropAt = 5 * time.Second
+	}
+	if g.Tail == 0 {
+		g.Tail = 5 * time.Second
+	}
+	if len(g.Magnitudes) == 0 {
+		g.Magnitudes = []float64{0.3, 0.5, 0.7, 0.8, 0.9}
+	}
+	if len(g.Durations) == 0 {
+		g.Durations = []time.Duration{500 * time.Millisecond, time.Second, 3 * time.Second, 10 * time.Second}
+	}
+	if len(g.RTTs) == 0 {
+		g.RTTs = []time.Duration{50 * time.Millisecond, 200 * time.Millisecond}
+	}
+	if len(g.Losses) == 0 {
+		g.Losses = []float64{0, 0.02}
+	}
+	return g
+}
+
+// Validate checks the grid (after default-filling).
+func (g Grid) Validate() error {
+	g = g.withDefaults()
+	if !(g.Before > 0) {
+		return fmt.Errorf("scenario: grid Before %v is not positive", float64(g.Before))
+	}
+	if g.DropAt <= 0 || g.Tail <= 0 {
+		return fmt.Errorf("scenario: grid DropAt %v and Tail %v must be positive", g.DropAt, g.Tail)
+	}
+	for _, m := range g.Magnitudes {
+		if !(m > 0) || m >= 1 {
+			return fmt.Errorf("scenario: grid magnitude %v outside (0, 1)", m)
+		}
+	}
+	for _, d := range g.Durations {
+		if d <= 0 {
+			return fmt.Errorf("scenario: grid duration %v is not positive", d)
+		}
+	}
+	for _, rtt := range g.RTTs {
+		if rtt < 0 {
+			return fmt.Errorf("scenario: grid rtt %v is negative", rtt)
+		}
+	}
+	for _, p := range g.Losses {
+		if err := probability("loss", p); err != nil {
+			return fmt.Errorf("scenario: grid %w", err)
+		}
+	}
+	if g.Jitter < 0 || g.Jitter >= 1 {
+		return fmt.Errorf("scenario: grid jitter %v outside [0, 1)", g.Jitter)
+	}
+	return nil
+}
+
+// Points enumerates the grid in canonical order (loss, then RTT, then
+// magnitude, then duration — slowest to fastest axis), one scenario per
+// cell.
+func (g Grid) Points() ([]Point, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g = g.withDefaults()
+	var rng *stats.Rand
+	if g.Jitter > 0 {
+		rng = stats.NewRand(g.Seed)
+	}
+	pts := make([]Point, 0, len(g.Losses)*len(g.RTTs)*len(g.Magnitudes)*len(g.Durations))
+	for _, loss := range g.Losses {
+		for _, rtt := range g.RTTs {
+			for _, mag := range g.Magnitudes {
+				for _, dur := range g.Durations {
+					before, after := g.Before, g.Before.Scale(1-mag)
+					if rng != nil {
+						before = units.BitsPerSec(rng.Jitter(float64(before), g.Jitter))
+						after = units.BitsPerSec(rng.Jitter(float64(after), g.Jitter))
+					}
+					s := Scenario{
+						Name: cellName(loss, rtt, mag, dur),
+						Phases: []Phase{
+							{Duration: g.DropAt, Capacity: before},
+							{Duration: dur, Capacity: after},
+							{Duration: g.Tail, Capacity: before},
+						},
+						Loss: loss,
+						RTT:  rtt,
+					}
+					if err := s.Validate(); err != nil {
+						return nil, err
+					}
+					pts = append(pts, Point{
+						Scenario:  s,
+						Magnitude: mag,
+						DropDur:   dur,
+						RTT:       rtt,
+						Loss:      loss,
+					})
+				}
+			}
+		}
+	}
+	return pts, nil
+}
+
+// cellName labels a grid cell: "grid-m70-d1s-rtt200ms-l2" reads as 70%
+// drop for 1s at 200ms RTT with 2% loss.
+func cellName(loss float64, rtt time.Duration, mag float64, dur time.Duration) string {
+	return fmt.Sprintf("grid-m%.0f-d%s-rtt%s-l%s",
+		mag*100, dur, rtt, formatFloat(loss*100))
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGridDefaults(t *testing.T) {
+	pts, err := Grid{}.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	// 2 losses × 2 RTTs × 5 magnitudes × 4 durations.
+	if len(pts) != 80 {
+		t.Fatalf("default grid has %d cells, want 80", len(pts))
+	}
+	for _, p := range pts {
+		if err := p.Scenario.Validate(); err != nil {
+			t.Fatalf("cell %q invalid: %v", p.Scenario.Name, err)
+		}
+		if len(p.Scenario.Phases) != 3 {
+			t.Fatalf("cell %q has %d phases, want drop-and-recover", p.Scenario.Name, len(p.Scenario.Phases))
+		}
+	}
+	// Canonical order: loss is the slowest axis, duration the fastest.
+	if pts[0].Loss != 0 || pts[len(pts)-1].Loss != 0.02 {
+		t.Errorf("loss axis order: first %v last %v", pts[0].Loss, pts[len(pts)-1].Loss)
+	}
+	if pts[0].DropDur >= pts[1].DropDur {
+		t.Errorf("duration axis not fastest: %v then %v", pts[0].DropDur, pts[1].DropDur)
+	}
+}
+
+func TestGridDeterminism(t *testing.T) {
+	g := Grid{Seed: 7, Jitter: 0.05}
+	a, err := g.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	b, err := g.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	for i := range a {
+		if string(Marshal(a[i].Scenario)) != string(Marshal(b[i].Scenario)) {
+			t.Fatalf("cell %d differs across identical enumerations", i)
+		}
+	}
+	// A different seed must move the jittered capacities.
+	c, err := Grid{Seed: 8, Jitter: 0.05}.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Scenario.Phases[0].Capacity == c[i].Scenario.Phases[0].Capacity {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("jitter ignored the seed")
+	}
+}
+
+func TestGridNoJitterIsExact(t *testing.T) {
+	pts, err := Grid{}.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	for _, p := range pts {
+		if p.Scenario.Phases[0].Capacity != 2.5e6 {
+			t.Fatalf("cell %q jittered without Jitter set", p.Scenario.Name)
+		}
+	}
+}
+
+func TestGridCellShape(t *testing.T) {
+	pts, err := Grid{
+		Magnitudes: []float64{0.8},
+		Durations:  []time.Duration{2 * time.Second},
+		RTTs:       []time.Duration{100 * time.Millisecond},
+		Losses:     []float64{0.01},
+	}.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d cells", len(pts))
+	}
+	s := pts[0].Scenario
+	if s.RTT != 100*time.Millisecond || s.Loss != 0.01 {
+		t.Errorf("impairments: %+v", s)
+	}
+	if s.Phases[1].Duration != 2*time.Second {
+		t.Errorf("drop duration: %v", s.Phases[1].Duration)
+	}
+	// 80% drop from 2.5 Mbps.
+	if got := float64(s.Phases[1].Capacity); got < 0.49e6 || got > 0.51e6 {
+		t.Errorf("drop capacity %v, want ~0.5 Mbps", got)
+	}
+	if s.Phases[0].Capacity != s.Phases[2].Capacity {
+		t.Error("recovery capacity differs from pre-drop capacity")
+	}
+	if !strings.Contains(s.Name, "m80") || !strings.Contains(s.Name, "d2s") {
+		t.Errorf("cell name %q does not encode its coordinates", s.Name)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	cases := []Grid{
+		{Magnitudes: []float64{1.5}},
+		{Magnitudes: []float64{0}},
+		{Durations: []time.Duration{-time.Second}},
+		{Losses: []float64{2}},
+		{Jitter: -0.1},
+		{Jitter: 1},
+		{Before: -1},
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, g)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package scenario
+
+// A hand-rolled parser for the YAML subset the scenario corpus needs,
+// built on the standard library only (the module has no dependencies).
+// The subset is the vnet config shape: block mappings, block sequences
+// of mappings, plain/quoted scalars, and # comments. Two-space
+// indentation steps, "- " sequence markers, no flow collections, no
+// anchors, no multi-document streams. Everything outside the subset is
+// a loud parse error, never a guess.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// nodeKind discriminates the parse-tree node types.
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	seqNode
+)
+
+// node is one parse-tree node: a scalar string, an ordered mapping, or a
+// sequence. Scalars stay strings until decode; JSON input is converted
+// to the same tree so both formats share one decoder.
+type node struct {
+	kind   nodeKind
+	line   int // 1-based source line, 0 when synthesized from JSON
+	scalar string
+	keys   []string
+	fields map[string]node
+	items  []node
+}
+
+// kindName names the node kind for error messages.
+func (n node) kindName() string {
+	switch n.kind {
+	case mapNode:
+		return "mapping"
+	case seqNode:
+		return "sequence"
+	}
+	return "scalar"
+}
+
+// yline is one meaningful source line: indentation width plus content
+// with the indent, trailing space, and comments stripped.
+type yline struct {
+	indent int
+	text   string
+	num    int
+}
+
+// parseYAML parses data into a node tree. The document must be a block
+// mapping at indent zero.
+func parseYAML(data []byte) (node, error) {
+	lines, err := splitLines(data)
+	if err != nil {
+		return node{}, err
+	}
+	if len(lines) == 0 {
+		return node{}, fmt.Errorf("scenario: empty document")
+	}
+	p := &yparser{lines: lines}
+	first := lines[0]
+	if first.indent != 0 {
+		return node{}, fmt.Errorf("scenario: line %d: document must start at indent 0", first.num)
+	}
+	if isSeqItem(first.text) {
+		return node{}, fmt.Errorf("scenario: line %d: document must be a mapping, not a sequence", first.num)
+	}
+	n, err := p.parseMap(0)
+	if err != nil {
+		return node{}, err
+	}
+	if p.pos < len(p.lines) {
+		return node{}, fmt.Errorf("scenario: line %d: unexpected content after document", p.lines[p.pos].num)
+	}
+	return n, nil
+}
+
+// splitLines cuts data into meaningful lines, rejecting tab indentation
+// and stripping comments and blank lines.
+func splitLines(data []byte) ([]yline, error) {
+	var out []yline
+	for num, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		rest := line[indent:]
+		if strings.HasPrefix(rest, "\t") {
+			return nil, fmt.Errorf("scenario: line %d: tab indentation is not allowed", num+1)
+		}
+		rest = strings.TrimRight(stripComment(rest), " \t")
+		if rest == "" {
+			continue
+		}
+		out = append(out, yline{indent: indent, text: rest, num: num + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing # comment that is not inside a quoted
+// scalar. A # counts as a comment only at the start of the content or
+// after whitespace, per YAML.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				// Single-quoted YAML escapes ' as ''; a doubled quote
+				// stays inside the scalar.
+				if quote == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+					i++
+					continue
+				}
+				quote = 0
+			} else if quote == '"' && c == '\\' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// isSeqItem reports whether a line introduces a block-sequence item.
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// yparser is the block-structure parser over the meaningful lines.
+type yparser struct {
+	lines []yline
+	pos   int
+}
+
+// parseMap parses a block mapping whose keys sit at exactly indent.
+func (p *yparser) parseMap(indent int) (node, error) {
+	n := node{kind: mapNode, fields: map[string]node{}, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		if line.indent < indent {
+			break
+		}
+		if line.indent > indent {
+			return node{}, fmt.Errorf("scenario: line %d: unexpected indent %d (mapping is at %d)", line.num, line.indent, indent)
+		}
+		if isSeqItem(line.text) {
+			break
+		}
+		key, rest, err := splitKey(line)
+		if err != nil {
+			return node{}, err
+		}
+		if _, dup := n.fields[key]; dup {
+			return node{}, fmt.Errorf("scenario: line %d: duplicate key %q", line.num, key)
+		}
+		p.pos++
+		var child node
+		switch {
+		case rest != "":
+			val, err := unquote(rest, line.num)
+			if err != nil {
+				return node{}, err
+			}
+			child = node{kind: scalarNode, scalar: val, line: line.num}
+		case p.pos < len(p.lines) && p.lines[p.pos].indent > indent:
+			child, err = p.parseNode(p.lines[p.pos].indent)
+			if err != nil {
+				return node{}, err
+			}
+		case p.pos < len(p.lines) && p.lines[p.pos].indent == indent && isSeqItem(p.lines[p.pos].text):
+			// YAML permits a block sequence at the same indent as its
+			// key.
+			child, err = p.parseSeq(indent)
+			if err != nil {
+				return node{}, err
+			}
+		default:
+			child = node{kind: scalarNode, scalar: "", line: line.num}
+		}
+		n.keys = append(n.keys, key)
+		n.fields[key] = child
+	}
+	return n, nil
+}
+
+// parseSeq parses a block sequence whose "- " markers sit at exactly
+// indent.
+func (p *yparser) parseSeq(indent int) (node, error) {
+	n := node{kind: seqNode, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		if line.indent != indent || !isSeqItem(line.text) {
+			break
+		}
+		var child node
+		var err error
+		if line.text == "-" {
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				child, err = p.parseNode(p.lines[p.pos].indent)
+				if err != nil {
+					return node{}, err
+				}
+			} else {
+				child = node{kind: scalarNode, scalar: "", line: line.num}
+			}
+		} else {
+			rest := line.text[2:]
+			// The item indent is where the content after "- " begins;
+			// continuation lines of an inline mapping align with it.
+			itemIndent := line.indent + 2
+			if strings.Contains(rest, ": ") || strings.HasSuffix(rest, ":") {
+				// Inline mapping start: re-present the remainder as a
+				// line at the item indent and parse the mapping from it.
+				p.lines[p.pos] = yline{indent: itemIndent, text: rest, num: line.num}
+				child, err = p.parseMap(itemIndent)
+				if err != nil {
+					return node{}, err
+				}
+			} else {
+				val, err := unquote(rest, line.num)
+				if err != nil {
+					return node{}, err
+				}
+				child = node{kind: scalarNode, scalar: val, line: line.num}
+				p.pos++
+			}
+		}
+		n.items = append(n.items, child)
+	}
+	return n, nil
+}
+
+// parseNode parses whichever block form starts at the current line.
+func (p *yparser) parseNode(indent int) (node, error) {
+	if isSeqItem(p.lines[p.pos].text) {
+		return p.parseSeq(indent)
+	}
+	return p.parseMap(indent)
+}
+
+// splitKey splits "key: value" (or "key:") into its parts. Keys are bare
+// identifiers — the corpus schema never needs quoted or nested keys.
+func splitKey(line yline) (key, rest string, err error) {
+	i := strings.IndexByte(line.text, ':')
+	if i < 0 {
+		return "", "", fmt.Errorf("scenario: line %d: expected \"key: value\", got %q", line.num, line.text)
+	}
+	key = line.text[:i]
+	if key == "" || strings.ContainsAny(key, " \t\"'") {
+		return "", "", fmt.Errorf("scenario: line %d: bad mapping key %q", line.num, key)
+	}
+	rest = line.text[i+1:]
+	if rest != "" && !strings.HasPrefix(rest, " ") {
+		return "", "", fmt.Errorf("scenario: line %d: missing space after %q:", line.num, key)
+	}
+	return key, strings.TrimLeft(rest, " "), nil
+}
+
+// unquote resolves a scalar: double-quoted (Go escape rules), single-
+// quoted (” escapes a quote), or plain.
+func unquote(s string, lineNum int) (string, error) {
+	switch {
+	case strings.HasPrefix(s, "\""):
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return "", fmt.Errorf("scenario: line %d: bad quoted scalar %s", lineNum, s)
+		}
+		return v, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return "", fmt.Errorf("scenario: line %d: unterminated single-quoted scalar %s", lineNum, s)
+		}
+		body := s[1 : len(s)-1]
+		// A lone ' inside the body is an unescaped terminator.
+		if strings.Contains(strings.ReplaceAll(body, "''", ""), "'") {
+			return "", fmt.Errorf("scenario: line %d: bad single-quoted scalar %s", lineNum, s)
+		}
+		return strings.ReplaceAll(body, "''", "'"), nil
+	default:
+		return s, nil
+	}
+}
