@@ -2,7 +2,7 @@ GO       ?= go
 PKGS     := ./...
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint lint-fix lint-purity lint-units lint-baseline-check lint-budget fuzz-smoke bench bench-parallel bench-json bench-smoke fleet-smoke trace-smoke scenario-smoke check
+.PHONY: build test race lint lint-fix lint-purity lint-units lint-baseline-check lint-budget fuzz-smoke bench bench-parallel bench-json bench-smoke fleet-smoke trace-smoke scenario-smoke profile check
 
 build:
 	$(GO) build $(PKGS)
@@ -59,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run='^$$' -fuzz=FuzzBaseline -fuzztime=$(FUZZTIME) ./internal/lint
 	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=$(FUZZTIME) ./internal/scenario
+	$(GO) test -run='^$$' -fuzz=FuzzSchedulerEquivalence -fuzztime=$(FUZZTIME) ./internal/simtime
 
 # Record a short figure-1 session in all three export formats, then diff
 # a same-seed re-run against the first recording: any divergence is a
@@ -95,7 +96,7 @@ bench-parallel:
 
 # BENCHJSON_OUT is the committed baseline for the hot-path packages; see
 # EXPERIMENTS.md for the before/after history.
-BENCHJSON_OUT ?= BENCH_7.json
+BENCHJSON_OUT ?= BENCH_10.json
 
 # Re-measure the hot-path benchmark suite with allocation columns and
 # write the canonical JSON baseline. Run on a quiet machine; commit the
@@ -106,11 +107,19 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o $(BENCHJSON_OUT)
 
 # Fast allocation-regression gate for CI: run the AllocsPerRun budget
-# tests and compile-check the micro-benchmarks at one iteration each.
+# tests, compile-check the micro-benchmarks at one iteration each, then
+# measure the scheduler microbenchmarks long enough to gate their ns/op
+# against the newest committed BENCH_<n>.json baseline. The 2.5x ceiling
+# is not a precision gate — it exists to catch complexity regressions
+# (an accidental O(n) scan in the wheel shows up as 10-100x, far above
+# any machine-to-machine noise).
 bench-smoke:
 	$(GO) test -run='AllocBudget|ZeroAlloc' -v ./internal/simtime ./internal/netem ./internal/rtp
 	$(GO) test -run='^$$' -bench='BenchmarkSchedulerStep|BenchmarkLinkSaturated|BenchmarkPacketizeReuse' \
 		-benchtime=1x -benchmem ./internal/simtime ./internal/netem ./internal/rtp
+	$(GO) test -run='^$$' -bench='BenchmarkSchedulerMixedHorizon|BenchmarkSchedulerCancel' \
+		-benchtime=0.1s -benchmem ./internal/simtime \
+		| $(GO) run ./cmd/benchjson -against auto -max-ns-ratio 2.5
 
 # Fleet determinism + throughput gate for CI. A small fleet must render
 # byte-identical per-session CSV at 1 shard and 8 shards (the merge-order
@@ -125,5 +134,14 @@ fleet-smoke:
 	cmp build/fleet-smoke/shards1.csv build/fleet-smoke/shards8.csv
 	$(GO) test -run='^$$' -bench=BenchmarkFleet -benchmem -benchtime=1x ./internal/fleet \
 		| $(GO) run ./cmd/benchjson -against auto -max-ns-ratio 2.0
+
+# Capture CPU and heap profiles of a representative fleet run. Read with
+# `go tool pprof build/profile/cpu.out` (or heap.out); the same flags
+# exist on cmd/benchdrop for profiling a single experiment cell.
+profile:
+	mkdir -p build/profile
+	$(GO) run ./cmd/rtcfleet -sessions 500 -duration 10s -shards 8 \
+		-cpuprofile build/profile/cpu.out -memprofile build/profile/heap.out > /dev/null
+	@echo "wrote build/profile/cpu.out and build/profile/heap.out"
 
 check: build lint test race

@@ -46,6 +46,9 @@ func main() {
 		duration      = flag.Duration("duration", 30*time.Second, "per-session length for -exp scenarios")
 		gridKind      = flag.String("grid", "default", "frontier sweep grid: default | small")
 		listScenarios = flag.Bool("list-scenarios", false, "list the built-in scenario presets and fleet populations, then exit")
+		schedImp      = flag.String("sched", "wheel", "scheduler implementation: wheel | heap (output is identical for either)")
+		cpuprof       = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprof       = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -71,9 +74,43 @@ func main() {
 		}
 	}
 
+	// stopCPU ends CPU profiling; finish is the single normal-exit path so
+	// profiles are complete whichever experiment branch ran. fatal stops the
+	// profile too (truncating it at the failure point) before exiting.
+	var stopCPU func() error
+	finish := func() {
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdrop:", err)
+			}
+			stopCPU = nil
+		}
+		if *memprof != "" {
+			if err := cli.WriteHeapProfile(*memprof); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdrop:", err)
+			}
+		}
+	}
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchdrop:", err)
+		if stopCPU != nil {
+			//lint:ignore errdrop the experiment error is the one worth reporting on this path
+			stopCPU()
+		}
 		os.Exit(1)
+	}
+
+	sched, err := cli.ParseSched(*schedImp)
+	if err != nil {
+		fatal(err)
+	}
+	r.Sched = sched
+	if *cpuprof != "" {
+		stop, err := cli.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		stopCPU = stop
 	}
 	frontierGrid := func() scenario.Grid {
 		switch *gridKind {
@@ -161,6 +198,7 @@ func main() {
 			}
 			fmt.Print(out)
 		}
+		finish()
 		return
 	}
 
@@ -168,6 +206,7 @@ func main() {
 		for _, id := range order {
 			runners[id]()
 		}
+		finish()
 		return
 	}
 	run, ok := runners[*exp]
@@ -176,4 +215,5 @@ func main() {
 		os.Exit(1)
 	}
 	run()
+	finish()
 }

@@ -73,6 +73,9 @@ func runCmd(args []string, stdoutW io.Writer, stderr *cli.Printer, stderrW io.Wr
 		record   = fs.Bool("record", false, "attach per-shard flight recorders (reports event totals)")
 		out      = fs.String("out", "summary", "output: summary | csv | sessions (sessions streams shard by shard)")
 		progress = fs.Bool("progress", false, "report per-shard progress on stderr")
+		schedImp = fs.String("sched", "wheel", "scheduler implementation: wheel | heap (output is identical for either)")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the fleet run to this file")
+		memprof  = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,6 +88,11 @@ func runCmd(args []string, stdoutW io.Writer, stderr *cli.Printer, stderrW io.Wr
 	case "summary", "csv", "sessions":
 	default:
 		stderr.Printf("rtcfleet: unknown -out %q (want summary | csv | sessions)\n", *out)
+		return 2
+	}
+	sched, err := cli.ParseSched(*schedImp)
+	if err != nil {
+		stderr.Printf("rtcfleet: %v\n", err)
 		return 2
 	}
 	build, err := buildScenario(*scen, *duration)
@@ -100,11 +108,25 @@ func runCmd(args []string, stdoutW io.Writer, stderr *cli.Printer, stderrW io.Wr
 		Seed:     *seed,
 		Build:    build,
 		Record:   *record,
+		Sched:    sched,
 	}
 	if *progress {
 		cfg.Progress = func(done, total int, label string) {
 			stderr.Printf("rtcfleet: %d/%d %s\n", done, total, label)
 		}
+	}
+
+	if *cpuprof != "" {
+		stopProf, err := cli.StartCPUProfile(*cpuprof)
+		if err != nil {
+			stderr.Printf("rtcfleet: %v\n", err)
+			return 2
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				stderr.Printf("rtcfleet: %v\n", err)
+			}
+		}()
 	}
 
 	start := time.Now()
@@ -138,6 +160,12 @@ func runCmd(args []string, stdoutW io.Writer, stderr *cli.Printer, stderrW io.Wr
 		}
 	}
 	elapsed := time.Since(start)
+	if *memprof != "" {
+		if err := cli.WriteHeapProfile(*memprof); err != nil {
+			stderr.Printf("rtcfleet: %v\n", err)
+			return 2
+		}
+	}
 	// Wall clock goes to stderr so stdout stays byte-deterministic.
 	stderr.Printf("rtcfleet: %d sessions x %v in %.2fs (%.0f sessions/s, %d shards, %d workers)\n",
 		*sessions, *duration, elapsed.Seconds(),

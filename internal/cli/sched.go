@@ -1,0 +1,20 @@
+package cli
+
+import (
+	"fmt"
+
+	"rtcadapt/internal/simtime"
+)
+
+// ParseSched maps a -sched flag value onto a scheduler configuration.
+// Simulation output is byte-identical for either implementation; the flag
+// exists so tools can measure and profile the two against each other.
+func ParseSched(name string) (simtime.Config, error) {
+	switch name {
+	case "wheel":
+		return simtime.Config{Impl: simtime.ImplWheel}, nil
+	case "heap":
+		return simtime.Config{Impl: simtime.ImplHeap}, nil
+	}
+	return simtime.Config{}, fmt.Errorf("unknown -sched %q (want wheel | heap)", name)
+}

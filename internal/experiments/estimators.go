@@ -79,7 +79,10 @@ func (r *Runner) Figure8(seeds []int64) []Figure8Row {
 			mk := e.mk
 			cfg.NewEstimator = func(capacity cc.CapacityFunc) cc.Estimator { return mk(capacity) }
 		}
-		res := session.Run(cfg)
+		if err := cfg.Validate(); err != nil {
+			panic(fmt.Sprintf("experiments: bad figure8 config: %v", err))
+		}
+		res := r.run(cfg)
 		post := metrics.Summarize(res.Records, dropAt, dropAt+5*time.Second, res.FrameInterval)
 		late := metrics.Summarize(res.Records, 20*time.Second, 30*time.Second, res.FrameInterval)
 		return sample{

@@ -140,9 +140,9 @@ func attachController(cfg *session.Config, kind ControllerKind, adaptiveCfg core
 }
 
 // runDrop executes one drop scenario under one controller kind.
-func runDrop(sc DropScenario, kind ControllerKind, seed int64) session.Result {
+func (r *Runner) runDrop(sc DropScenario, kind ControllerKind, seed int64) session.Result {
 	tr := trace.StepDrop(sc.Before, sc.After, sc.DropAt)
-	return session.Run(buildConfig(tr, sc.Content, kind, seed, sc.DropAt+20*time.Second, core.AdaptiveConfig{}))
+	return r.run(buildConfig(tr, sc.Content, kind, seed, sc.DropAt+20*time.Second, core.AdaptiveConfig{}))
 }
 
 // PostDropWindow is the analysis window after the drop used across
@@ -197,7 +197,7 @@ func (r *Runner) Table1(seeds []int64) []Table1Row {
 		return fmt.Sprintf("table1 %s %s seed=%d", c.sc, c.kind, c.seed)
 	}, func(i int) float64 {
 		c := cells[i]
-		return postDrop(c.sc, runDrop(c.sc, c.kind, c.seed)).P95NetDelay.Seconds()
+		return postDrop(c.sc, r.runDrop(c.sc, c.kind, c.seed)).P95NetDelay.Seconds()
 	})
 
 	var rows []Table1Row
@@ -295,7 +295,7 @@ func (r *Runner) Table2(seeds []int64) []Table2Row {
 		return fmt.Sprintf("table2 %s %s seed=%d", c.sc, c.kind, c.seed)
 	}, func(i int) ssims {
 		c := cells[i]
-		rep := runDrop(c.sc, c.kind, c.seed).Report
+		rep := r.runDrop(c.sc, c.kind, c.seed).Report
 		return ssims{enc: rep.EncodedSSIM, disp: rep.MeanSSIM}
 	})
 
@@ -375,7 +375,7 @@ func (r *Runner) Figure1(seed int64) []Figure1Series {
 	return mapCells(r, len(kinds), func(i int) string {
 		return fmt.Sprintf("figure1 %s seed=%d", kinds[i], seed)
 	}, func(i int) Figure1Series {
-		res := runDrop(sc, kinds[i], seed)
+		res := r.runDrop(sc, kinds[i], seed)
 		x, y := metrics.DelaySeries(res.Records)
 		return Figure1Series{Kind: kinds[i], X: x, Y: y, Timeline: res.Timeline}
 	})

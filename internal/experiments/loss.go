@@ -128,7 +128,10 @@ func (r *Runner) Figure5(seeds []int64) []Figure5Row {
 		if c.cond.BurstRate > 0 {
 			cfg.BurstLoss = netem.NewGilbertElliott(c.cond.BurstLen, c.cond.BurstRate)
 		}
-		res := session.Run(cfg)
+		if err := cfg.Validate(); err != nil {
+			panic(fmt.Sprintf("experiments: bad figure5 config: %v", err))
+		}
+		res := r.run(cfg)
 		return sample{
 			frac: float64(res.Report.DeliveredFrames) / float64(res.Report.Frames),
 			p95:  res.Report.P95NetDelay.Seconds(),

@@ -6,7 +6,6 @@ import (
 
 	"rtcadapt/internal/core"
 	"rtcadapt/internal/metrics"
-	"rtcadapt/internal/session"
 	"rtcadapt/internal/trace"
 	"rtcadapt/internal/units"
 	"rtcadapt/internal/video"
@@ -60,7 +59,7 @@ func (r *Runner) Figure2(seeds []int64) []Figure2Point {
 		return fmt.Sprintf("figure2 %s %s seed=%d", c.sc.Name, c.kind, c.seed)
 	}, func(i int) float64 {
 		c := cells[i]
-		return postDrop(c.sc, runDrop(c.sc, c.kind, c.seed)).P95NetDelay.Seconds()
+		return postDrop(c.sc, r.runDrop(c.sc, c.kind, c.seed)).P95NetDelay.Seconds()
 	})
 
 	var out []Figure2Point
@@ -140,7 +139,7 @@ func (r *Runner) Figure3(seeds []int64) []Figure3Series {
 		return fmt.Sprintf("figure3 %s seed=%d", c.kind, c.seed)
 	}, func(i int) []metrics.FrameRecord {
 		c := cells[i]
-		return runDrop(sc, c.kind, c.seed).Records
+		return r.runDrop(sc, c.kind, c.seed).Records
 	})
 
 	var out []Figure3Series
@@ -261,7 +260,7 @@ func (r *Runner) Table3(seeds []int64) []Table3Row {
 	}, func(i int) sample {
 		c := cells[i]
 		tr := trace.StepDrop(sc.Before, sc.After, sc.DropAt)
-		res := session.Run(buildConfig(tr, sc.Content, KindAdaptive, c.seed,
+		res := r.run(buildConfig(tr, sc.Content, KindAdaptive, c.seed,
 			sc.DropAt+20*time.Second, variants[c.variant].cfg))
 		return sample{p95: postDrop(sc, res).P95NetDelay.Seconds(), ssim: res.Report.MeanSSIM}
 	})
@@ -368,7 +367,7 @@ func (r *Runner) Figure4(seeds []int64) []Figure4Row {
 		return fmt.Sprintf("figure4 %s/%s %s seed=%d", c.gen.name, c.content, c.kind, c.seed)
 	}, func(i int) sample {
 		c := cells[i]
-		res := session.Run(buildConfig(c.gen.gen(c.seed), c.content, c.kind, c.seed,
+		res := r.run(buildConfig(c.gen.gen(c.seed), c.content, c.kind, c.seed,
 			60*time.Second, core.AdaptiveConfig{}))
 		return sample{
 			p95:    res.Report.P95NetDelay.Seconds(),

@@ -21,41 +21,104 @@ type PacketResult struct {
 // Packets unacknowledged once feedback has advanced past them (beyond a
 // reordering allowance) are declared lost exactly once. Not safe for
 // concurrent use.
+//
+// Because sequence numbers are issued in increasing order, the unresolved
+// packets always live in a contiguous sequence window, so the store is a
+// power-of-two ring indexed by sequence number rather than a map: slot
+// (seq & mask) holds seq's entry while seq is in [base, base+len(sent)).
+// Acks clear entries out of order; the loss sweep advances the window
+// floor. This keeps the per-packet add/ack path allocation- and hash-free,
+// and lets InFlight be a running counter instead of a scan (it was once a
+// whole-map iteration per capture tick, which dominated profiles).
 type History struct {
-	sent map[uint32]sentEntry
+	sent []sentEntry // power-of-two sequence window, empty until first Add
 	// ReorderWindow is how many sequence numbers behind the highest
 	// acked a packet may lag before being declared lost. Default 100.
 	ReorderWindow uint32
+	base          uint32 // lowest sequence the window can store
 	lowestUnacked uint32
 	nextSeq       uint32
+	inFlight      int
 	results       []PacketResult
 }
 
 type sentEntry struct {
 	sendTime time.Duration
 	size     int
+	present  bool
 }
 
 // NewHistory returns an empty history.
 func NewHistory() *History {
-	return &History{sent: make(map[uint32]sentEntry), ReorderWindow: 100}
+	return &History{ReorderWindow: 100}
+}
+
+// slot returns the entry for seq, or nil when seq is outside the window or
+// not stored. Out-of-window sequences (stale, duplicate, or spoofed)
+// underflow to a huge offset and fail the bounds check.
+func (h *History) slot(seq uint32) *sentEntry {
+	off := seq - h.base
+	if off >= uint32(len(h.sent)) {
+		return nil
+	}
+	e := &h.sent[seq&uint32(len(h.sent)-1)]
+	if !e.present {
+		return nil
+	}
+	return e
+}
+
+// take removes and returns seq's entry; ok reports whether it was stored.
+func (h *History) take(seq uint32) (sentEntry, bool) {
+	e := h.slot(seq)
+	if e == nil {
+		return sentEntry{}, false
+	}
+	out := *e
+	*e = sentEntry{}
+	h.inFlight -= out.size
+	return out, true
 }
 
 // Add records a packet departure. Sequence numbers must be added in
 // increasing order.
 func (h *History) Add(transportSeq uint32, sendTime time.Duration, size int) {
-	h.sent[transportSeq] = sentEntry{sendTime: sendTime, size: size}
+	// Entries below lowestUnacked are always resolved, so the window
+	// floor can move up for free before any capacity check.
+	h.base = h.lowestUnacked
+	for transportSeq-h.base >= uint32(len(h.sent)) {
+		h.grow()
+	}
+	e := &h.sent[transportSeq&uint32(len(h.sent)-1)]
+	if e.present { // re-add of a live seq: keep the counter exact
+		h.inFlight -= e.size
+	}
+	*e = sentEntry{sendTime: sendTime, size: size, present: true}
+	h.inFlight += size
 	h.nextSeq = transportSeq + 1
+}
+
+// grow doubles the window (minimum 256) and re-places the live span; slot
+// index is seq&mask, so every stored entry moves when the mask changes.
+func (h *History) grow() {
+	newCap := 256
+	if len(h.sent) > 0 {
+		newCap = 2 * len(h.sent)
+	}
+	old := h.sent
+	h.sent = make([]sentEntry, newCap)
+	oldMask := uint32(len(old) - 1)
+	for seq := h.base; seq != h.nextSeq; seq++ {
+		if e := old[seq&oldMask]; e.present {
+			h.sent[seq&uint32(newCap-1)] = e
+		}
+	}
 }
 
 // InFlight returns the total bytes sent but not yet acknowledged or
 // declared lost.
 func (h *History) InFlight() int {
-	total := 0
-	for _, e := range h.sent {
-		total += e.size
-	}
-	return total
+	return h.inFlight
 }
 
 // OnReport matches a feedback report against the history, returning one
@@ -69,11 +132,10 @@ func (h *History) InFlight() int {
 func (h *History) OnReport(rep Report) []PacketResult {
 	results := h.results[:0]
 	for _, a := range rep.Arrivals {
-		e, ok := h.sent[a.TransportSeq]
+		e, ok := h.take(a.TransportSeq)
 		if !ok {
 			continue // duplicate ack or spoofed seq
 		}
-		delete(h.sent, a.TransportSeq)
 		results = append(results, PacketResult{
 			TransportSeq: a.TransportSeq,
 			Size:         e.size,
@@ -86,8 +148,7 @@ func (h *History) OnReport(rep Report) []PacketResult {
 	if rep.HighestSeq >= h.ReorderWindow {
 		cutoff := rep.HighestSeq - h.ReorderWindow
 		for seq := h.lowestUnacked; seq <= cutoff && seq < h.nextSeq; seq++ {
-			if e, ok := h.sent[seq]; ok {
-				delete(h.sent, seq)
+			if e, ok := h.take(seq); ok {
 				results = append(results, PacketResult{
 					TransportSeq: seq,
 					Size:         e.size,

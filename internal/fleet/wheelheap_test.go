@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"rtcadapt/internal/simtime"
+)
+
+// TestWheelMatchesHeap is the fleet arm of the scheduler differential
+// gate: the rendered fleet artifacts (per-session CSV, distribution CSV,
+// summary table) must be byte-identical between the wheel and the heap at
+// every shard count. Shard invariance under ImplWheel alone is pinned by
+// TestFleetShardCountInvariant; this crosses implementation and sharding
+// at once, since a Reset bug on a reused shard scheduler would only show
+// at shards < sessions.
+func TestWheelMatchesHeap(t *testing.T) {
+	const sessions = 11
+	var want []byte
+	for _, impl := range []simtime.Impl{simtime.ImplHeap, simtime.ImplWheel} {
+		for _, shards := range []int{1, 2, 8} {
+			cfg := testConfig(t, sessions, shards, 2)
+			cfg.Sched = simtime.Config{Impl: impl}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderAll(t, res)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("fleet output with impl=%v shards=%d differs from heap/1-shard baseline",
+					impl, shards)
+			}
+		}
+	}
+}

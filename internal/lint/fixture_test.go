@@ -154,16 +154,27 @@ func TestErrDropFixture(t *testing.T) {
 		"internal/errdropfix", "cmd/errdropcmd", "scopecheck")
 }
 
+// The fixture internal/simtime package carries want comments for two
+// analyzers — an import-layer violation and the in-scope hotpathalloc
+// cases (the scheduler package polices its own self-scheduling) — and
+// runOn matches every listed package's wants, so both tests that list it
+// must run both analyzers. The extra analyzer is inert on each test's
+// other packages: hotpathalloc scopes only the hot-path packages, and
+// the additional import edges here respect the layering.
 func TestImportLayerFixture(t *testing.T) {
 	loader, byPath := loadFixtures(t)
-	runOn(t, loader, byPath, []*Analyzer{ImportLayer},
+	runOn(t, loader, byPath, []*Analyzer{ImportLayer, HotPathAlloc},
 		"internal/codec", "internal/session", "internal/simtime",
 		"internal/stats", "internal/sfu", "internal/mystery", "cmd/lintdemo")
 }
 
+// scopecheck is not listed here: it sits outside any layer, so the
+// piggybacked importlayer run would flag it, and it contains no
+// scheduler calls for hotpathalloc to stay silent about anyway.
 func TestHotPathAllocFixture(t *testing.T) {
 	loader, byPath := loadFixtures(t)
-	runOn(t, loader, byPath, []*Analyzer{HotPathAlloc}, "internal/netem", "scopecheck")
+	runOn(t, loader, byPath, []*Analyzer{HotPathAlloc, ImportLayer},
+		"internal/netem", "internal/simtime")
 }
 
 // TestTransitivePurityFixture: internal/core is an entry-point package;

@@ -1,0 +1,30 @@
+package simtime
+
+// The scheduler package is itself hotpathalloc territory: its own
+// self-scheduling machinery (the Ticker re-arm is the canonical case)
+// runs under every simulated event, so a capturing closure here taxes
+// every caller in the module at once. This file mirrors that shape: a
+// pooled record, a package-level dispatch function, and a re-arm in both
+// the closure-free form and the two forbidden forms.
+
+// Ticker mirrors the real repeating-timer record.
+type Ticker struct {
+	s        *Scheduler
+	interval int64
+	n        int
+}
+
+// tickerFire is the closure-free dispatch function.
+func tickerFire(a any) { a.(*Ticker).fire() }
+
+func (t *Ticker) fire() { t.n++ }
+
+// armGood re-arms through the Arg path: no per-event allocation.
+func (t *Ticker) armGood() {
+	t.s.AfterArg(t.interval, tickerFire, t)
+}
+
+func (t *Ticker) armBad() {
+	t.s.After(t.interval, func() { t.n++ }) // want `closure passed to simtime Scheduler.After allocates per event`
+	t.s.At(t.interval, t.fire)              // want `method value fire passed to simtime Scheduler.At allocates a bound closure`
+}

@@ -1,0 +1,71 @@
+package netem
+
+import "time"
+
+// arrival is one delivered-but-not-yet-consumed packet waiting in the
+// link's batched delivery queue, stamped with its arrival instant.
+type arrival struct {
+	pkt Packet
+	at  time.Duration
+}
+
+// arrivalRing is a reusable FIFO of arrivals backed by a power-of-two
+// ring buffer (the packetRing pattern). On a jitter-free link arrival
+// times are non-decreasing in send order, so the head is always the
+// earliest arrival and one scheduled event per distinct head instant
+// replaces one event per packet. Popped slots are zeroed so the queue
+// never pins a delivered payload. The zero value is an empty ring.
+type arrivalRing struct {
+	buf  []arrival // len(buf) is always zero or a power of two
+	head int
+	n    int
+}
+
+// len returns the number of queued arrivals.
+func (r *arrivalRing) len() int { return r.n }
+
+// push appends a at the tail, growing the backing array when full.
+func (r *arrivalRing) push(a arrival) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = a
+	r.n++
+}
+
+// peekAt returns the head arrival's instant. It panics on an empty ring:
+// callers always check len first.
+func (r *arrivalRing) peekAt() time.Duration {
+	if r.n == 0 {
+		panic("netem: peek into empty arrival ring")
+	}
+	return r.buf[r.head].at
+}
+
+// pop removes and returns the head arrival. It panics on an empty ring:
+// callers always check len first.
+func (r *arrivalRing) pop() arrival {
+	if r.n == 0 {
+		panic("netem: pop from empty arrival ring")
+	}
+	a := r.buf[r.head]
+	r.buf[r.head] = arrival{} // release the payload reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return a
+}
+
+// grow doubles the backing array (minimum 8) and unwraps the queue to the
+// front of the new array.
+func (r *arrivalRing) grow() {
+	newCap := 8
+	if len(r.buf) > 0 {
+		newCap = 2 * len(r.buf)
+	}
+	buf := make([]arrival, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -98,6 +98,18 @@ type Link struct {
 	busy        bool
 	stats       Stats
 	free        []*inflight
+
+	// Batched delivery (jitter-free links only). Arrivals wait in a ring
+	// ordered by arrival instant; a single scheduled event — armed for
+	// the head's instant — drains every arrival sharing that exact
+	// instant, then re-arms for the next head. The scheduler holds one
+	// pending delivery event per link instead of one per packet in
+	// flight, without moving any delivery by even a nanosecond: a drain
+	// never crosses a virtual-time boundary. Jittered links reorder
+	// arrivals, so they keep the per-packet inflight path.
+	batch    bool
+	arrivals arrivalRing
+	armed    bool
 }
 
 // inflight carries one packet from transmission start through delivery.
@@ -110,8 +122,11 @@ type inflight struct {
 // finishTxArg and deliverArg are the package-level dispatch functions for
 // the two per-packet events; together with the pooled inflight record they
 // replace the closures that used to allocate on every transmission.
-func finishTxArg(a any) { f := a.(*inflight); f.l.finishTx(f) }
-func deliverArg(a any)  { f := a.(*inflight); f.l.deliver(f) }
+// deliverBatchArg is the batched counterpart of deliverArg, dispatching on
+// the link itself.
+func finishTxArg(a any)     { f := a.(*inflight); f.l.finishTx(f) }
+func deliverArg(a any)      { f := a.(*inflight); f.l.deliver(f) }
+func deliverBatchArg(a any) { a.(*Link).deliverBatch() }
 
 // acquireInflight pops a pooled record, minting one on first use.
 func (l *Link) acquireInflight() *inflight {
@@ -165,7 +180,7 @@ func NewLink(sched *simtime.Scheduler, cfg Config) *Link {
 	if cfg.QueueLimitBytes == 0 {
 		cfg.QueueLimitBytes = 150_000
 	}
-	return &Link{sched: sched, cfg: cfg, rng: stats.NewRand(cfg.Seed)}
+	return &Link{sched: sched, cfg: cfg, rng: stats.NewRand(cfg.Seed), batch: cfg.JitterAmp == 0}
 }
 
 // SetReceiver attaches the far-side consumer.
@@ -283,6 +298,14 @@ func (l *Link) finishTx(f *inflight) {
 		l.stats.DroppedLoss++
 		l.cfg.Recorder.PacketLost(obs.TrackNetem, f.pkt.Size, "loss")
 		l.releaseInflight(f)
+	} else if l.batch {
+		at := l.sched.Now() + l.cfg.PropDelay
+		l.arrivals.push(arrival{pkt: f.pkt, at: at})
+		l.releaseInflight(f)
+		if !l.armed {
+			l.armed = true
+			l.sched.AtArg(at, deliverBatchArg, l)
+		}
 	} else {
 		delay := l.cfg.PropDelay
 		if l.cfg.JitterAmp > 0 {
@@ -298,6 +321,29 @@ func (l *Link) finishTx(f *inflight) {
 func (l *Link) deliver(f *inflight) {
 	pkt := f.pkt
 	l.releaseInflight(f)
+	l.deliverPkt(pkt)
+}
+
+// deliverBatch fires at the head arrival's instant, drains the contiguous
+// run of arrivals sharing that exact instant, and re-arms for the next
+// head. The drain never delivers an arrival whose instant differs from
+// the firing instant — batching coalesces scheduler events, never
+// virtual-time behavior.
+func (l *Link) deliverBatch() {
+	now := l.sched.Now()
+	for l.arrivals.len() > 0 && l.arrivals.peekAt() == now {
+		l.deliverPkt(l.arrivals.pop().pkt)
+	}
+	if l.arrivals.len() > 0 {
+		l.sched.AtArg(l.arrivals.peekAt(), deliverBatchArg, l)
+	} else {
+		l.armed = false
+	}
+}
+
+// deliverPkt does the shared delivery bookkeeping at the current virtual
+// time.
+func (l *Link) deliverPkt(pkt Packet) {
 	l.stats.Delivered++
 	l.stats.BytesDelivered += int64(pkt.Size)
 	l.cfg.Recorder.PacketDelivered(pkt.Size)

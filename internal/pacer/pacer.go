@@ -27,6 +27,15 @@ type Config struct {
 	// MaxQueueBytes bounds the pacer queue; excess packets are dropped
 	// and counted. Default 1 MB.
 	MaxQueueBytes units.Bytes
+	// Burst, when positive, batches transmission: one pump fire releases
+	// queued packets until the next would push the fire's total beyond
+	// Burst bytes, then sleeps long enough to cover the whole batch at
+	// the pacing rate. The long-run rate is identical to per-packet
+	// release — only the number of scheduled pump events changes. Zero
+	// keeps the one-event-per-packet behavior (and its exact event
+	// sequence). The first packet of a fire always goes out even if it
+	// alone exceeds Burst.
+	Burst units.Bytes
 	// Recorder receives a PacketLost event per queue-overflow drop (the
 	// flight recorder's pacer track). Nil disables recording at zero
 	// cost.
@@ -116,7 +125,9 @@ func (p *Pacer) Enqueue(payload any, wireSize int) {
 	}
 }
 
-// pump transmits the head-of-line packet and reschedules itself.
+// pump transmits the head-of-line packet — plus, when Burst allows, a
+// budget-covered run of followers in the same fire — and reschedules
+// itself to cover everything it sent.
 func (p *Pacer) pump() {
 	if p.queue.len() == 0 {
 		p.sending = false
@@ -128,11 +139,24 @@ func (p *Pacer) pump() {
 	p.sentBytes += int64(it.size)
 	p.send(it.payload, it.size)
 
+	batch := it.size
+	for p.cfg.Burst > 0 && p.queue.len() > 0 {
+		if units.Bytes(batch+p.queue.peek().size) > p.cfg.Burst {
+			break
+		}
+		it = p.queue.pop()
+		p.queuedBytes -= it.size
+		p.sentPkts++
+		p.sentBytes += int64(it.size)
+		p.send(it.payload, it.size)
+		batch += it.size
+	}
+
 	if p.queue.len() == 0 {
 		p.sending = false
 		return
 	}
 	rate := p.cfg.Rate.Scale(p.cfg.Factor)
-	gap := rate.DurationToSend(units.Bytes(it.size).Bits())
+	gap := rate.DurationToSend(units.Bytes(batch).Bits())
 	p.sched.AfterArg(gap, pumpArg, p)
 }

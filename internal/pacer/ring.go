@@ -22,6 +22,15 @@ func (r *itemRing) push(it item) {
 	r.n++
 }
 
+// peek returns the head item without removing it. It panics on an empty
+// ring: callers always check len first.
+func (r *itemRing) peek() item {
+	if r.n == 0 {
+		panic("pacer: peek into empty item ring")
+	}
+	return r.buf[r.head]
+}
+
 // pop removes and returns the head item. It panics on an empty ring:
 // callers always check len first.
 func (r *itemRing) pop() item {

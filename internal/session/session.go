@@ -129,6 +129,18 @@ type Config struct {
 	// controller). Nil disables recording; results are bit-identical
 	// either way.
 	Recorder *obs.Recorder
+
+	// Sched selects the scheduler implementation Run constructs (zero:
+	// the timer wheel). Both implementations fire the identical event
+	// sequence — this switch exists for differential testing
+	// (TestWheelMatchesHeap) and only changes host-CPU work. Ignored by
+	// RunOn, which receives its scheduler from the caller.
+	Sched simtime.Config
+
+	// PacerBurst, when positive, lets the pacer release up to this many
+	// bytes of queued packets in one scheduled event instead of one event
+	// per packet (see pacer.Config.Burst). Zero keeps per-packet release.
+	PacerBurst units.Bytes
 }
 
 // TimelinePoint is a periodic sample of the control plane, for plotting.
@@ -394,7 +406,7 @@ func New(sched *simtime.Scheduler, cfg Config) *Session {
 		s.jbuf.LatenessBudget = cfg.LatenessBudget
 	}
 
-	s.pc = pacer.New(sched, pacer.Config{Rate: cfg.InitialRate, Recorder: cfg.Recorder}, s.sendPacket)
+	s.pc = pacer.New(sched, pacer.Config{Rate: cfg.InitialRate, Burst: cfg.PacerBurst, Recorder: cfg.Recorder}, s.sendPacket)
 
 	// Timers all start at StartAt.
 	sched.At(cfg.StartAt, func() {
@@ -832,7 +844,7 @@ func fecRecovered(d *fec.Decoder) int {
 
 // Run executes one session end to end: the common single-flow entry point.
 func Run(cfg Config) Result {
-	sched := simtime.NewScheduler()
+	sched := simtime.NewSchedulerWith(cfg.Sched)
 	s := New(sched, cfg)
 	sched.RunUntil(cfg.StartAt + s.cfg.Duration + 2*time.Second)
 	return s.Result()

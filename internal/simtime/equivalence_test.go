@@ -1,0 +1,153 @@
+package simtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Differential harness: the wheel and the heap must fire the exact same
+// (at, seq)-ordered event sequence for any workload. These tests drive
+// both implementations through identical op streams and compare the
+// resulting fire logs byte for byte; FuzzSchedulerEquivalence feeds the
+// same interpreter with fuzzer-chosen bytes.
+
+// fireLog records one callback invocation: which scheduled op fired and
+// what the clock read.
+type fireLog struct {
+	tag int
+	now time.Duration
+}
+
+// opRunner interprets a byte stream as scheduler operations and returns
+// the complete fire log. Each op consumes two bytes (opcode, operand).
+// Horizons stretch exponentially with the operand so streams exercise
+// every wheel level and the overflow heap, not just the first window.
+func opRunner(s *Scheduler, ops []byte) []fireLog {
+	var log []fireLog
+	var pending []Event
+	tag := 0
+	for i := 0; i+1 < len(ops); i += 2 {
+		op, val := ops[i], ops[i+1]
+		switch op % 8 {
+		case 0, 1, 2: // schedule: horizons from ~1 µs to far past the top window
+			d := time.Duration(val%16+1) * time.Microsecond << (val % 34)
+			k := tag
+			pending = append(pending, s.At(s.Now()+d, func() {
+				log = append(log, fireLog{tag: k, now: s.Now()})
+			}))
+			tag++
+		case 3: // schedule a same-instant burst (FIFO tie-break coverage)
+			at := s.Now() + time.Duration(val)*time.Millisecond
+			for j := 0; j < 3; j++ {
+				k := tag
+				pending = append(pending, s.At(at, func() {
+					log = append(log, fireLog{tag: k, now: s.Now()})
+				}))
+				tag++
+			}
+		case 4: // cancel an arbitrary handle (stale ones are no-ops)
+			if len(pending) > 0 {
+				pending[int(val)%len(pending)].Cancel()
+			}
+		case 5: // fire one event
+			s.Step()
+		case 6: // run a bounded stretch of virtual time
+			s.RunUntil(s.Now() + time.Duration(val)*33*time.Microsecond)
+		case 7: // reset, rarely: it wipes the queue, which would make
+			// most streams trivial if it were as likely as scheduling
+			if val == 0 {
+				s.Reset()
+			} else {
+				s.Step()
+			}
+		}
+	}
+	s.Run()
+	return log
+}
+
+// diffImpls runs the op stream on both implementations and reports the
+// first divergence, if any.
+func diffImpls(t *testing.T, ops []byte) {
+	t.Helper()
+	wheelSched := NewSchedulerWith(Config{Impl: ImplWheel})
+	heapSched := NewSchedulerWith(Config{Impl: ImplHeap})
+	gotW := opRunner(wheelSched, ops)
+	gotH := opRunner(heapSched, ops)
+	if len(gotW) != len(gotH) {
+		t.Fatalf("wheel fired %d events, heap fired %d", len(gotW), len(gotH))
+	}
+	for i := range gotW {
+		if gotW[i] != gotH[i] {
+			t.Fatalf("fire %d diverges: wheel {tag %d at %v}, heap {tag %d at %v}",
+				i, gotW[i].tag, gotW[i].now, gotH[i].tag, gotH[i].now)
+		}
+	}
+	if wheelSched.Now() != heapSched.Now() {
+		t.Fatalf("final clocks diverge: wheel %v, heap %v", wheelSched.Now(), heapSched.Now())
+	}
+	if wheelSched.Len() != heapSched.Len() {
+		t.Fatalf("final Len diverges: wheel %d, heap %d", wheelSched.Len(), heapSched.Len())
+	}
+}
+
+// TestWheelMatchesHeapRandomOps drives both implementations through
+// seeded random op streams. This is the cheap always-on cousin of
+// FuzzSchedulerEquivalence.
+func TestWheelMatchesHeapRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			ops := make([]byte, 400)
+			for i := range ops {
+				ops[i] = byte(rng.Intn(256))
+			}
+			diffImpls(t, ops)
+		})
+	}
+}
+
+// TestSchedulerBehaviorBothImpls re-pins the core scheduler contract on
+// each implementation by name, so a wheel-only regression fails with a
+// subtest name that says so.
+func TestSchedulerBehaviorBothImpls(t *testing.T) {
+	for _, impl := range []Impl{ImplWheel, ImplHeap} {
+		t.Run(impl.String(), func(t *testing.T) {
+			s := NewSchedulerWith(Config{Impl: impl})
+			if s.Impl() != impl {
+				t.Fatalf("Impl() = %v, want %v", s.Impl(), impl)
+			}
+			var got []int
+			s.At(30*time.Millisecond, func() { got = append(got, 3) })
+			s.At(10*time.Millisecond, func() { got = append(got, 1) })
+			ev := s.At(25*time.Millisecond, func() { got = append(got, 9) })
+			s.At(20*time.Millisecond, func() { got = append(got, 2) })
+			for i := 0; i < 4; i++ {
+				i := i
+				s.At(40*time.Millisecond, func() { got = append(got, 10+i) })
+			}
+			if !ev.Cancel() {
+				t.Fatal("Cancel returned false on a pending event")
+			}
+			if s.Len() != 7 {
+				t.Fatalf("Len = %d after cancel, want 7", s.Len())
+			}
+			s.Run()
+			want := []int{1, 2, 3, 10, 11, 12, 13}
+			if len(got) != len(want) {
+				t.Fatalf("fired %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fired %v, want %v", got, want)
+				}
+			}
+			s.Reset()
+			if s.Now() != 0 || s.Len() != 0 {
+				t.Fatalf("after Reset: Now=%v Len=%d, want zeros", s.Now(), s.Len())
+			}
+		})
+	}
+}

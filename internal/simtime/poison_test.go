@@ -12,23 +12,44 @@ import (
 // shows up as one session's state bleeding into the next on a reused
 // fleet shard.
 
+// freeList walks the scheduler's free chain and returns its records in
+// pop order (test helper; the free list is an intrusive id chain through
+// the arena, not a slice).
+func freeList(s *Scheduler) []*event {
+	var out []*event
+	for id := s.freeHead; id != 0; {
+		ev := s.evAt(id)
+		out = append(out, ev)
+		id = ev.next
+	}
+	return out
+}
+
 // poisonFreeEvents overwrites every field of every free-list record with
 // sentinels. The fn/argFn sentinels fail the test if they ever run: a
 // record whose stale closure survives into a new tenant's dispatch is
 // the worst version of this bug (Step calls fn when non-nil, so a stale
-// fn would shadow a new AtArg tenant entirely).
+// fn would shadow a new AtArg tenant entirely). The level/slot/prev
+// sentinels cover the wheel: a recycled record must be fully re-placed
+// (level, slot, links) before it lands in a slot list, or the splice
+// logic would corrupt a list it was never on. id, gen, and the next
+// free-chain link are the only fields a free record legitimately owns.
 func poisonFreeEvents(t *testing.T, s *Scheduler) int {
 	t.Helper()
 	const poisonDur = time.Duration(0x5EA5_5EA5_5EA5)
-	for _, ev := range s.free {
+	free := freeList(s)
+	for _, ev := range free {
 		ev.at = poisonDur
 		ev.seq = 0xA5A5_A5A5_A5A5_A5A5
 		ev.fn = func() { t.Error("poisoned fn leaked into dispatch") }
 		ev.argFn = func(any) { t.Error("poisoned argFn leaked into dispatch") }
 		ev.arg = "poison"
 		ev.canceledGen = 0xA5A5
+		ev.level = 0x5A
+		ev.slot = 0xA5A5
+		ev.prev = 0x5A5A5A5
 	}
-	return len(s.free)
+	return len(free)
 }
 
 // TestPoisonedPoolRecordsDoNotLeak pins that schedule() fully
@@ -76,16 +97,20 @@ func TestReleaseClearsPayloadFields(t *testing.T) {
 	s.AtArg(2*time.Millisecond, func(any) {}, "payload")
 	s.At(time.Hour, func() {}).Cancel()
 	s.Run()
-	if len(s.free) == 0 {
+	free := freeList(s)
+	if len(free) == 0 {
 		t.Fatal("free list empty after run")
 	}
-	for i, ev := range s.free {
+	for i, ev := range free {
 		if ev.fn != nil || ev.argFn != nil || ev.arg != nil {
 			t.Errorf("free record %d retains payload: fn=%v argFn=%v arg=%v",
 				i, ev.fn != nil, ev.argFn != nil, ev.arg)
 		}
 		if ev.index != -1 {
 			t.Errorf("free record %d still claims heap index %d", i, ev.index)
+		}
+		if ev.prev != 0 {
+			t.Errorf("free record %d retains slot link prev=%d", i, ev.prev)
 		}
 	}
 }

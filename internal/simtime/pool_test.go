@@ -153,8 +153,8 @@ func TestPoolRecycling(t *testing.T) {
 		s.After(time.Microsecond, func() {})
 	}
 	s.Run()
-	if got := len(s.free); got > depth+1 {
-		t.Errorf("pool holds %d records after churn at depth %d; records are not recycling", got, depth)
+	if got := s.minted; got > depth+1 {
+		t.Errorf("pool minted %d records after churn at depth %d; records are not recycling", got, depth)
 	}
 }
 
@@ -178,13 +178,17 @@ func TestSchedulerStepZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation accounting is not stable under -race")
 	}
-	s := NewScheduler()
-	s.AfterArg(0, stepBenchFn, s)
-	for i := 0; i < 1024; i++ { // warm the pool and heap array
-		s.Step()
-	}
-	allocs := testing.AllocsPerRun(1000, func() { s.Step() })
-	if allocs != 0 {
-		t.Errorf("Scheduler.Step allocates %.1f/op in steady state, budget is 0", allocs)
+	for _, impl := range []Impl{ImplWheel, ImplHeap} {
+		t.Run(impl.String(), func(t *testing.T) {
+			s := NewSchedulerWith(Config{Impl: impl})
+			s.AfterArg(0, stepBenchFn, s)
+			for i := 0; i < 1024; i++ { // warm the pool and queue arrays
+				s.Step()
+			}
+			allocs := testing.AllocsPerRun(1000, func() { s.Step() })
+			if allocs != 0 {
+				t.Errorf("%v Scheduler.Step allocates %.1f/op in steady state, budget is 0", impl, allocs)
+			}
+		})
 	}
 }

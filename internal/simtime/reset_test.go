@@ -61,7 +61,7 @@ func TestResetKeepsPoolWarm(t *testing.T) {
 		s.After(time.Duration(i+1)*time.Millisecond, func() {})
 	}
 	s.Reset()
-	if got := len(s.free); got < depth {
+	if got := len(freeList(s)); got < depth {
 		t.Errorf("pool holds %d records after Reset, want >= %d (queue must recycle, not leak)", got, depth)
 	}
 	// Stale handles into the pre-Reset world must be inert.

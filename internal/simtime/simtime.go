@@ -5,15 +5,26 @@
 // The zero value of Scheduler is ready to use. Events scheduled for the same
 // instant fire in scheduling order (FIFO), which keeps runs reproducible.
 //
+// # Queue implementations
+//
+// Two interchangeable queue implementations exist behind Config.Impl: a
+// hierarchical timer wheel (ImplWheel, the default — see wheel.go) and a
+// binary min-heap (ImplHeap, the original). Both fire the exact same
+// (at, seq)-ordered event sequence; the choice only changes host-CPU work
+// per event, never virtual-time ordering. The heap stays alive for
+// differential testing (TestWheelMatchesHeap, FuzzSchedulerEquivalence)
+// and as a fallback for pathological far-horizon workloads.
+//
 // # Allocation model
 //
 // The scheduler is allocation-free in steady state. Fired and canceled
 // events return to a per-scheduler free list and are recycled by later At
-// and After calls; the binary-heap backing array is reused across the whole
-// run. Handles stay safe across recycling through generation counters: every
-// recycle bumps the record's generation, so a stale handle (its event
-// already fired or canceled) simply stops matching and Cancel degrades to a
-// no-op instead of corrupting an unrelated event.
+// and After calls; the wheel's slot arrays (or the heap's backing array)
+// are reused across the whole run. Handles stay safe across recycling
+// through generation counters: every recycle bumps the record's generation,
+// so a stale handle (its event already fired or canceled) simply stops
+// matching and Cancel degrades to a no-op instead of corrupting an
+// unrelated event.
 //
 // Callbacks come in two forms. At and After take a plain func(), which is
 // what cold paths and tests want but allocates a closure whenever the
@@ -25,6 +36,7 @@ package simtime
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -36,8 +48,34 @@ type Clock interface {
 	Now() time.Duration
 }
 
+// Impl selects the scheduler's queue implementation.
+type Impl uint8
+
+const (
+	// ImplWheel is the hierarchical timer wheel (default).
+	ImplWheel Impl = iota
+	// ImplHeap is the binary min-heap the wheel replaced; kept for
+	// differential testing.
+	ImplHeap
+)
+
+// String returns the implementation's canonical name.
+func (im Impl) String() string {
+	if im == ImplHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// Config selects scheduler construction options. The zero value is the
+// production configuration.
+type Config struct {
+	// Impl selects the queue implementation; the zero value is ImplWheel.
+	Impl Impl
+}
+
 // event is the pooled record behind an Event handle. Records are owned by
-// one scheduler forever: they cycle between its heap and its free list and
+// one scheduler forever: they cycle between its queue and its free list and
 // are never shared across schedulers, so pooling is invisible to parallel
 // runs of independent schedulers.
 type event struct {
@@ -47,7 +85,28 @@ type event struct {
 	fn    func()
 	argFn func(any)
 	arg   any
-	index int // heap index, -1 when not queued
+
+	// index locates the record inside its container: the heap index
+	// (ImplHeap or wheel overflow), or 0 as a queued marker for wheel
+	// slot residents (their position is carried by the next/prev links).
+	// index == -1 means not queued; Pending and the pool tests key on
+	// that regardless of implementation.
+	index int
+	// level says which container the record is in: a wheel level 0..3,
+	// locHeap, or locOver. Meaningless while index == -1.
+	level int8
+	// slot is the wheel slot number when level is a wheel level.
+	slot uint16
+	// id is the record's 1-based arena id, fixed at mint time. Wheel slot
+	// lists and the free list link records by id rather than by pointer:
+	// an int32 store takes no GC write barrier, where the pointer splices
+	// this replaced were the hottest barrier site in fleet profiles.
+	id int32
+	// next and prev thread the record into its wheel slot's intrusive
+	// doubly-linked list as arena ids (0 = none); next also chains the
+	// free list.
+	next int32
+	prev int32
 
 	// gen is the record's live generation; it increments every time the
 	// record is released back to the free list, invalidating outstanding
@@ -92,7 +151,7 @@ func (e Event) Cancel() bool {
 	}
 	ev := e.ev
 	s := ev.s
-	s.removeAt(ev.index)
+	s.unqueue(ev)
 	ev.canceledGen = ev.gen
 	s.release(ev)
 	return true
@@ -110,20 +169,54 @@ func (e Event) Canceled() bool {
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
-	queue   []*event // binary min-heap by (at, seq)
-	free    []*event // recycled records
+	impl    Impl
 	stopped bool
+	queue   eventHeap // ImplHeap main queue
+	// arena backs every event record the scheduler ever mints, in
+	// fixed-size chunks so records keep stable addresses while ids stay
+	// dense. minted counts records carved out so far; freeHead chains
+	// recycled records by id through event.next (0 = empty).
+	arena    [][]event
+	minted   int
+	freeHead int32
+	wheel    wheel // ImplWheel main queue
 }
 
-// NewScheduler returns a scheduler with the clock at zero.
+// Arena geometry: 256 records per chunk keeps a chunk around 24 KB —
+// big enough to amortize growth, small enough not to overshoot tiny runs.
+const (
+	chunkShift = 8
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+// evAt resolves a 1-based record id. Callers check for 0 (none) first.
+func (s *Scheduler) evAt(id int32) *event {
+	i := int(id - 1)
+	return &s.arena[i>>chunkShift][i&chunkMask]
+}
+
+// NewScheduler returns a wheel-backed scheduler with the clock at zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// NewSchedulerWith returns a scheduler built from cfg with the clock at
+// zero. NewSchedulerWith(Config{}) is equivalent to NewScheduler.
+func NewSchedulerWith(cfg Config) *Scheduler { return &Scheduler{impl: cfg.Impl} }
+
+// Impl reports which queue implementation the scheduler runs on.
+func (s *Scheduler) Impl() Impl { return s.impl }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 
 // Len returns the number of pending events. Canceled events leave the
 // queue immediately, so the count is exact.
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int {
+	if s.impl == ImplHeap {
+		return len(s.queue)
+	}
+	return s.wheel.count
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a simulation bug, and silently reordering
@@ -167,7 +260,7 @@ func (s *Scheduler) AfterArg(d time.Duration, fn func(any), arg any) Event {
 	return s.AtArg(s.now+d, fn, arg)
 }
 
-// schedule acquires a pooled record, fills it, and pushes it on the heap.
+// schedule acquires a pooled record, fills it, and queues it.
 func (s *Scheduler) schedule(t time.Duration, fn func(), argFn func(any), arg any) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("simtime: event scheduled in the past (now=%v, at=%v)", s.now, t))
@@ -179,40 +272,77 @@ func (s *Scheduler) schedule(t time.Duration, fn func(), argFn func(any), arg an
 	ev.argFn = argFn
 	ev.arg = arg
 	s.seq++
-	s.push(ev)
+	if s.impl == ImplHeap {
+		ev.level = locHeap
+		s.queue.push(ev)
+	} else {
+		s.wheel.push(s, ev)
+	}
 	return Event{ev: ev, gen: ev.gen, at: t}
 }
 
-// acquire pops a record off the free list, or mints one on first use.
+// acquire pops a record off the free list, or mints one from the arena.
 func (s *Scheduler) acquire() *event {
-	if n := len(s.free); n > 0 {
-		ev := s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
+	if id := s.freeHead; id != 0 {
+		ev := s.evAt(id)
+		s.freeHead = ev.next
+		ev.next = 0
 		return ev
 	}
-	return &event{s: s, gen: 1, index: -1}
+	if s.minted>>chunkShift == len(s.arena) {
+		s.arena = append(s.arena, make([]event, chunkSize))
+	}
+	ev := &s.arena[s.minted>>chunkShift][s.minted&chunkMask]
+	s.minted++
+	ev.s = s
+	ev.gen = 1
+	ev.index = -1
+	ev.id = int32(s.minted) // 1-based: id 0 means "none" in the links
+	return ev
 }
 
 // release clears a record's payload so the callback and its captures are
 // collectable, bumps the generation to invalidate outstanding handles, and
-// returns the record to the free list.
+// pushes the record onto the free list (chained by id through next).
 func (s *Scheduler) release(ev *event) {
 	ev.fn = nil
 	ev.argFn = nil
 	ev.arg = nil
+	ev.prev = 0
 	ev.index = -1
 	ev.gen++
-	s.free = append(s.free, ev)
+	ev.next = s.freeHead
+	s.freeHead = ev.id
+}
+
+// earliest returns the queued event with the minimal (at, seq), or nil.
+func (s *Scheduler) earliest() *event {
+	if s.impl == ImplHeap {
+		if len(s.queue) == 0 {
+			return nil
+		}
+		return s.queue[0]
+	}
+	return s.wheel.min(s)
+}
+
+// unqueue removes a queued event from whichever container holds it,
+// without releasing the record.
+func (s *Scheduler) unqueue(ev *event) {
+	if ev.level == locHeap {
+		s.queue.removeAt(ev.index)
+		return
+	}
+	s.wheel.remove(s, ev)
 }
 
 // Reset returns the scheduler to its initial state — empty queue, clock at
 // zero, sequence counter at zero, stop flag cleared — while keeping the
-// event free list and the heap's backing array. One scheduler can thereby
-// be reused across many sequential simulation runs (the fleet's per-shard
-// discipline) with its pools already warm: the first run pays the event
-// allocations, every later run on the same scheduler is allocation-free in
-// steady state.
+// event free list and the queue's backing arrays (heap array or wheel slot
+// arrays). One scheduler can thereby be reused across many sequential
+// simulation runs (the fleet's per-shard discipline) with its pools already
+// warm: the first run pays the event allocations, every later run on the
+// same scheduler is allocation-free in steady state.
 //
 // Pending events are canceled: their records are recycled and outstanding
 // handles go stale (Pending reports false, Cancel is a no-op). Because seq
@@ -220,26 +350,38 @@ func (s *Scheduler) release(ev *event) {
 // freshly constructed one would — Reset-reuse is invisible to the
 // simulation running on it.
 func (s *Scheduler) Reset() {
-	for _, ev := range s.queue {
-		ev.canceledGen = ev.gen
-		s.release(ev)
+	if s.impl == ImplHeap {
+		for _, ev := range s.queue {
+			ev.canceledGen = ev.gen
+			s.release(ev)
+		}
+		clear(s.queue)
+		s.queue = s.queue[:0]
+	} else {
+		s.wheel.reset(s)
 	}
-	clear(s.queue)
-	s.queue = s.queue[:0]
 	s.now = 0
 	s.seq = 0
 	s.stopped = false
 }
 
-// Step fires the earliest pending event, advancing the clock to its
-// deadline. It reports whether an event fired; false means the queue is
-// empty. The event's record is recycled before the callback runs, so a
+// maxDeadline is the step limit that admits every representable deadline.
+const maxDeadline = time.Duration(math.MaxInt64)
+
+// step fires the earliest pending event if its deadline is at or before
+// limit, advancing the clock to that deadline. It reports whether an event
+// fired. The single queue search per fired event is what RunUntil rides
+// on; the event's record is recycled before the callback runs, so a
 // callback that schedules new events reuses it immediately.
-func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
+func (s *Scheduler) step(limit time.Duration) bool {
+	ev := s.earliest()
+	if ev == nil || ev.at > limit {
 		return false
 	}
-	ev := s.popMin()
+	s.unqueue(ev)
+	if s.impl != ImplHeap {
+		s.wheel.advance(s, wheelTick(ev.at))
+	}
 	s.now = ev.at
 	fn, argFn, arg := ev.fn, ev.argFn, ev.arg
 	s.release(ev)
@@ -251,13 +393,19 @@ func (s *Scheduler) Step() bool {
 	return true
 }
 
+// Step fires the earliest pending event, advancing the clock to its
+// deadline. It reports whether an event fired; false means the queue is
+// empty.
+func (s *Scheduler) Step() bool { return s.step(maxDeadline) }
+
 // Peek returns the deadline of the earliest pending event and true, or zero
 // and false if none is pending.
 func (s *Scheduler) Peek() (time.Duration, bool) {
-	if len(s.queue) == 0 {
+	ev := s.earliest()
+	if ev == nil {
 		return 0, false
 	}
-	return s.queue[0].at, true
+	return ev.at, true
 }
 
 // RunUntil fires events in order until the queue is exhausted or the next
@@ -266,18 +414,13 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 	if t < s.now {
 		panic(fmt.Sprintf("simtime: RunUntil into the past (now=%v, until=%v)", s.now, t))
 	}
-	for {
-		next, ok := s.Peek()
-		if !ok || next > t {
-			break
-		}
-		s.Step()
-		if s.stopped {
-			break
-		}
+	for !s.stopped && s.step(t) {
 	}
 	if !s.stopped && s.now < t {
 		s.now = t
+		if s.impl != ImplHeap {
+			s.wheel.advance(s, wheelTick(t))
+		}
 	}
 }
 
@@ -292,97 +435,6 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (s *Scheduler) Stopped() bool { return s.stopped }
-
-// less orders the heap by deadline, then scheduling order. seq is unique
-// per event, so the order is total and pop order never depends on the
-// heap's internal array layout.
-func (s *Scheduler) less(i, j int) bool {
-	a, b := s.queue[i], s.queue[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (s *Scheduler) swap(i, j int) {
-	q := s.queue
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-// push appends ev and restores the heap property.
-func (s *Scheduler) push(ev *event) {
-	ev.index = len(s.queue)
-	s.queue = append(s.queue, ev)
-	s.siftUp(ev.index)
-}
-
-// popMin removes and returns the heap minimum.
-func (s *Scheduler) popMin() *event {
-	ev := s.queue[0]
-	n := len(s.queue) - 1
-	s.swap(0, n)
-	s.queue[n] = nil
-	s.queue = s.queue[:n]
-	if n > 0 {
-		s.siftDown(0)
-	}
-	ev.index = -1
-	return ev
-}
-
-// removeAt removes the event at heap index i (used by Cancel).
-func (s *Scheduler) removeAt(i int) {
-	n := len(s.queue) - 1
-	removed := s.queue[i]
-	if i != n {
-		s.swap(i, n)
-	}
-	s.queue[n] = nil
-	s.queue = s.queue[:n]
-	if i < n {
-		if !s.siftDown(i) {
-			s.siftUp(i)
-		}
-	}
-	removed.index = -1
-}
-
-// siftUp restores the heap property from i toward the root.
-func (s *Scheduler) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s.swap(i, parent)
-		i = parent
-	}
-}
-
-// siftDown restores the heap property from i toward the leaves, reporting
-// whether the element moved.
-func (s *Scheduler) siftDown(i int) bool {
-	start := i
-	n := len(s.queue)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		child := left
-		if right := left + 1; right < n && s.less(right, left) {
-			child = right
-		}
-		if !s.less(child, i) {
-			break
-		}
-		s.swap(i, child)
-		i = child
-	}
-	return i > start
-}
 
 // Ticker schedules fn every interval, starting at now+interval, until
 // canceled via the returned handle or until the scheduler stops. Re-arming

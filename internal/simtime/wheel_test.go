@@ -1,0 +1,161 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// Deadlines that land on each wheel level (given the cursor at zero) and
+// beyond the top window, per the geometry in wheel.go: level windows of
+// ~16.8 ms, ~34.4 s, and ~19.6 h.
+var levelDeadlines = []time.Duration{
+	500 * time.Microsecond, // level 0
+	100 * time.Millisecond, // level 1
+	30 * time.Second,       // level 1, high slots
+	2 * time.Hour,          // level 2
+	12 * time.Hour,         // level 2, high slots
+	30 * time.Hour,         // overflow heap
+}
+
+// TestWheelCascadeAcrossLevels schedules one event per wheel level plus
+// overflow residents and checks they fire in deadline order at exact
+// times — each fire forces the cursor across level boundaries, so every
+// cascade path (drain, re-place, overflow pull-in) runs.
+func TestWheelCascadeAcrossLevels(t *testing.T) {
+	s := NewScheduler()
+	var fired []time.Duration
+	for _, d := range levelDeadlines {
+		s.At(d, func() { fired = append(fired, s.Now()) })
+	}
+	s.Run()
+	if len(fired) != len(levelDeadlines) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(levelDeadlines))
+	}
+	for i, want := range levelDeadlines {
+		if fired[i] != want {
+			t.Errorf("fire %d at %v, want %v", i, fired[i], want)
+		}
+	}
+}
+
+// TestWheelSameInstantTieAfterCascade pins the FIFO tie-break for
+// same-instant events that reach their deadline via different routes: one
+// scheduled far ahead (placed at a high level, cascaded down), one
+// scheduled later in scheduling order but directly into a low level. The
+// earlier seq must fire first regardless of placement history.
+func TestWheelSameInstantTieAfterCascade(t *testing.T) {
+	s := NewScheduler()
+	at := 10 * time.Second // level 1 from t=0
+	var got []int
+	s.At(at, func() { got = append(got, 0) }) // seq 0, cascades down
+	s.At(at-time.Second, func() {             // fires at 9s: deadline now ~1s out
+		s.At(at, func() { got = append(got, 1) }) // seq 2, placed low directly
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("same-instant fire order %v, want [0 1]", got)
+	}
+}
+
+// TestWheelCancelInSlotList covers the three unlink positions of the
+// intrusive slot list — head, middle, tail — plus an overflow cancel.
+func TestWheelCancelInSlotList(t *testing.T) {
+	s := NewScheduler()
+	at := time.Millisecond
+	var got []int
+	evs := make([]Event, 5)
+	for i := range evs {
+		i := i
+		evs[i] = s.At(at, func() { got = append(got, i) })
+	}
+	far := s.At(30*time.Hour, func() { got = append(got, 99) })
+	evs[4].Cancel() // head of the prepended list
+	evs[2].Cancel() // middle
+	evs[0].Cancel() // tail
+	far.Cancel()    // overflow heap resident
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after cancels, want 2", s.Len())
+	}
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("survivors fired %v, want [1 3]", got)
+	}
+}
+
+// TestWheelResetAcrossLevels extends the PR 7 pool-poisoning protocol to
+// the wheel: Reset a scheduler holding residents at every level and the
+// overflow heap, poison the recycled records, and require a rerun to be
+// indistinguishable from a fresh scheduler. A slot head, occupancy bit,
+// or link that Reset missed would resurface here as a firing from the
+// previous life or a corrupted slot list.
+func TestWheelResetAcrossLevels(t *testing.T) {
+	s := NewScheduler()
+	for _, d := range levelDeadlines {
+		s.At(d, func() { t.Errorf("event from pre-Reset life fired at %v", s.Now()) })
+	}
+	// Walk the clock into the wheel so cur, low, and the occupancy state
+	// are all non-trivial when Reset hits.
+	s.RunUntil(200 * time.Microsecond)
+	s.Reset()
+	if s.Len() != 0 || s.Now() != 0 {
+		t.Fatalf("after Reset: Len=%d Now=%v, want zeros", s.Len(), s.Now())
+	}
+	if n := poisonFreeEvents(t, s); n < len(levelDeadlines) {
+		t.Fatalf("free list holds %d records after Reset, want >= %d", n, len(levelDeadlines))
+	}
+
+	workload := func(s *Scheduler) []time.Duration {
+		var fired []time.Duration
+		for _, d := range levelDeadlines {
+			s.At(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		return fired
+	}
+	got := workload(s)
+	want := workload(NewScheduler())
+	if len(got) != len(want) {
+		t.Fatalf("reused scheduler fired %d events, fresh fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("fire %d at %v on reused scheduler, %v on fresh", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWheelIdleRunUntil pins that advancing across an empty stretch of
+// virtual time (RunUntil beyond every deadline) leaves the wheel
+// consistent: events scheduled afterwards still fire at exact times.
+func TestWheelIdleRunUntil(t *testing.T) {
+	s := NewScheduler()
+	s.RunUntil(3 * time.Hour) // idle cascade across every level boundary
+	var at time.Duration
+	s.After(90*time.Minute, func() { at = s.Now() })
+	s.Run()
+	if want := 3*time.Hour + 90*time.Minute; at != want {
+		t.Errorf("post-idle event fired at %v, want %v", at, want)
+	}
+}
+
+// TestWheelZeroAllocSteadyState is the wheel twin of
+// TestSchedulerStepZeroAlloc, with a horizon mix that keeps the cascade
+// machinery (not just level 0) on the measured path.
+func TestWheelZeroAllocSteadyState(t *testing.T) {
+	s := NewScheduler()
+	var k int
+	var churn func(any)
+	churn = func(any) {
+		horizons := []time.Duration{50 * time.Microsecond, 7 * time.Millisecond, 3 * time.Second}
+		k++
+		s.AfterArg(horizons[k%len(horizons)], churn, nil)
+	}
+	s.AfterArg(0, churn, nil)
+	for i := 0; i < 1024; i++ { // reach pool steady state
+		s.Step()
+	}
+	avg := testing.AllocsPerRun(1000, func() { s.Step() })
+	if avg != 0 {
+		t.Errorf("wheel steady-state Step allocates %.2f allocs/op, want 0", avg)
+	}
+}
